@@ -1,0 +1,160 @@
+// Command vread-bench regenerates any table or figure of the paper's
+// evaluation and prints the rows next to the paper's reported values.
+//
+// Usage:
+//
+//	vread-bench -exp fig2|fig3|fig6|fig7|fig8|fig9|fig11|fig12|fig13|table2|table3|ablations|all
+//	            [-scale 0.05] [-seed 1] [-transport rdma|tcp]
+//
+// Scale 1.0 runs paper-sized datasets (5 GB TestDFSIO, 5 M HBase rows,
+// 30 M Hive rows); the default 0.05 keeps everything under a few minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vread"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vread-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	exp := flag.String("exp", "all", "experiment id (fig2..fig13, table2, table3, ablations, all)")
+	scale := flag.Float64("scale", 0.05, "dataset scale relative to paper sizes")
+	format := flag.String("format", "table", "output format (table|csv)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	transport := flag.String("transport", "rdma", "remote daemon transport (rdma|tcp)")
+	flag.Parse()
+
+	opt := vread.Options{Seed: *seed, Scale: *scale}
+	switch *transport {
+	case "rdma":
+		opt.Transport = vread.TransportRDMA
+	case "tcp":
+		opt.Transport = vread.TransportTCP
+	default:
+		return fmt.Errorf("unknown transport %q", *transport)
+	}
+
+	csvOut := *format == "csv"
+	runners := map[string]func(vread.Options) (string, error){
+		"fig2": func(o vread.Options) (string, error) {
+			rows, err := vread.RunFig2(o)
+			if csvOut {
+				return vread.CSVFig2(rows), err
+			}
+			return vread.FormatFig2(rows), err
+		},
+		"fig3": func(o vread.Options) (string, error) {
+			rows, err := vread.RunFig3(o)
+			if csvOut {
+				return vread.CSVFig3(rows), err
+			}
+			return vread.FormatFig3(rows), err
+		},
+		"fig6": breakdownRunner("Figure 6 (co-located)", vread.RunFig6, csvOut),
+		"fig7": breakdownRunner("Figure 7 (remote, RDMA)", vread.RunFig7, csvOut),
+		"fig8": breakdownRunner("Figure 8 (remote, TCP)", vread.RunFig8, csvOut),
+		"fig9": func(o vread.Options) (string, error) {
+			rows, err := vread.RunFig9(o)
+			if csvOut {
+				return vread.CSVFig9(rows), err
+			}
+			return vread.FormatFig9(rows), err
+		},
+		"fig11": dfsioRunner(csvOut),
+		"fig12": dfsioRunner(csvOut),
+		"fig13": func(o vread.Options) (string, error) {
+			rows, err := vread.RunFig13(o)
+			if csvOut {
+				return vread.CSVFig13(rows), err
+			}
+			return vread.FormatFig13(rows), err
+		},
+		"table2": func(o vread.Options) (string, error) {
+			rows, err := vread.RunTable2(o)
+			if csvOut {
+				return vread.CSVTable2(rows), err
+			}
+			return vread.FormatTable2(rows), err
+		},
+		"table3": func(o vread.Options) (string, error) {
+			rows, err := vread.RunTable3(o)
+			if csvOut {
+				return vread.CSVTable3(rows), err
+			}
+			return vread.FormatTable3(rows), err
+		},
+		"ablations": ablationRunner(csvOut),
+	}
+
+	order := []string{"fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig11", "fig13", "table2", "table3", "ablations"}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = order
+	} else if *exp == "fig12" {
+		ids = []string{"fig11"} // figures 11 and 12 come from the same runs
+	}
+	for _, id := range ids {
+		fn, ok := runners[id]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try: %v, all)", id, order)
+		}
+		out, err := fn(opt)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Printf("=== %s (scale %.3g, seed %d) ===\n%s\n", id, opt.Scale, opt.Seed, out)
+	}
+	return nil
+}
+
+func breakdownRunner(title string, run func(vread.Options) ([]vread.BreakdownRow, error), csvOut bool) func(vread.Options) (string, error) {
+	return func(o vread.Options) (string, error) {
+		rows, err := run(o)
+		if csvOut {
+			return vread.CSVBreakdowns(rows), err
+		}
+		return vread.FormatBreakdowns(title, rows), err
+	}
+}
+
+func dfsioRunner(csvOut bool) func(vread.Options) (string, error) {
+	return func(o vread.Options) (string, error) {
+		rows, err := vread.RunFig11and12(o)
+		if csvOut {
+			return vread.CSVDFSIO(rows), err
+		}
+		return vread.FormatDFSIO(rows), err
+	}
+}
+
+func ablationRunner(csvOut bool) func(vread.Options) (string, error) {
+	return func(o vread.Options) (string, error) {
+		var all []vread.AblationRow
+		for _, fn := range []func(vread.Options) ([]vread.AblationRow, error){
+			vread.RunAblationRingSlots,
+			vread.RunAblationDirectRead,
+			vread.RunAblationTransport,
+			vread.RunAblationShortCircuit,
+			vread.RunAblationSRIOV,
+		} {
+			rows, err := fn(o)
+			if err != nil {
+				return "", err
+			}
+			all = append(all, rows...)
+		}
+		if csvOut {
+			return vread.CSVAblations(all), nil
+		}
+		return vread.FormatAblations(all), nil
+	}
+}

@@ -1,0 +1,154 @@
+// Command vread-sim runs one custom scenario on the simulated testbed and
+// prints throughput, delay, and per-entity CPU breakdowns — a workbench for
+// exploring the model outside the paper's fixed experiment grid.
+//
+// Usage:
+//
+//	vread-sim [-vread] [-scenario co-located|remote|hybrid] [-freq-ghz 2.0]
+//	          [-hogs] [-size-mb 256] [-buffer-kb 1024] [-transport rdma|tcp]
+//	          [-bypass] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"vread"
+	"vread/internal/data"
+	"vread/internal/metrics"
+	"vread/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vread-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	useVRead := flag.Bool("vread", false, "enable vRead")
+	scenario := flag.String("scenario", "co-located", "block placement (co-located|remote|hybrid)")
+	freqGHz := flag.Float64("freq-ghz", 2.0, "host CPU frequency in GHz")
+	hogs := flag.Bool("hogs", false, "add the 85% lookbusy background VMs (4-VM setups)")
+	sizeMB := flag.Int64("size-mb", 256, "file size to write and read")
+	bufferKB := flag.Int64("buffer-kb", 1024, "application read buffer")
+	transport := flag.String("transport", "rdma", "remote daemon transport (rdma|tcp)")
+	bypass := flag.Bool("bypass", false, "daemon bypasses the host FS (§6 ablation)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	configPath := flag.String("config", "", "JSON scenario file (overrides the other flags)")
+	flag.Parse()
+
+	var opt vread.Options
+	var place vread.Scenario
+	if *configPath != "" {
+		raw, err := os.ReadFile(*configPath)
+		if err != nil {
+			return err
+		}
+		opt, place, err = vread.ParseOptions(raw)
+		if err != nil {
+			return err
+		}
+		*useVRead = opt.VRead
+	} else {
+		opt = vread.Options{
+			Seed:             *seed,
+			FreqHz:           int64(*freqGHz * 1e9),
+			ExtraVMs:         *hogs,
+			VRead:            *useVRead,
+			DirectDiskBypass: *bypass,
+		}
+		if *transport == "tcp" {
+			opt.Transport = vread.TransportTCP
+		}
+		switch *scenario {
+		case "co-located":
+			place = vread.Colocated
+		case "remote":
+			place = vread.Remote
+		case "hybrid":
+			place = vread.Hybrid
+		default:
+			return fmt.Errorf("unknown scenario %q", *scenario)
+		}
+	}
+
+	tb := vread.NewTestbed(opt)
+	defer tb.Close()
+	tb.Place(place)
+
+	size := *sizeMB << 20
+	content := data.Pattern{Seed: uint64(*seed), Size: size}
+	var writeTime, coldTime, warmTime time.Duration
+	err := tb.Run("vread-sim", 24*time.Hour, func(p *sim.Proc) error {
+		start := tb.C.Env.Now()
+		if err := tb.Client.WriteFile(p, "/sim/file", content); err != nil {
+			return err
+		}
+		writeTime = tb.C.Env.Now() - start
+
+		tb.DropAllCaches()
+		tb.C.Reg.MarkWindow(tb.C.Env.Now())
+		start = tb.C.Env.Now()
+		if err := readAll(p, tb, *bufferKB<<10); err != nil {
+			return err
+		}
+		coldTime = tb.C.Env.Now() - start
+
+		start = tb.C.Env.Now()
+		if err := readAll(p, tb, *bufferKB<<10); err != nil {
+			return err
+		}
+		warmTime = tb.C.Env.Now() - start
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	sys := "vanilla"
+	if opt.VRead {
+		sys = "vRead"
+	}
+	fmt.Printf("scenario=%s system=%s freq=%.1fGHz hogs=%v size=%dMB buffer=%dKB\n\n",
+		place, sys, float64(tb.Opt.FreqHz)/1e9, opt.ExtraVMs, *sizeMB, *bufferKB)
+	fmt.Printf("write:      %10.1f MB/s  (%v)\n", metrics.Throughput(size, writeTime), writeTime.Round(time.Millisecond))
+	fmt.Printf("cold read:  %10.1f MB/s  (%v)\n", metrics.Throughput(size, coldTime), coldTime.Round(time.Millisecond))
+	fmt.Printf("warm read:  %10.1f MB/s  (%v)\n\n", metrics.Throughput(size, warmTime), warmTime.Round(time.Millisecond))
+
+	now := tb.C.Env.Now()
+	fmt.Println("CPU utilization during reads (fraction of one core):")
+	for _, entity := range tb.C.Reg.Entities() {
+		u := tb.C.Reg.EntityUtilization(entity, now, opt.FreqHz)
+		if u < 0.001 {
+			continue
+		}
+		fmt.Printf("%-22s %6.1f%%\n", entity, u*100)
+		fmt.Print(metrics.FormatBreakdown(tb.C.Reg.Breakdown(entity, now, opt.FreqHz)))
+	}
+	if tb.Mgr != nil {
+		st := tb.Mgr.Daemon("client").Stats()
+		fmt.Printf("\nvRead daemon: opens=%d misses=%d localMB=%d remoteMB=%d\n",
+			st.Opens, st.OpenMisses, st.BytesLocal>>20, st.BytesRemote>>20)
+	}
+	return nil
+}
+
+func readAll(p *sim.Proc, tb *vread.Testbed, buf int64) error {
+	r, err := tb.Client.Open(p, "/sim/file")
+	if err != nil {
+		return err
+	}
+	defer r.Close(p)
+	for {
+		if _, err := r.Read(p, buf); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module vread
+
+go 1.22

@@ -1,0 +1,246 @@
+// Package cluster assembles the simulated testbed: hosts (CPU, disk, host
+// page cache, NIC) and VMs (vCPU + vhost threads, virtio devices, guest page
+// cache, disk-image file system, guest kernel), wired to the shared LAN
+// fabric — the machinery of the paper's Figure 10 setups.
+package cluster
+
+import (
+	"fmt"
+
+	"vread/internal/cpusched"
+	"vread/internal/fsim"
+	"vread/internal/guest"
+	"vread/internal/metrics"
+	"vread/internal/netsim"
+	"vread/internal/sim"
+	"vread/internal/storage"
+	"vread/internal/virtio"
+)
+
+// Params collects every subsystem's configuration. Zero values reproduce the
+// paper's testbed: quad-core hosts, 16 GB RAM, SSD, 10 Gbps RoCE LAN, 2 GB
+// VMs, KVM with vhost-net on and vhost-blk off.
+type Params struct {
+	// Cores per host. Default 4.
+	Cores int
+	// FreqHz is the host clock. Default 2.0 GHz (the paper sweeps
+	// 1.6/2.0/3.2 via cpufreq-set).
+	FreqHz int64
+	// HostCacheBytes is the host page cache serving loop-mounted image
+	// reads. Default 12 GiB (16 GB host minus VMs and host overhead is
+	// generous; the daemon competes with nothing else for it).
+	HostCacheBytes int64
+	// GuestCacheBytes is each VM's page cache. Default 1.5 GiB (2 GB VM).
+	GuestCacheBytes int64
+	// CacheChunkBytes is simulation cache granularity. Default 64 KiB.
+	CacheChunkBytes int64
+
+	Sched  cpusched.Config
+	Net    netsim.Config
+	Virtio virtio.Config
+	Guest  guest.Config
+	Disk   storage.DiskConfig
+}
+
+// WithDefaults fills zero fields.
+func (p Params) WithDefaults() Params {
+	if p.Cores == 0 {
+		p.Cores = 4
+	}
+	if p.FreqHz == 0 {
+		p.FreqHz = 2_000_000_000
+	}
+	if p.HostCacheBytes == 0 {
+		p.HostCacheBytes = 12 << 30
+	}
+	if p.GuestCacheBytes == 0 {
+		p.GuestCacheBytes = 3 << 29 // 1.5 GiB
+	}
+	if p.CacheChunkBytes == 0 {
+		p.CacheChunkBytes = 64 << 10
+	}
+	return p
+}
+
+// Cluster is the whole simulated testbed.
+type Cluster struct {
+	Env     *sim.Env
+	Reg     *metrics.Registry
+	Fabric  *netsim.Fabric
+	Network *guest.Network
+	Params  Params
+
+	hosts  map[string]*Host
+	vms    map[string]*VM
+	nextID int64
+}
+
+// Host is one physical machine.
+type Host struct {
+	Name    string
+	Cluster *Cluster
+	CPU     *cpusched.CPU
+	Disk    *storage.Disk
+	Cache   *storage.PageCache // host page cache (loop-mount reads)
+	NIC     *netsim.NIC
+	Softirq *cpusched.Thread
+	VMs     []*VM
+}
+
+// VM is one virtual machine.
+type VM struct {
+	Name    string
+	Host    *Host
+	ImageID int64 // namespaces this VM's inodes in the host page cache
+	VCPU    *cpusched.Thread
+	Vhost   *cpusched.Thread
+	IOTh    *cpusched.Thread
+	NetDev  *virtio.NetDev
+	BlkDev  *virtio.BlkDev
+	Cache   *storage.PageCache // guest page cache
+	FS      *fsim.FS           // file system inside the disk image
+	Kernel  *guest.Kernel
+}
+
+// New creates an empty cluster.
+func New(seed int64, params Params) *Cluster {
+	params = params.WithDefaults()
+	env := sim.NewEnv(seed)
+	reg := metrics.NewRegistry()
+	return &Cluster{
+		Env:     env,
+		Reg:     reg,
+		Fabric:  netsim.NewFabric(env, params.Net),
+		Network: guest.NewNetwork(env),
+		Params:  params,
+	}
+}
+
+// AddHost creates a host with its CPU, SSD, page cache and NIC.
+func (c *Cluster) AddHost(name string) *Host {
+	if c.hosts == nil {
+		c.hosts = make(map[string]*Host)
+	}
+	if _, ok := c.hosts[name]; ok {
+		panic(fmt.Sprintf("cluster: duplicate host %q", name))
+	}
+	cpu := cpusched.New(c.Env, c.Reg, c.Params.Cores, c.Params.FreqHz, c.Params.Sched)
+	h := &Host{
+		Name:    name,
+		Cluster: c,
+		CPU:     cpu,
+		Disk:    storage.NewDisk(c.Env, name+":ssd", c.Params.Disk),
+		Cache:   storage.NewPageCache(name+":pagecache", c.Params.HostCacheBytes, c.Params.CacheChunkBytes),
+		Softirq: cpu.NewThread(name+":softirq", name),
+	}
+	h.NIC = c.Fabric.AddHost(name, h.Softirq)
+	c.hosts[name] = h
+	return h
+}
+
+// Host returns a host by name, or nil.
+func (c *Cluster) Host(name string) *Host { return c.hosts[name] }
+
+// VM returns a VM by name, or nil.
+func (c *Cluster) VM(name string) *VM { return c.vms[name] }
+
+// VMs returns the registry of all VMs.
+func (c *Cluster) AllVMs() map[string]*VM { return c.vms }
+
+// AddVM creates a 1-vCPU / 2 GB VM on the host. appTag is the metrics tag
+// for application-attributed cycles (metrics.TagClientApp or
+// metrics.TagDatanodeApp).
+func (h *Host) AddVM(name, appTag string) *VM {
+	c := h.Cluster
+	if c.vms == nil {
+		c.vms = make(map[string]*VM)
+	}
+	if _, ok := c.vms[name]; ok {
+		panic(fmt.Sprintf("cluster: duplicate VM %q", name))
+	}
+	c.nextID++
+	vm := &VM{
+		Name:    name,
+		Host:    h,
+		ImageID: c.nextID,
+		VCPU:    h.CPU.NewThread(name+":vcpu", name),
+		Vhost:   h.CPU.NewThread(name+":vhost", name),
+		IOTh:    h.CPU.NewThread(name+":iothread", name),
+		Cache:   storage.NewPageCache(name+":guestcache", c.Params.GuestCacheBytes, c.Params.CacheChunkBytes),
+		FS:      fsim.New(name + ":image"),
+	}
+	vm.NetDev = virtio.NewNetDev(c.Env, c.Params.Virtio, name, h.Name, vm.VCPU, vm.Vhost, h.NIC, c.Fabric)
+	vm.BlkDev = virtio.NewBlkDev(c.Env, c.Params.Virtio, name, vm.VCPU, vm.IOTh, h.Disk)
+	vm.Kernel = guest.NewKernel(c.Env, c.Params.Guest, guest.KernelParams{
+		Name:    name,
+		AppTag:  appTag,
+		VCPU:    vm.VCPU,
+		NetDev:  vm.NetDev,
+		BlkDev:  vm.BlkDev,
+		Cache:   vm.Cache,
+		FS:      vm.FS,
+		Network: c.Network,
+	})
+	vm.NetDev.Start()
+	vm.BlkDev.Start()
+	h.VMs = append(h.VMs, vm)
+	c.vms[name] = vm
+	return vm
+}
+
+// HostCacheObject namespaces a VM-image inode into the host page cache's
+// object space (what the host caches when the daemon reads the image).
+func (vm *VM) HostCacheObject(ino fsim.Ino) int64 {
+	return vm.ImageID<<32 | int64(ino)
+}
+
+// MigrateVM live-migrates a VM to another host (§6 of the paper): new
+// vCPU/vhost/iothread threads on the destination CPU, fresh virtio devices,
+// and a fabric re-registration. The disk image travels logically (the
+// paper's centralized NFS/iSCSI storage); the guest page cache moves with
+// the VM's memory. The VM must be quiesced (no in-flight I/O).
+func (c *Cluster) MigrateVM(vmName string, dst *Host) {
+	vm := c.vms[vmName]
+	if vm == nil {
+		panic(fmt.Sprintf("cluster: unknown VM %q", vmName))
+	}
+	if vm.Host == dst {
+		return
+	}
+	src := vm.Host
+	vm.NetDev.Stop()
+	vm.BlkDev.Stop()
+	c.Fabric.UnregisterVM(vmName)
+
+	vm.Host = dst
+	vm.VCPU = dst.CPU.NewThread(vmName+":vcpu", vmName)
+	vm.Vhost = dst.CPU.NewThread(vmName+":vhost", vmName)
+	vm.IOTh = dst.CPU.NewThread(vmName+":iothread", vmName)
+	vm.NetDev = virtio.NewNetDev(c.Env, c.Params.Virtio, vmName, dst.Name, vm.VCPU, vm.Vhost, dst.NIC, c.Fabric)
+	vm.BlkDev = virtio.NewBlkDev(c.Env, c.Params.Virtio, vmName, vm.VCPU, vm.IOTh, dst.Disk)
+	vm.Kernel.Migrate(vm.VCPU, vm.NetDev, vm.BlkDev)
+	vm.NetDev.Start()
+	vm.BlkDev.Start()
+
+	for i, v := range src.VMs {
+		if v == vm {
+			src.VMs = append(src.VMs[:i], src.VMs[i+1:]...)
+			break
+		}
+	}
+	dst.VMs = append(dst.VMs, vm)
+}
+
+// Go starts a simulated process (convenience passthrough).
+func (c *Cluster) Go(name string, fn func(p *sim.Proc)) *sim.Proc {
+	return c.Env.Go(name, fn)
+}
+
+// Close shuts the cluster's devices and aborts residual processes.
+func (c *Cluster) Close() {
+	for _, vm := range c.vms {
+		vm.NetDev.Stop()
+		vm.BlkDev.Stop()
+	}
+	c.Env.Close()
+}

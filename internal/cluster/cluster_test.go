@@ -1,0 +1,131 @@
+package cluster_test
+
+import (
+	"testing"
+	"time"
+
+	"vread/internal/cluster"
+	"vread/internal/core"
+	"vread/internal/data"
+	"vread/internal/hdfs"
+	"vread/internal/metrics"
+	"vread/internal/sim"
+)
+
+func TestBuildTopology(t *testing.T) {
+	c := cluster.New(1, cluster.Params{})
+	defer c.Close()
+	h1 := c.AddHost("host1")
+	h2 := c.AddHost("host2")
+	vm1 := h1.AddVM("a", metrics.TagClientApp)
+	h2.AddVM("b", metrics.TagDatanodeApp)
+
+	if c.Host("host1") != h1 || c.Host("nope") != nil {
+		t.Fatal("host lookup broken")
+	}
+	if c.VM("a") != vm1 || c.VM("nope") != nil {
+		t.Fatal("vm lookup broken")
+	}
+	if got, _ := c.Fabric.HostOf("a"); got != "host1" {
+		t.Fatalf("fabric placement = %q", got)
+	}
+	if len(h1.VMs) != 1 || len(h2.VMs) != 1 {
+		t.Fatal("host VM lists wrong")
+	}
+	// Host-cache object namespacing: distinct VMs never collide.
+	if vm1.HostCacheObject(5) == c.VM("b").HostCacheObject(5) {
+		t.Fatal("host cache objects collide across VMs")
+	}
+}
+
+func TestDuplicateNamesPanic(t *testing.T) {
+	c := cluster.New(1, cluster.Params{})
+	defer c.Close()
+	h := c.AddHost("h")
+	h.AddVM("x", metrics.TagClientApp)
+	for _, fn := range []func(){
+		func() { c.AddHost("h") },
+		func() { h.AddVM("x", metrics.TagClientApp) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on duplicate name")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestMigrateVM moves a datanode VM between hosts and checks reads keep
+// working through both the vanilla and vRead paths (§6's compatibility).
+func TestMigrateVM(t *testing.T) {
+	c := cluster.New(1, cluster.Params{})
+	defer c.Close()
+	h1 := c.AddHost("host1")
+	h2 := c.AddHost("host2")
+	clientVM := h1.AddVM("client", metrics.TagClientApp)
+	dnVM := h1.AddVM("dn1", metrics.TagDatanodeApp)
+
+	nn := hdfs.NewNameNode(c.Env, hdfs.Config{BlockSize: 4 << 20}, c.Fabric)
+	hdfs.StartDataNode(c.Env, nn, dnVM.Kernel)
+	cl := hdfs.NewClient(c.Env, nn, clientVM.Kernel)
+	mgr := core.NewManager(c, nn, core.Config{})
+	mgr.MountDatanode("dn1")
+	cl.SetBlockReader(mgr.EnableClient("client"))
+
+	content := data.Pattern{Seed: 61, Size: 2 << 20}
+	phase := 0
+	c.Go("driver", func(p *sim.Proc) {
+		if err := cl.WriteFile(p, "/f", content); err != nil {
+			t.Error(err)
+			return
+		}
+		phase = 1
+	})
+	if err := c.Env.RunUntil(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if phase != 1 {
+		t.Fatal("write did not finish")
+	}
+
+	// Migrate the datanode VM to host2 (quiesced) and update vRead.
+	c.MigrateVM("dn1", h2)
+	mgr.DatanodeMigrated("dn1", "host1")
+	if got, _ := c.Fabric.HostOf("dn1"); got != "host2" {
+		t.Fatalf("fabric says dn1 on %q after migration", got)
+	}
+	if dnVM.Host != h2 || len(h1.VMs) != 1 || len(h2.VMs) != 1 {
+		t.Fatal("cluster bookkeeping wrong after migration")
+	}
+
+	// The read is now remote and must go daemon-to-daemon over RDMA.
+	c.Go("reader", func(p *sim.Proc) {
+		r, err := cl.Open(p, "/f")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer r.Close(p)
+		got, err := r.ReadFull(p, content.Size)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !data.Equal(got, data.NewSlice(content)) {
+			t.Error("post-migration read corrupted")
+		}
+		phase = 2
+	})
+	if err := c.Env.RunUntil(c.Env.Now() + 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if phase != 2 {
+		t.Fatal("post-migration read did not finish")
+	}
+	if st := mgr.Daemon("client").Stats(); st.BytesRemote != content.Size {
+		t.Fatalf("remote bytes after migration = %d, want %d", st.BytesRemote, content.Size)
+	}
+}

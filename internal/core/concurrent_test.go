@@ -1,0 +1,142 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vread/internal/core"
+	"vread/internal/data"
+	"vread/internal/hdfs"
+	"vread/internal/sim"
+)
+
+// TestConcurrentReadersShareOneRing: multiple processes in the client VM
+// read different files through the same vRead ring simultaneously; the
+// per-ring serialization must keep every stream intact.
+func TestConcurrentReadersShareOneRing(t *testing.T) {
+	fx := newFixture(t, hdfs.Config{}, core.Config{})
+	defer fx.c.Close()
+
+	const files = 3
+	contents := make([]data.Pattern, files)
+	for i := range contents {
+		contents[i] = data.Pattern{Seed: uint64(100 + i), Size: 3 << 20}
+		fx.write(t, fmt.Sprintf("/f%d", i), contents[i])
+	}
+
+	okCount := 0
+	for i := 0; i < files; i++ {
+		i := i
+		fx.c.Go(fmt.Sprintf("reader%d", i), func(p *sim.Proc) {
+			r, err := fx.cl.Open(p, fmt.Sprintf("/f%d", i))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer r.Close(p)
+			// Interleave many small positional reads across readers.
+			for off := int64(0); off < contents[i].Size; off += 256 << 10 {
+				s, err := r.ReadAt(p, off, 64<<10)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				want := data.NewSlice(contents[i]).Sub(off, 64<<10)
+				if !data.Equal(s, want) {
+					t.Errorf("reader %d: bytes differ at %d", i, off)
+					return
+				}
+			}
+			okCount++
+		})
+	}
+	if err := fx.c.Env.RunUntil(fx.c.Env.Now() + 10*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if okCount != files {
+		t.Fatalf("only %d/%d readers finished", okCount, files)
+	}
+	if fx.dn1.ServedBytes() != 0 {
+		t.Fatal("some reads leaked to the datanode process")
+	}
+}
+
+// TestVReadSurvivesBlockDeletionBehindMount: the namenode deletes a file;
+// the daemon's dentry refresh drops the block, and a subsequent open falls
+// back (and then fails at the HDFS level, since the file is gone).
+func TestVReadSurvivesBlockDeletionBehindMount(t *testing.T) {
+	fx := newFixture(t, hdfs.Config{}, core.Config{})
+	defer fx.c.Close()
+	content := data.Pattern{Seed: 3, Size: 1 << 20}
+	fx.write(t, "/doomed", content)
+
+	fx.run(t, 2*time.Minute, "delete-then-read", func(p *sim.Proc) {
+		if err := fx.cl.DeleteFile(p, "/doomed"); err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(10 * time.Millisecond) // let the refresh land
+		if _, err := fx.cl.Open(p, "/doomed"); err == nil {
+			t.Error("open of deleted file succeeded")
+		}
+	})
+	mount := fx.mgr.Mount("host1", "dn1")
+	if _, ok := mount.Lookup(hdfs.BlockPath(1)); ok {
+		t.Fatal("deleted block still visible in the daemon mount")
+	}
+}
+
+// TestRemoteWindowing: a remote read far larger than the remote window must
+// arrive complete and in order (the window loop of readRemote).
+func TestRemoteWindowing(t *testing.T) {
+	fx := newFixture(t, hdfs.Config{}, core.Config{RemoteWindowBytes: 256 << 10})
+	defer fx.c.Close()
+	fx.nn.SetPlacementPolicy(func(string, int) []string { return []string{"dn2"} })
+	content := data.Pattern{Seed: 8, Size: 5 << 20} // 20 windows
+	fx.write(t, "/big", content)
+	fx.run(t, 10*time.Minute, "windowed-read", func(p *sim.Proc) {
+		r, err := fx.cl.Open(p, "/big")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer r.Close(p)
+		got, err := r.ReadFull(p, content.Size)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !data.Equal(got, data.NewSlice(content)) {
+			t.Error("windowed remote read corrupted")
+		}
+	})
+	if st := fx.mgr.Daemon("client").Stats(); st.BytesRemote != content.Size {
+		t.Fatalf("remote bytes = %d", st.BytesRemote)
+	}
+}
+
+// TestRingGeometryOverride: custom slot/batch settings flow through the
+// manager into a working ring.
+func TestRingGeometryOverride(t *testing.T) {
+	fx := newFixture(t, hdfs.Config{}, core.Config{SlotBytes: 1 << 10, EventBatchSlots: 8, RingSlots: 128})
+	defer fx.c.Close()
+	content := data.Pattern{Seed: 4, Size: 2 << 20}
+	fx.write(t, "/geo", content)
+	fx.run(t, 10*time.Minute, "geo-read", func(p *sim.Proc) {
+		r, err := fx.cl.Open(p, "/geo")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer r.Close(p)
+		got, err := r.ReadFull(p, content.Size)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !data.Equal(got, data.NewSlice(content)) {
+			t.Error("read corrupted with custom ring geometry")
+		}
+	})
+}

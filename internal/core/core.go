@@ -1,0 +1,165 @@
+// Package core implements vRead, the paper's contribution: a hypervisor-
+// level shortcut that lets HDFS client VMs read block files directly from
+// datanode VMs' disk images.
+//
+// The three components of §3 map onto:
+//
+//   - lib.go — libvread, the user-level library (Table 1's API plus the
+//     block-name → descriptor hash) exposed to HDFS through the
+//     hdfs.BlockReader hook (the re-implemented read1/read2 call it);
+//   - ring.go — the guest↔daemon shared-memory channel: a POSIX-SHM ring of
+//     1024 × 4 KiB slots surfaced as a virtual PCI device, with per-slot
+//     spinlocks and eventfd doorbells translated to virtual interrupts;
+//   - daemon.go / remote.go — the per-VM hypervisor daemon: the datanode-ID →
+//     mount-point hash over read-only loop mounts of datanode images, host-
+//     page-cache-backed local reads, dentry refresh on namenode block events,
+//     and daemon-to-daemon remote reads over RDMA (RoCE) or TCP.
+//
+// manager.go assembles all of it over a cluster and implements the
+// BlockEventListener trigger (§3.2's namenode-driven synchronization) and
+// datanode VM migration support (§6).
+package core
+
+import "time"
+
+// Transport selects the daemon-to-daemon remote transport.
+type Transport int
+
+// Remote transports.
+const (
+	// TransportRDMA uses RoCE verbs: near-zero CPU, data DMA'd straight
+	// into the requesting host's ring memory (the paper's preferred mode).
+	TransportRDMA Transport = iota
+	// TransportTCP uses a user-level TCP exchange between daemons — works
+	// everywhere but burns more CPU than vhost-net (Figure 8's finding).
+	TransportTCP
+)
+
+func (t Transport) String() string {
+	if t == TransportTCP {
+		return "tcp"
+	}
+	return "rdma"
+}
+
+// Config holds vRead parameters. Zero values select the paper's prototype
+// defaults.
+type Config struct {
+	// RingSlots is the number of ring buffer slots. Default 1024.
+	RingSlots int
+	// SlotBytes is the slot size. Default 4096.
+	SlotBytes int64
+	// SlotLockCycles is the pthread spinlock cost per slot access (paid on
+	// both sides). Default 120.
+	SlotLockCycles int64
+	// EventFdCycles is one doorbell (eventfd write + wakeup). Default 2500.
+	EventFdCycles int64
+	// GuestIRQCycles is the guest-side virtual interrupt (driver
+	// translation of the eventfd). Default 2500.
+	GuestIRQCycles int64
+	// EventBatchSlots is how many slots ride one doorbell. Default 32.
+	EventBatchSlots int
+	// LibCallCycles is the guest-side cost of one libvread call (JNI + hash
+	// lookup). Default 800.
+	LibCallCycles int64
+	// OpenCycles is daemon-side vRead_open processing. Default 6000.
+	OpenCycles int64
+	// LoopReadCyclesPerKB is the daemon's cost of reading the mounted image
+	// through the host FS (loop device + page cache copy into the ring).
+	// Default 700.
+	LoopReadCyclesPerKB int64
+	// DiskSubmitCycles is per host disk I/O submission. Default 6000.
+	DiskSubmitCycles int64
+	// RemoteChunkBytes is the RDMA write / TCP segment unit. Default 64 KiB.
+	RemoteChunkBytes int64
+	// RemoteWindowBytes bounds in-flight remote data per request. Default 1 MiB.
+	RemoteWindowBytes int64
+	// TCPSegCycles is per-segment user-level TCP cost on each daemon
+	// (syscall + user/kernel crossing; deliberately above vhost-net's
+	// per-frame cost, matching §5.1's finding). Default 9000.
+	TCPSegCycles int64
+	// Transport selects the remote path. Default RDMA.
+	Transport Transport
+	// DirectDiskBypass enables §6's alternative: read the image via the
+	// raw device, skipping the host FS — no page cache benefit and extra
+	// per-request address translation.
+	DirectDiskBypass bool
+	// AddrTranslateCycles is the per-request triple address translation
+	// cost when bypassing the host FS. Default 4500.
+	AddrTranslateCycles int64
+	// RefreshCycles is the daemon-side cost of one dentry/inode refresh
+	// (vRead_update). Default 5000.
+	RefreshCycles int64
+	// GuestCopyCyclesPerKB is the guest-side cost of copying ring slots
+	// into the application buffer through JNI (libvread is C, HDFS is
+	// Java, so every slot crosses the JNI boundary). Default 1600.
+	GuestCopyCyclesPerKB int64
+	// OpenTimeout bounds how long vRead_open waits before falling back to
+	// the vanilla path. Default 50ms.
+	OpenTimeout time.Duration
+	// HostReadaheadBytes is the host file system's sequential readahead
+	// window over loop-mounted images. Default 1 MiB.
+	HostReadaheadBytes int64
+}
+
+// WithDefaults fills zero fields.
+func (c Config) WithDefaults() Config {
+	if c.RingSlots == 0 {
+		c.RingSlots = 1024
+	}
+	if c.SlotBytes == 0 {
+		c.SlotBytes = 4096
+	}
+	if c.SlotLockCycles == 0 {
+		c.SlotLockCycles = 120
+	}
+	if c.EventFdCycles == 0 {
+		c.EventFdCycles = 2500
+	}
+	if c.GuestIRQCycles == 0 {
+		c.GuestIRQCycles = 2500
+	}
+	if c.EventBatchSlots == 0 {
+		c.EventBatchSlots = 32
+	}
+	if c.LibCallCycles == 0 {
+		c.LibCallCycles = 800
+	}
+	if c.OpenCycles == 0 {
+		c.OpenCycles = 6000
+	}
+	if c.LoopReadCyclesPerKB == 0 {
+		c.LoopReadCyclesPerKB = 700
+	}
+	if c.DiskSubmitCycles == 0 {
+		c.DiskSubmitCycles = 6000
+	}
+	if c.RemoteChunkBytes == 0 {
+		c.RemoteChunkBytes = 64 << 10
+	}
+	if c.RemoteWindowBytes == 0 {
+		c.RemoteWindowBytes = 1 << 20
+	}
+	if c.TCPSegCycles == 0 {
+		c.TCPSegCycles = 9000
+	}
+	if c.AddrTranslateCycles == 0 {
+		c.AddrTranslateCycles = 4500
+	}
+	if c.RefreshCycles == 0 {
+		c.RefreshCycles = 5000
+	}
+	if c.GuestCopyCyclesPerKB == 0 {
+		c.GuestCopyCyclesPerKB = 1600
+	}
+	if c.OpenTimeout == 0 {
+		c.OpenTimeout = 50 * time.Millisecond
+	}
+	if c.HostReadaheadBytes == 0 {
+		c.HostReadaheadBytes = 1 << 20
+	}
+	return c
+}
+
+func (c Config) loopReadCycles(n int64) int64  { return n * c.LoopReadCyclesPerKB / 1024 }
+func (c Config) guestCopyCycles(n int64) int64 { return n * c.GuestCopyCyclesPerKB / 1024 }

@@ -1,0 +1,451 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"vread/internal/cluster"
+	"vread/internal/core"
+	"vread/internal/data"
+	"vread/internal/hdfs"
+	"vread/internal/metrics"
+	"vread/internal/sim"
+)
+
+// fixture: client+dn1 on host1, dn2 on host2, vRead enabled for the client.
+type fixture struct {
+	c   *cluster.Cluster
+	nn  *hdfs.NameNode
+	dn1 *hdfs.DataNode
+	dn2 *hdfs.DataNode
+	cl  *hdfs.Client
+	mgr *core.Manager
+	lib *core.Lib
+}
+
+func newFixture(t *testing.T, hcfg hdfs.Config, vcfg core.Config) *fixture {
+	t.Helper()
+	if hcfg.BlockSize == 0 {
+		hcfg.BlockSize = 4 << 20
+	}
+	c := cluster.New(1, cluster.Params{})
+	h1 := c.AddHost("host1")
+	h2 := c.AddHost("host2")
+	clientVM := h1.AddVM("client", metrics.TagClientApp)
+	dn1VM := h1.AddVM("dn1", metrics.TagDatanodeApp)
+	dn2VM := h2.AddVM("dn2", metrics.TagDatanodeApp)
+
+	nn := hdfs.NewNameNode(c.Env, hcfg, c.Fabric)
+	dn1 := hdfs.StartDataNode(c.Env, nn, dn1VM.Kernel)
+	dn2 := hdfs.StartDataNode(c.Env, nn, dn2VM.Kernel)
+	cl := hdfs.NewClient(c.Env, nn, clientVM.Kernel)
+
+	mgr := core.NewManager(c, nn, vcfg)
+	mgr.MountDatanode("dn1")
+	mgr.MountDatanode("dn2")
+	lib := mgr.EnableClient("client")
+	cl.SetBlockReader(lib)
+	return &fixture{c: c, nn: nn, dn1: dn1, dn2: dn2, cl: cl, mgr: mgr, lib: lib}
+}
+
+func (fx *fixture) run(t *testing.T, d time.Duration, name string, fn func(p *sim.Proc)) {
+	t.Helper()
+	done := false
+	fx.c.Go(name, func(p *sim.Proc) {
+		fn(p)
+		done = true
+	})
+	if err := fx.c.Env.RunUntil(fx.c.Env.Now() + d); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatalf("%s did not finish within %v", name, d)
+	}
+}
+
+func (fx *fixture) write(t *testing.T, path string, content data.Content) {
+	t.Helper()
+	fx.run(t, 120*time.Second, "writer", func(p *sim.Proc) {
+		if err := fx.cl.WriteFile(p, path, content); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestColocatedVReadServesWithoutDatanode(t *testing.T) {
+	fx := newFixture(t, hdfs.Config{}, core.Config{})
+	defer fx.c.Close()
+	content := data.Pattern{Seed: 41, Size: 10 << 20}
+	fx.write(t, "/f", content)
+
+	fx.run(t, 120*time.Second, "reader", func(p *sim.Proc) {
+		r, err := fx.cl.Open(p, "/f")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer r.Close(p)
+		got, err := r.ReadFull(p, content.Size)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !data.Equal(got, data.NewSlice(content)) {
+			t.Error("vRead bytes differ from written bytes")
+		}
+	})
+	// Every byte came through the daemon; the datanode process streamed none.
+	if fx.dn1.ServedBytes() != 0 {
+		t.Fatalf("datanode streamed %d bytes despite vRead", fx.dn1.ServedBytes())
+	}
+	st := fx.mgr.Daemon("client").Stats()
+	if st.BytesLocal != content.Size {
+		t.Fatalf("daemon served %d local bytes, want %d", st.BytesLocal, content.Size)
+	}
+	if st.OpenMisses != 0 {
+		t.Fatalf("unexpected open misses: %d", st.OpenMisses)
+	}
+	if ls := fx.lib.Stats(); ls.Opens != 3 { // 10 MiB / 4 MiB blocks
+		t.Fatalf("lib opens = %d, want 3", ls.Opens)
+	}
+}
+
+func TestNamenodeEventRefreshesMount(t *testing.T) {
+	fx := newFixture(t, hdfs.Config{}, core.Config{})
+	defer fx.c.Close()
+	fx.write(t, "/f", data.Pattern{Seed: 1, Size: 1 << 20})
+	mount := fx.mgr.Mount("host1", "dn1")
+	if _, ok := mount.Lookup(hdfs.BlockPath(1)); !ok {
+		t.Fatal("new block not visible in mount after namenode event")
+	}
+	if fx.mgr.Refreshes() == 0 {
+		t.Fatal("no refreshes recorded")
+	}
+}
+
+func TestUnmountedDatanodeFallsBack(t *testing.T) {
+	// dn3 exists but its image was never mounted — opens must fall back to
+	// the vanilla socket path and still return correct bytes.
+	fx := newFixture(t, hdfs.Config{}, core.Config{})
+	defer fx.c.Close()
+	dn3VM := fx.c.Host("host1").AddVM("dn3", metrics.TagDatanodeApp)
+	dn3 := hdfs.StartDataNode(fx.c.Env, fx.nn, dn3VM.Kernel)
+	fx.nn.SetPlacementPolicy(func(string, int) []string { return []string{"dn3"} })
+
+	content := data.Pattern{Seed: 77, Size: 2 << 20}
+	fx.write(t, "/f", content)
+	fx.run(t, 120*time.Second, "reader", func(p *sim.Proc) {
+		r, err := fx.cl.Open(p, "/f")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer r.Close(p)
+		got, err := r.ReadFull(p, content.Size)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !data.Equal(got, data.NewSlice(content)) {
+			t.Error("fallback bytes differ")
+		}
+	})
+	if fx.lib.Stats().OpenFallbacks == 0 {
+		t.Fatal("no fallbacks recorded")
+	}
+	if dn3.ServedBytes() != content.Size {
+		t.Fatalf("datanode streamed %d, want full %d via fallback", dn3.ServedBytes(), content.Size)
+	}
+}
+
+func TestReReadHitsHostCache(t *testing.T) {
+	fx := newFixture(t, hdfs.Config{}, core.Config{})
+	defer fx.c.Close()
+	content := data.Pattern{Seed: 5, Size: 8 << 20}
+	fx.write(t, "/f", content)
+
+	var cold, warm time.Duration
+	var reads1 int64
+	fx.run(t, 240*time.Second, "reader", func(p *sim.Proc) {
+		// Purge everything the write left behind.
+		fx.c.Host("host1").Cache.DropAll()
+		fx.c.VM("dn1").Kernel.DropCaches()
+		r, err := fx.cl.Open(p, "/f")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer r.Close(p)
+		start := fx.c.Env.Now()
+		if _, err := r.ReadFull(p, content.Size); err != nil {
+			t.Error(err)
+			return
+		}
+		cold = fx.c.Env.Now() - start
+		reads1 = fx.c.Host("host1").Disk.Stats().Reads
+
+		if err := r.Seek(p, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		start = fx.c.Env.Now()
+		if _, err := r.ReadFull(p, content.Size); err != nil {
+			t.Error(err)
+			return
+		}
+		warm = fx.c.Env.Now() - start
+	})
+	if got := fx.c.Host("host1").Disk.Stats().Reads; got != reads1 {
+		t.Fatalf("re-read touched the disk (%d → %d reads)", reads1, got)
+	}
+	if warm >= cold/2 {
+		t.Fatalf("re-read %v not much faster than cold read %v", warm, cold)
+	}
+}
+
+func TestRemoteReadRDMA(t *testing.T) {
+	fx := newFixture(t, hdfs.Config{}, core.Config{Transport: core.TransportRDMA})
+	defer fx.c.Close()
+	fx.nn.SetPlacementPolicy(func(string, int) []string { return []string{"dn2"} })
+	content := data.Pattern{Seed: 9, Size: 6 << 20}
+	fx.write(t, "/f", content)
+
+	fx.c.Reg.MarkWindow(fx.c.Env.Now())
+	fx.run(t, 240*time.Second, "reader", func(p *sim.Proc) {
+		r, err := fx.cl.Open(p, "/f")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer r.Close(p)
+		got, err := r.ReadFull(p, content.Size)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !data.Equal(got, data.NewSlice(content)) {
+			t.Error("remote vRead bytes differ")
+		}
+	})
+	st := fx.mgr.Daemon("client").Stats()
+	if st.BytesRemote != content.Size {
+		t.Fatalf("remote bytes = %d, want %d", st.BytesRemote, content.Size)
+	}
+	if fx.dn2.ServedBytes() != 0 {
+		t.Fatal("datanode process streamed bytes despite remote vRead")
+	}
+	// RDMA CPU charged on both daemon entities; datanode side (active
+	// pusher) pays more than the client side.
+	cliRDMA := fx.c.Reg.WindowCycles(core.DaemonEntity("host1"), metrics.TagRDMA)
+	dnRDMA := fx.c.Reg.WindowCycles(core.DaemonEntity("host2"), metrics.TagRDMA)
+	if cliRDMA == 0 || dnRDMA == 0 {
+		t.Fatalf("rdma cycles: client %d dn %d", cliRDMA, dnRDMA)
+	}
+	if dnRDMA <= cliRDMA {
+		t.Fatalf("active-push model: datanode rdma %d should exceed client %d", dnRDMA, cliRDMA)
+	}
+	// No vhost-net involvement in the data path.
+	if fx.c.Reg.WindowCycles("client", metrics.TagVhostNet) != 0 {
+		t.Fatal("vhost-net cycles charged during remote vRead")
+	}
+}
+
+func TestRemoteReadTCPCostsMoreThanRDMA(t *testing.T) {
+	measure := func(tr core.Transport) (int64, bool) {
+		fx := newFixture(t, hdfs.Config{}, core.Config{Transport: tr})
+		defer fx.c.Close()
+		fx.nn.SetPlacementPolicy(func(string, int) []string { return []string{"dn2"} })
+		content := data.Pattern{Seed: 9, Size: 4 << 20}
+		fx.write(t, "/f", content)
+		fx.c.Reg.MarkWindow(fx.c.Env.Now())
+		okRead := true
+		fx.run(t, 240*time.Second, "reader", func(p *sim.Proc) {
+			r, err := fx.cl.Open(p, "/f")
+			if err != nil {
+				okRead = false
+				return
+			}
+			defer r.Close(p)
+			got, err := r.ReadFull(p, content.Size)
+			if err != nil || !data.Equal(got, data.NewSlice(content)) {
+				okRead = false
+			}
+		})
+		total := fx.c.Reg.WindowEntityCycles(core.DaemonEntity("host1")) +
+			fx.c.Reg.WindowEntityCycles(core.DaemonEntity("host2"))
+		return total, okRead
+	}
+	rdma, ok1 := measure(core.TransportRDMA)
+	tcp, ok2 := measure(core.TransportTCP)
+	if !ok1 || !ok2 {
+		t.Fatalf("reads failed: rdma=%v tcp=%v", ok1, ok2)
+	}
+	if tcp <= rdma {
+		t.Fatalf("TCP daemon cycles %d not above RDMA %d (Fig 8 vs Fig 7)", tcp, rdma)
+	}
+}
+
+func TestVReadFasterThanVanillaColocated(t *testing.T) {
+	read := func(withVRead bool) time.Duration {
+		fx := newFixture(t, hdfs.Config{}, core.Config{})
+		defer fx.c.Close()
+		if !withVRead {
+			fx.cl.SetBlockReader(nil)
+		}
+		content := data.Pattern{Seed: 3, Size: 8 << 20}
+		fx.write(t, "/f", content)
+		fx.c.Host("host1").Cache.DropAll()
+		fx.c.VM("dn1").Kernel.DropCaches()
+		fx.c.VM("client").Kernel.DropCaches()
+		var elapsed time.Duration
+		fx.run(t, 240*time.Second, "reader", func(p *sim.Proc) {
+			r, err := fx.cl.Open(p, "/f")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer r.Close(p)
+			start := fx.c.Env.Now()
+			if _, err := r.ReadFull(p, content.Size); err != nil {
+				t.Error(err)
+			}
+			elapsed = fx.c.Env.Now() - start
+		})
+		return elapsed
+	}
+	vanilla := read(false)
+	vread := read(true)
+	if vread >= vanilla {
+		t.Fatalf("vRead %v not faster than vanilla %v for co-located cold read", vread, vanilla)
+	}
+}
+
+func TestDirectDiskBypassSkipsHostCache(t *testing.T) {
+	fx := newFixture(t, hdfs.Config{}, core.Config{DirectDiskBypass: true})
+	defer fx.c.Close()
+	content := data.Pattern{Seed: 4, Size: 4 << 20}
+	fx.write(t, "/f", content)
+	var reads1, reads2 int64
+	fx.run(t, 240*time.Second, "reader", func(p *sim.Proc) {
+		r, err := fx.cl.Open(p, "/f")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer r.Close(p)
+		if _, err := r.ReadFull(p, content.Size); err != nil {
+			t.Error(err)
+			return
+		}
+		reads1 = fx.c.Host("host1").Disk.Stats().Reads
+		if err := r.Seek(p, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := r.ReadFull(p, content.Size); err != nil {
+			t.Error(err)
+			return
+		}
+		reads2 = fx.c.Host("host1").Disk.Stats().Reads
+	})
+	if reads2 <= reads1 {
+		t.Fatal("bypass mode should re-hit the disk on re-read")
+	}
+}
+
+func TestVFDReuseAndClose(t *testing.T) {
+	fx := newFixture(t, hdfs.Config{}, core.Config{})
+	defer fx.c.Close()
+	content := data.Pattern{Seed: 2, Size: 2 << 20}
+	fx.write(t, "/f", content)
+	fx.run(t, 240*time.Second, "reader", func(p *sim.Proc) {
+		r, err := fx.cl.Open(p, "/f")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Many positional reads on the same block reuse one descriptor.
+		for i := 0; i < 10; i++ {
+			if _, err := r.ReadAt(p, int64(i)*1000, 500); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		r.Close(p)
+	})
+	st := fx.lib.Stats()
+	if st.Opens != 1 {
+		t.Fatalf("lib opens = %d, want 1 (descriptor reuse)", st.Opens)
+	}
+	if st.Reads != 10 {
+		t.Fatalf("lib reads = %d", st.Reads)
+	}
+}
+
+// TestVFDSeekRead exercises the full Table 1 API surface: open, seek, read,
+// close — through libvread's generic path.
+func TestVFDSeekRead(t *testing.T) {
+	fx := newFixture(t, hdfs.Config{}, core.Config{})
+	defer fx.c.Close()
+	content := data.Pattern{Seed: 91, Size: 2 << 20}
+	fx.write(t, "/f", content)
+	fx.run(t, 2*time.Minute, "seeker", func(p *sim.Proc) {
+		vfd, ok := fx.lib.OpenPath(p, "dn1", hdfs.BlockPath(1), "blk_1")
+		if !ok {
+			t.Error("vRead_open failed")
+			return
+		}
+		defer vfd.Close(p)
+		if vfd.Size() != content.Size {
+			t.Errorf("Size = %d", vfd.Size())
+		}
+		// vRead_seek then sequential vRead_reads across the cursor.
+		if pos, err := vfd.Seek(p, 1<<20); err != nil || pos != 1<<20 {
+			t.Errorf("Seek = %d, %v", pos, err)
+			return
+		}
+		a, err := vfd.Read(p, 64<<10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		b, err := vfd.Read(p, 64<<10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !data.Equal(a, data.NewSlice(content).Sub(1<<20, 64<<10)) ||
+			!data.Equal(b, data.NewSlice(content).Sub(1<<20+64<<10, 64<<10)) {
+			t.Error("sequential reads after seek differ")
+		}
+		// Seek out of range is rejected; reads at EOF return empty.
+		if _, err := vfd.Seek(p, content.Size+1); err == nil {
+			t.Error("seek past EOF succeeded")
+		}
+		if _, err := vfd.Seek(p, content.Size); err != nil {
+			t.Error(err)
+			return
+		}
+		if s, err := vfd.Read(p, 100); err != nil || s.Len() != 0 {
+			t.Errorf("read at EOF = %d bytes, %v", s.Len(), err)
+		}
+	})
+}
+
+func TestVReadOutOfRangeRead(t *testing.T) {
+	fx := newFixture(t, hdfs.Config{}, core.Config{})
+	defer fx.c.Close()
+	content := data.Pattern{Seed: 2, Size: 1 << 20}
+	fx.write(t, "/f", content)
+	fx.run(t, 120*time.Second, "reader", func(p *sim.Proc) {
+		r, err := fx.cl.Open(p, "/f")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer r.Close(p)
+		if _, err := r.ReadAt(p, content.Size-10, 20); err == nil {
+			t.Error("read past EOF succeeded")
+		}
+	})
+}

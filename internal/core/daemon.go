@@ -1,0 +1,326 @@
+package core
+
+import (
+	"vread/internal/cluster"
+	"vread/internal/cpusched"
+	"vread/internal/data"
+	"vread/internal/metrics"
+	"vread/internal/sim"
+)
+
+// DaemonStats counts one daemon's activity.
+type DaemonStats struct {
+	Opens       int64
+	OpenMisses  int64 // stale dentry / unknown datanode → vanilla fallback
+	BytesLocal  int64 // served from a local mount
+	BytesRemote int64 // served daemon-to-daemon
+}
+
+// Daemon is the per-VM hypervisor daemon (§3.2): it owns the shared-memory
+// ring of one client VM and serves its vRead requests from mounted datanode
+// images (local) or peer daemons (remote).
+type Daemon struct {
+	cfg    Config
+	mgr    *Manager
+	vm     *cluster.VM // the client VM served
+	host   *cluster.Host
+	thread *cpusched.Thread
+	ring   *ring
+	hr     *hostReader
+	stats  DaemonStats
+}
+
+func newDaemon(mgr *Manager, vm *cluster.VM) *Daemon {
+	thread := vm.Host.CPU.NewThread("vread-daemon:"+vm.Name, DaemonEntity(vm.Host.Name))
+	d := &Daemon{
+		cfg:    mgr.cfg,
+		mgr:    mgr,
+		vm:     vm,
+		host:   vm.Host,
+		thread: thread,
+		ring:   newRing(mgr.env, mgr.cfg),
+		hr:     newHostReader(mgr.cfg, vm.Host, thread),
+	}
+	mgr.env.Go("vread-daemon:"+vm.Name, d.loop)
+	return d
+}
+
+// hostReader is the shared "read a mounted image through the host FS"
+// machinery used by both local daemons and the per-host remote server:
+// host page cache, disk misses, loop-device CPU, and the host file system's
+// sequential readahead.
+type hostReader struct {
+	cfg      Config
+	host     *cluster.Host
+	thread   *cpusched.Thread
+	env      *sim.Env
+	raSeq    map[string]int64
+	raIssued map[string]int64
+	raFlight map[string][]*raWindow
+}
+
+// raWindow tracks one in-flight host readahead I/O.
+type raWindow struct {
+	start, end int64
+	finished   bool
+	done       *sim.Signal
+}
+
+func newHostReader(cfg Config, host *cluster.Host, thread *cpusched.Thread) *hostReader {
+	return &hostReader{
+		cfg: cfg, host: host, thread: thread,
+		env:      host.CPU.Env(),
+		raSeq:    make(map[string]int64),
+		raIssued: make(map[string]int64),
+		raFlight: make(map[string][]*raWindow),
+	}
+}
+
+// read charges the full host-side cost of reading [off, off+n) of the
+// mounted file identified by (obj, key) with snapshot size fileSize.
+func (h *hostReader) read(p *sim.Proc, obj int64, key string, fileSize, off, n int64) {
+	if h.cfg.DirectDiskBypass {
+		// §6: raw device read — no host cache, triple address translation.
+		h.thread.Run(p, h.cfg.AddrTranslateCycles, metrics.TagOthers)
+		h.thread.Run(p, h.cfg.DiskSubmitCycles, metrics.TagDiskRead)
+		h.host.Disk.Read(p, n)
+	} else {
+		_, miss := h.host.Cache.Lookup(obj, off, n)
+		if miss > 0 {
+			h.waitInflight(p, key, off, n)
+			if _, miss = h.host.Cache.Lookup(obj, off, n); miss > 0 {
+				h.thread.Run(p, h.cfg.DiskSubmitCycles, metrics.TagDiskRead)
+				h.host.Disk.Read(p, miss)
+				h.host.Cache.Insert(obj, off, n)
+			}
+		}
+		h.readahead(obj, key, fileSize, off, n)
+	}
+	h.thread.Run(p, h.cfg.loopReadCycles(n), metrics.TagLoopDevice)
+}
+
+// waitInflight blocks until no unfinished readahead window overlaps the
+// range.
+func (h *hostReader) waitInflight(p *sim.Proc, key string, off, n int64) {
+	for {
+		var w *raWindow
+		for _, cand := range h.raFlight[key] {
+			if !cand.finished && cand.start < off+n && off < cand.end {
+				w = cand
+				break
+			}
+		}
+		if w == nil {
+			return
+		}
+		for !w.finished {
+			w.done.Wait(p)
+		}
+	}
+}
+
+// readahead asynchronously pulls the next sequential window into the host
+// page cache.
+func (h *hostReader) readahead(obj int64, key string, fileSize, off, n int64) {
+	end := off + n
+	if off != h.raSeq[key] {
+		// New sequential run: re-arm and forget prior issue bookkeeping
+		// (the cache may have been dropped since the last run).
+		h.raSeq[key] = end
+		h.raIssued[key] = 0
+		return
+	}
+	h.raSeq[key] = end
+	raStart := end
+	if issued := h.raIssued[key]; issued > raStart {
+		raStart = issued
+	}
+	// Keep up to two full windows in flight ahead of the reader.
+	if raStart-end >= 2*h.cfg.HostReadaheadBytes {
+		return
+	}
+	raEnd := raStart + h.cfg.HostReadaheadBytes
+	if raEnd > fileSize {
+		raEnd = fileSize
+	}
+	if raEnd <= raStart {
+		return
+	}
+	win := raEnd - raStart
+	if h.host.Cache.Contains(obj, raStart, win) {
+		h.raIssued[key] = raEnd
+		return
+	}
+	h.thread.Post(h.cfg.DiskSubmitCycles, metrics.TagDiskRead, nil)
+	w := &raWindow{start: raStart, end: raEnd, done: sim.NewSignal(h.env)}
+	h.raFlight[key] = append(h.raFlight[key], w)
+	h.host.Disk.ReadAsync(win, func() {
+		h.host.Cache.Insert(obj, w.start, win)
+		w.finished = true
+		w.done.Broadcast()
+		list := h.raFlight[key]
+		for i, cand := range list {
+			if cand == w {
+				h.raFlight[key] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+	})
+	h.raIssued[key] = raEnd
+}
+
+// Stats returns a copy of the daemon's counters.
+func (d *Daemon) Stats() DaemonStats { return d.stats }
+
+// loop services ring requests, one at a time (the ring serializes).
+func (d *Daemon) loop(p *sim.Proc) {
+	for {
+		req, ok := d.ring.reqs.Get(p)
+		if !ok {
+			return
+		}
+		// Wake from the guest's doorbell.
+		d.thread.Run(p, d.cfg.EventFdCycles, metrics.TagOthers)
+		switch req.kind {
+		case reqOpen:
+			d.handleOpen(p, req)
+		case reqRead:
+			d.handleRead(p, req)
+		}
+	}
+}
+
+// handleOpen resolves a block file against the mount hash (local) or a peer
+// daemon (remote) and replies through the ring.
+func (d *Daemon) handleOpen(p *sim.Proc, req ringReq) {
+	d.thread.Run(p, d.cfg.OpenCycles, metrics.TagOthers)
+	d.stats.Opens++
+	res := openResult{}
+	dnHost, known := d.mgr.fabric().HostOf(req.dn)
+	switch {
+	case !known:
+		// Unknown datanode: fall back.
+	case dnHost == d.host.Name:
+		if m := d.mgr.mount(d.host.Name, req.dn); m != nil {
+			if e, ok := m.Lookup(req.path); ok {
+				res = openResult{ok: true, size: e.Size}
+			}
+		}
+	default:
+		res = d.mgr.remoteOpen(p, d, dnHost, req)
+	}
+	if !res.ok {
+		d.stats.OpenMisses++
+	}
+	req.reply.Put(p, res)
+}
+
+// handleRead serves one read request into the ring.
+func (d *Daemon) handleRead(p *sim.Proc, req ringReq) {
+	dnHost, known := d.mgr.fabric().HostOf(req.dn)
+	if !known {
+		d.pushError(p)
+		return
+	}
+	if dnHost == d.host.Name {
+		d.readLocal(p, req)
+		return
+	}
+	d.readRemote(p, dnHost, req)
+}
+
+// readLocal reads from the loop-mounted image through the host page cache
+// (or the raw device with DirectDiskBypass) and fills ring slots.
+func (d *Daemon) readLocal(p *sim.Proc, req ringReq) {
+	m := d.mgr.mount(d.host.Name, req.dn)
+	if m == nil {
+		d.pushError(p)
+		return
+	}
+	e, ok := m.Lookup(req.path)
+	if !ok {
+		d.pushError(p)
+		return
+	}
+	dnVM := d.mgr.cl.VM(req.dn)
+	obj := dnVM.HostCacheObject(e.Node.Ino())
+	key := req.dn + ":" + req.path
+	batch := int64(d.cfg.EventBatchSlots) * d.cfg.SlotBytes
+	for off := req.off; off < req.off+req.n; {
+		want := req.off + req.n - off
+		if want > batch {
+			want = batch
+		}
+		d.hr.read(p, obj, key, e.Size, off, want)
+		s, err := m.ReadAt(req.path, off, want)
+		if err != nil {
+			d.pushError(p)
+			return
+		}
+		last := off+want == req.off+req.n
+		d.fillSlots(p, s, last)
+		d.doorbell(p)
+		d.stats.BytesLocal += want
+		off += want
+	}
+}
+
+// readRemote pulls windows of the range from the peer daemon and relays the
+// arriving chunks into the ring. With RDMA the payload lands in the SHM
+// directly (no local per-byte cost); with TCP the local daemon pays a
+// per-segment user-level receive cost (charged by the transport).
+func (d *Daemon) readRemote(p *sim.Proc, dnHost string, req ringReq) {
+	for off := req.off; off < req.off+req.n; {
+		win := req.off + req.n - off
+		if win > d.cfg.RemoteWindowBytes {
+			win = d.cfg.RemoteWindowBytes
+		}
+		chunks := d.mgr.remoteRead(p, d, dnHost, req.dn, req.path, off, win)
+		var got int64
+		for got < win {
+			msg, ok := chunks.Get(p)
+			if !ok || msg.err {
+				d.pushError(p)
+				return
+			}
+			last := off+got+msg.payload.Len() == req.off+req.n
+			d.fillSlots(p, msg.payload, last)
+			got += msg.payload.Len()
+			d.stats.BytesRemote += msg.payload.Len()
+		}
+		d.doorbell(p)
+		d.mgr.finishRemote(chunks)
+		off += win
+	}
+}
+
+// fillSlots splits a slice across ring slots, paying the per-slot lock cost
+// as one batched charge (the per-byte copy into the ring is part of
+// loopReadCycles locally, and of the transport cost remotely).
+func (d *Daemon) fillSlots(p *sim.Proc, s data.Slice, last bool) {
+	d.thread.Run(p, d.cfg.SlotLockCycles*d.ring.slotsFor(s.Len()), metrics.TagOthers)
+	for off := int64(0); off < s.Len(); {
+		n := s.Len() - off
+		if n > d.cfg.SlotBytes {
+			n = d.cfg.SlotBytes
+		}
+		d.ring.free.Get(p)
+		isLast := last && off+n == s.Len()
+		d.ring.full.Put(p, ringSlot{s: s.Sub(off, n), last: isLast})
+		off += n
+	}
+}
+
+// doorbell signals the guest: eventfd on the daemon side, virtual interrupt
+// on the vCPU.
+func (d *Daemon) doorbell(p *sim.Proc) {
+	d.thread.Run(p, d.cfg.EventFdCycles, metrics.TagOthers)
+	d.vm.VCPU.Post(d.cfg.GuestIRQCycles, metrics.TagOthers, nil)
+}
+
+// pushError aborts the in-flight read on the guest side.
+func (d *Daemon) pushError(p *sim.Proc) {
+	d.ring.free.Get(p)
+	d.ring.full.Put(p, ringSlot{err: true, last: true})
+	d.doorbell(p)
+}

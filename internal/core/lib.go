@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+
+	"vread/internal/cluster"
+	"vread/internal/data"
+	"vread/internal/guest"
+	"vread/internal/hdfs"
+	"vread/internal/metrics"
+	"vread/internal/sim"
+)
+
+// LibStats counts libvread activity in one client VM.
+type LibStats struct {
+	Opens         int64
+	OpenFallbacks int64 // vRead_open returned null → vanilla socket path
+	Reads         int64
+	BytesRead     int64
+}
+
+// Lib is libvread: the user-level library of Table 1, wired into HDFS
+// through the hdfs.BlockReader hook. It owns the block-name → descriptor
+// hash so repeated reads of a block reuse one descriptor.
+type Lib struct {
+	mgr    *Manager
+	vm     *cluster.VM
+	daemon *Daemon
+	vfds   map[string]*VFD
+	stats  LibStats
+}
+
+var _ hdfs.BlockReader = (*Lib)(nil)
+
+func newLib(mgr *Manager, vm *cluster.VM, d *Daemon) *Lib {
+	return &Lib{mgr: mgr, vm: vm, daemon: d, vfds: make(map[string]*VFD)}
+}
+
+// Stats returns a copy of the library counters.
+func (l *Lib) Stats() LibStats { return l.stats }
+
+// OpenBlock implements hdfs.BlockReader: vRead_open for an HDFS block.
+// ok=false falls back to the vanilla socket read (Algorithm 1's
+// null-descriptor branch).
+func (l *Lib) OpenBlock(p *sim.Proc, client *guest.Kernel, info hdfs.BlockInfo, dn string) (hdfs.BlockHandle, bool) {
+	if client.Name() != l.vm.Name {
+		return nil, false // library belongs to a different VM
+	}
+	return l.OpenPath(p, dn, hdfs.BlockPathByName(info.BlockName()), info.BlockName())
+}
+
+// OpenPath is the generic vRead_open underneath OpenBlock: open any file on
+// a datanode VM's image by path. This is the §3 generalization hook — other
+// distributed file systems (QFS, GFS) plug their own chunk layouts in here.
+// key names the descriptor in the library's hash.
+func (l *Lib) OpenPath(p *sim.Proc, dn, path, key string) (*VFD, bool) {
+	if vfd, ok := l.vfds[key]; ok {
+		vfd.refs++
+		return vfd, true
+	}
+	l.stats.Opens++
+	vcpu := l.vm.VCPU
+	cfg := l.mgr.cfg
+	vcpu.Run(p, cfg.LibCallCycles, metrics.TagClientApp)
+
+	l.daemon.ring.reqMu.Lock(p)
+	vcpu.Run(p, cfg.EventFdCycles, metrics.TagOthers)
+	reply := sim.NewQueue[openResult](l.mgr.env, 0)
+	l.daemon.ring.reqs.Put(p, ringReq{kind: reqOpen, dn: dn, path: path, reply: reply})
+	res, _ := reply.Get(p)
+	l.daemon.ring.reqMu.Unlock()
+
+	if !res.ok {
+		l.stats.OpenFallbacks++
+		return nil, false
+	}
+	vfd := &VFD{lib: l, blockName: key, dn: dn, path: path, size: res.size, refs: 1}
+	l.vfds[key] = vfd
+	return vfd, true
+}
+
+// VFD is an open vRead descriptor (Table 1).
+type VFD struct {
+	lib       *Lib
+	blockName string
+	dn        string
+	path      string
+	size      int64
+	refs      int
+	pos       int64 // sequential cursor for Seek/Read (Table 1 API parity)
+}
+
+var _ hdfs.BlockHandle = (*VFD)(nil)
+
+// Size returns the block file size at open time.
+func (v *VFD) Size() int64 { return v.size }
+
+// Seek is vRead_seek: set the descriptor's file offset, returning the
+// resulting offset (Table 1's contract).
+func (v *VFD) Seek(p *sim.Proc, off int64) (int64, error) {
+	v.lib.vm.VCPU.Run(p, v.lib.mgr.cfg.LibCallCycles, metrics.TagClientApp)
+	if off < 0 || off > v.size {
+		return v.pos, fmt.Errorf("core: vRead_seek to %d outside [0,%d] of %s", off, v.size, v.blockName)
+	}
+	v.pos = off
+	return v.pos, nil
+}
+
+// Read is the sequential form of vRead_read: read up to n bytes from the
+// descriptor's current offset, advancing it.
+func (v *VFD) Read(p *sim.Proc, n int64) (data.Slice, error) {
+	if remaining := v.size - v.pos; n > remaining {
+		n = remaining
+	}
+	s, err := v.ReadAt(p, v.pos, n)
+	if err == nil {
+		v.pos += n
+	}
+	return s, err
+}
+
+// ReadAt is vRead_read: write the request descriptor to the ring, doorbell
+// the daemon, then drain slots into the application buffer.
+func (v *VFD) ReadAt(p *sim.Proc, off, n int64) (data.Slice, error) {
+	if off < 0 || n < 0 || off+n > v.size {
+		return data.Slice{}, fmt.Errorf("core: vRead_read [%d,%d) outside block %s of %d", off, off+n, v.blockName, v.size)
+	}
+	if n == 0 {
+		return data.Slice{}, nil
+	}
+	l := v.lib
+	cfg := l.mgr.cfg
+	vcpu := l.vm.VCPU
+	l.stats.Reads++
+	vcpu.Run(p, cfg.LibCallCycles, metrics.TagClientApp)
+
+	ring := l.daemon.ring
+	ring.reqMu.Lock(p)
+	defer ring.reqMu.Unlock()
+	vcpu.Run(p, cfg.EventFdCycles, metrics.TagOthers)
+	ring.reqs.Put(p, ringReq{kind: reqRead, dn: v.dn, path: v.path, off: off, n: n})
+
+	var parts data.Concat
+	var got int64
+	// Spinlocks and slot→application copies are charged in doorbell-batch
+	// units, matching the driver's batched consumption.
+	var accSlots, accBytes int64
+	flush := func() {
+		if accSlots > 0 {
+			vcpu.Run(p, cfg.SlotLockCycles*accSlots+cfg.guestCopyCycles(accBytes), metrics.TagCopyVRead)
+			accSlots, accBytes = 0, 0
+		}
+	}
+	for {
+		slot, ok := ring.full.Get(p)
+		if !ok {
+			return data.Slice{}, fmt.Errorf("core: ring closed under %s", v.blockName)
+		}
+		if slot.err {
+			ring.free.Put(p, struct{}{})
+			return data.Slice{}, fmt.Errorf("core: daemon failed reading %s", v.blockName)
+		}
+		parts = append(parts, slot.s.Content())
+		got += slot.s.Len()
+		accSlots++
+		accBytes += slot.s.Len()
+		if accSlots >= int64(cfg.EventBatchSlots) {
+			flush()
+		}
+		ring.free.Put(p, struct{}{})
+		if slot.last {
+			break
+		}
+	}
+	flush()
+	if got != n {
+		return data.Slice{}, fmt.Errorf("core: short vRead of %s: %d of %d", v.blockName, got, n)
+	}
+	l.stats.BytesRead += got
+	return data.NewSlice(parts), nil
+}
+
+// Close is vRead_close: drop the descriptor once the last reference goes.
+func (v *VFD) Close(p *sim.Proc) {
+	l := v.lib
+	l.vm.VCPU.Run(p, l.mgr.cfg.LibCallCycles, metrics.TagClientApp)
+	v.refs--
+	if v.refs <= 0 {
+		delete(l.vfds, v.blockName)
+	}
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+
+	"vread/internal/cluster"
+	"vread/internal/fsim"
+	"vread/internal/hdfs"
+	"vread/internal/metrics"
+	"vread/internal/netsim"
+	"vread/internal/sim"
+)
+
+// DaemonEntity returns the metrics entity name that all vRead hypervisor
+// work on a host is charged to (the "vRead-daemon" bars of Figures 6–8).
+func DaemonEntity(host string) string { return "vread-daemon@" + host }
+
+// Manager assembles vRead over a cluster: per-host read-only mounts of every
+// datanode image (the losetup/kpartx step), per-host daemon servers, per-
+// client-VM daemons with their rings, and the namenode-driven dentry refresh
+// (§3.2's synchronization).
+type Manager struct {
+	env *sim.Env
+	cfg Config
+	cl  *cluster.Cluster
+	nn  *hdfs.NameNode
+
+	mounts     map[string]map[string]*fsim.HostMount // host → datanode VM → mount
+	daemons    map[string]*Daemon                    // client VM → daemon
+	libs       map[string]*Lib
+	servers    map[string]*hostServer
+	qps        map[string]*netsim.QP
+	pending    map[int64]*sim.Queue[chunkMsg]
+	pendingIDs map[*sim.Queue[chunkMsg]]int64
+	nextReq    int64
+	refreshes  int64
+}
+
+// NewManager creates the vRead system. It installs a daemon server on every
+// existing host and subscribes to namenode block events (nn may be nil for
+// non-HDFS deployments — call BlockAdded/BlockRemoved from the other file
+// system's metadata server instead); call MountDatanode for each datanode
+// VM and EnableClient for each client VM.
+func NewManager(cl *cluster.Cluster, nn *hdfs.NameNode, cfg Config) *Manager {
+	m := &Manager{
+		env:        cl.Env,
+		cfg:        cfg.WithDefaults(),
+		cl:         cl,
+		nn:         nn,
+		mounts:     make(map[string]map[string]*fsim.HostMount),
+		daemons:    make(map[string]*Daemon),
+		libs:       make(map[string]*Lib),
+		servers:    make(map[string]*hostServer),
+		qps:        make(map[string]*netsim.QP),
+		pending:    make(map[int64]*sim.Queue[chunkMsg]),
+		pendingIDs: make(map[*sim.Queue[chunkMsg]]int64),
+	}
+	if nn != nil {
+		nn.AddBlockListener(m)
+	}
+	return m
+}
+
+// Config returns the manager's configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+func (m *Manager) fabric() *netsim.Fabric { return m.cl.Fabric }
+
+// ensureServer installs the per-host daemon server (idempotent).
+func (m *Manager) ensureServer(h *cluster.Host) *hostServer {
+	if s, ok := m.servers[h.Name]; ok {
+		return s
+	}
+	s := newHostServer(m, h)
+	m.servers[h.Name] = s
+	if m.cfg.Transport == TransportTCP {
+		m.fabric().BindHostPort(h.Name, VReadPort, m.onTCPFrame(h.Name))
+	}
+	return s
+}
+
+// MountDatanode mounts a datanode VM's disk image read-only on its host and
+// records it in the datanode-ID → mount hash.
+func (m *Manager) MountDatanode(vmName string) {
+	vm := m.cl.VM(vmName)
+	if vm == nil {
+		panic(fmt.Sprintf("core: unknown VM %q", vmName))
+	}
+	m.ensureServer(vm.Host)
+	hostTab := m.mounts[vm.Host.Name]
+	if hostTab == nil {
+		hostTab = make(map[string]*fsim.HostMount)
+		m.mounts[vm.Host.Name] = hostTab
+	}
+	if _, ok := hostTab[vmName]; ok {
+		return
+	}
+	hostTab[vmName] = fsim.MountRO(vm.FS)
+}
+
+// UnmountDatanode removes a datanode's mount from a host (migration).
+func (m *Manager) UnmountDatanode(host, vmName string) {
+	if tab := m.mounts[host]; tab != nil {
+		delete(tab, vmName)
+	}
+}
+
+// mount resolves the mount table entry for (host, datanode).
+func (m *Manager) mount(host, dn string) *fsim.HostMount {
+	return m.mounts[host][dn]
+}
+
+// Mount exposes the mount table entry for tests and tooling.
+func (m *Manager) Mount(host, dn string) *fsim.HostMount { return m.mount(host, dn) }
+
+// EnableClient creates the client VM's ring, daemon and libvread, returning
+// the BlockReader to install on its DFSClient.
+func (m *Manager) EnableClient(vmName string) *Lib {
+	if lib, ok := m.libs[vmName]; ok {
+		return lib
+	}
+	vm := m.cl.VM(vmName)
+	if vm == nil {
+		panic(fmt.Sprintf("core: unknown VM %q", vmName))
+	}
+	m.ensureServer(vm.Host)
+	d := newDaemon(m, vm)
+	m.daemons[vmName] = d
+	lib := newLib(m, vm, d)
+	m.libs[vmName] = lib
+	return lib
+}
+
+// Daemon returns a client VM's daemon (nil if not enabled).
+func (m *Manager) Daemon(vmName string) *Daemon { return m.daemons[vmName] }
+
+// Lib returns a client VM's libvread (nil if not enabled).
+func (m *Manager) Lib(vmName string) *Lib { return m.libs[vmName] }
+
+// Refreshes returns the number of dentry refresh operations triggered by
+// namenode block events (fig13's write-path overhead).
+func (m *Manager) Refreshes() int64 { return m.refreshes }
+
+// ---------------------------------------------------------------------------
+// hdfs.BlockEventListener: the namenode-driven mount synchronization.
+
+// BlockAdded refreshes the new block's dentry on the datanode's host. The
+// refresh runs asynchronously on the host's daemon thread — an open racing
+// ahead of it simply falls back to the vanilla path, exactly like the
+// prototype.
+func (m *Manager) BlockAdded(dn string, blockPath string) {
+	host, ok := m.fabric().HostOf(dn)
+	if !ok {
+		return
+	}
+	mount := m.mount(host, dn)
+	if mount == nil {
+		return
+	}
+	srv := m.servers[host]
+	m.refreshes++
+	srv.thread.Post(m.cfg.RefreshCycles, metrics.TagOthers, func() {
+		mount.RefreshPath(blockPath)
+	})
+}
+
+// BlockRemoved drops the block's dentry.
+func (m *Manager) BlockRemoved(dn string, blockPath string) {
+	host, ok := m.fabric().HostOf(dn)
+	if !ok {
+		return
+	}
+	mount := m.mount(host, dn)
+	if mount == nil {
+		return
+	}
+	srv := m.servers[host]
+	m.refreshes++
+	srv.thread.Post(m.cfg.RefreshCycles, metrics.TagOthers, func() {
+		mount.RefreshPath(blockPath)
+	})
+}
+
+// DatanodeMigrated updates the mount hash after a datanode VM live-migrates
+// (§6): unmount on the old host, remount on the new one. The fabric
+// registration itself is the cluster's job.
+func (m *Manager) DatanodeMigrated(vmName, oldHost string) {
+	m.UnmountDatanode(oldHost, vmName)
+	m.MountDatanode(vmName)
+}

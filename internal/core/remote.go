@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"vread/internal/cluster"
+	"vread/internal/cpusched"
+	"vread/internal/data"
+	"vread/internal/metrics"
+	"vread/internal/netsim"
+	"vread/internal/sim"
+)
+
+// VReadPort is the host-terminated port of the daemons' TCP transport.
+const VReadPort = 51000
+
+// remoteReq asks a peer host's daemon to open or read a block file.
+type remoteReq struct {
+	reqID    int64
+	fromHost string
+	dn       string
+	path     string
+	off      int64
+	n        int64
+	open     bool
+}
+
+// remoteChunk is one response unit (data chunk or open reply).
+type remoteChunk struct {
+	reqID  int64
+	err    bool
+	openOK bool
+	size   int64
+}
+
+// chunkMsg is what lands on a pending request's queue.
+type chunkMsg struct {
+	payload data.Slice
+	err     bool
+	openOK  bool
+	size    int64
+}
+
+// hostServer is the per-host daemon endpoint serving requests from peers:
+// the remote half of Figures 7/8 (the "vRead-daemon" bar on the datanode
+// side).
+type hostServer struct {
+	mgr    *Manager
+	host   *cluster.Host
+	thread *cpusched.Thread
+	reqs   *sim.Queue[remoteReq]
+	hr     *hostReader
+}
+
+func newHostServer(mgr *Manager, host *cluster.Host) *hostServer {
+	thread := host.CPU.NewThread("vread-server:"+host.Name, DaemonEntity(host.Name))
+	s := &hostServer{
+		mgr:    mgr,
+		host:   host,
+		thread: thread,
+		reqs:   sim.NewQueue[remoteReq](mgr.env, 0),
+		hr:     newHostReader(mgr.cfg, host, thread),
+	}
+	mgr.env.Go("vread-server:"+host.Name, s.loop)
+	return s
+}
+
+func (s *hostServer) loop(p *sim.Proc) {
+	for {
+		req, ok := s.reqs.Get(p)
+		if !ok {
+			return
+		}
+		if req.open {
+			s.handleOpen(p, req)
+		} else {
+			s.handleRead(p, req)
+		}
+	}
+}
+
+// handleOpen checks the local mount table and replies with a header chunk.
+func (s *hostServer) handleOpen(p *sim.Proc, req remoteReq) {
+	s.thread.Run(p, s.mgr.cfg.OpenCycles, metrics.TagOthers)
+	reply := remoteChunk{reqID: req.reqID}
+	if m := s.mgr.mount(s.host.Name, req.dn); m != nil {
+		if e, ok := m.Lookup(req.path); ok {
+			reply.openOK = true
+			reply.size = e.Size
+		}
+	}
+	s.send(p, req.fromHost, data.Slice{C: data.Zero(0)}, reply)
+}
+
+// handleRead reads the requested window from the local mount (host page
+// cache + disk) and actively pushes chunks to the requesting host — the
+// paper's "active model for RDMA data exchange on the datanode side".
+func (s *hostServer) handleRead(p *sim.Proc, req remoteReq) {
+	m := s.mgr.mount(s.host.Name, req.dn)
+	if m == nil {
+		s.send(p, req.fromHost, data.Slice{C: data.Zero(0)}, remoteChunk{reqID: req.reqID, err: true})
+		return
+	}
+	e, ok := m.Lookup(req.path)
+	if !ok {
+		s.send(p, req.fromHost, data.Slice{C: data.Zero(0)}, remoteChunk{reqID: req.reqID, err: true})
+		return
+	}
+	dnVM := s.mgr.cl.VM(req.dn)
+	obj := dnVM.HostCacheObject(e.Node.Ino())
+	key := req.dn + ":" + req.path
+	cfg := s.mgr.cfg
+	for off := req.off; off < req.off+req.n; {
+		chunk := req.off + req.n - off
+		if chunk > cfg.RemoteChunkBytes {
+			chunk = cfg.RemoteChunkBytes
+		}
+		s.hr.read(p, obj, key, e.Size, off, chunk)
+		payload, err := m.ReadAt(req.path, off, chunk)
+		if err != nil {
+			s.send(p, req.fromHost, data.Slice{C: data.Zero(0)}, remoteChunk{reqID: req.reqID, err: true})
+			return
+		}
+		s.send(p, req.fromHost, payload, remoteChunk{reqID: req.reqID})
+		off += chunk
+	}
+}
+
+// send pushes one frame to a peer host over the configured transport.
+func (s *hostServer) send(p *sim.Proc, dstHost string, payload data.Slice, meta remoteChunk) {
+	s.mgr.sendFrame(p, s.host.Name, s.thread, dstHost, netsim.Frame{Payload: payload, Meta: meta})
+}
+
+// ---------------------------------------------------------------------------
+// Manager-side transport plumbing.
+
+// sendFrame transmits a request or chunk frame daemon-to-daemon.
+func (m *Manager) sendFrame(p *sim.Proc, srcHost string, srcThread *cpusched.Thread, dstHost string, fr netsim.Frame) {
+	switch m.cfg.Transport {
+	case TransportRDMA:
+		qp := m.qpFor(srcHost, dstHost)
+		sent := sim.NewSignal(m.env)
+		done := false
+		qp.PostFrom(srcHost, fr, func() {
+			done = true
+			sent.Broadcast()
+		})
+		for !done {
+			sent.Wait(p)
+		}
+	case TransportTCP:
+		// User-level TCP: per-segment syscall + copy cost on the sending
+		// daemon, then the host kernel path.
+		srcThread.Run(p, m.cfg.TCPSegCycles, metrics.TagVReadNet)
+		nic := m.fabric().NIC(srcHost)
+		sent := sim.NewSignal(m.env)
+		done := false
+		nic.SendToHost(dstHost, VReadPort, fr, func() {
+			done = true
+			sent.Broadcast()
+		})
+		for !done {
+			sent.Wait(p)
+		}
+	default:
+		panic(fmt.Sprintf("core: unknown transport %v", m.cfg.Transport))
+	}
+}
+
+// qpFor lazily creates the QP connecting two hosts, charging RDMA CPU to
+// each side's daemon-server thread.
+func (m *Manager) qpFor(a, b string) *netsim.QP {
+	key := qpKey(a, b)
+	if qp, ok := m.qps[key]; ok {
+		return qp
+	}
+	sa, sb := m.servers[a], m.servers[b]
+	if sa == nil || sb == nil {
+		panic(fmt.Sprintf("core: missing vRead server on %s or %s", a, b))
+	}
+	qp := m.fabric().NewQP(
+		a, sa.thread, func(fr netsim.Frame) { m.onFrame(a, fr) },
+		b, sb.thread, func(fr netsim.Frame) { m.onFrame(b, fr) },
+	)
+	m.qps[key] = qp
+	return qp
+}
+
+func qpKey(a, b string) string {
+	s := []string{a, b}
+	sort.Strings(s)
+	return s[0] + "|" + s[1]
+}
+
+// onFrame demultiplexes an arriving daemon-to-daemon frame on a host.
+func (m *Manager) onFrame(host string, fr netsim.Frame) {
+	switch meta := fr.Meta.(type) {
+	case remoteReq:
+		srv := m.servers[host]
+		if srv == nil || !srv.reqs.TryPut(meta) {
+			panic(fmt.Sprintf("core: no vRead server on %s", host))
+		}
+	case remoteChunk:
+		pend := m.pending[meta.reqID]
+		if pend == nil {
+			return // request abandoned
+		}
+		pend.TryPut(chunkMsg{payload: fr.Payload, err: meta.err, openOK: meta.openOK, size: meta.size})
+	default:
+		panic(fmt.Sprintf("core: unexpected frame meta %T", fr.Meta))
+	}
+}
+
+// onTCPFrame is the host-port handler for the TCP transport: the receiving
+// daemon pays its per-segment user-level cost, then demux.
+func (m *Manager) onTCPFrame(host string) netsim.HostHandler {
+	return func(fr netsim.Frame) {
+		srv := m.servers[host]
+		srv.thread.Post(m.cfg.TCPSegCycles, metrics.TagVReadNet, func() {
+			m.onFrame(host, fr)
+		})
+	}
+}
+
+// remoteOpen sends an open probe to the peer host and waits for the reply.
+func (m *Manager) remoteOpen(p *sim.Proc, d *Daemon, dnHost string, req ringReq) openResult {
+	m.nextReq++
+	id := m.nextReq
+	pend := sim.NewQueue[chunkMsg](m.env, 0)
+	m.pending[id] = pend
+	defer delete(m.pending, id)
+	m.sendFrame(p, d.host.Name, d.thread, dnHost, netsim.Frame{
+		Payload: data.NewSlice(data.Zero(64)),
+		Meta:    remoteReq{reqID: id, fromHost: d.host.Name, dn: req.dn, path: req.path, open: true},
+	})
+	msg, ok := pend.GetTimeout(p, m.cfg.OpenTimeout)
+	if !ok || msg.err {
+		return openResult{}
+	}
+	return openResult{ok: msg.openOK, size: msg.size}
+}
+
+// remoteRead sends a read request for one window and returns the queue its
+// chunks will arrive on. The caller must call finishRemote when done.
+func (m *Manager) remoteRead(p *sim.Proc, d *Daemon, dnHost, dn, path string, off, n int64) *sim.Queue[chunkMsg] {
+	m.nextReq++
+	id := m.nextReq
+	pend := sim.NewQueue[chunkMsg](m.env, 0)
+	m.pending[id] = pend
+	m.pendingIDs[pend] = id
+	m.sendFrame(p, d.host.Name, d.thread, dnHost, netsim.Frame{
+		Payload: data.NewSlice(data.Zero(64)),
+		Meta:    remoteReq{reqID: id, fromHost: d.host.Name, dn: dn, path: path, off: off, n: n},
+	})
+	return pend
+}
+
+// finishRemote retires a pending remote read.
+func (m *Manager) finishRemote(q *sim.Queue[chunkMsg]) {
+	if id, ok := m.pendingIDs[q]; ok {
+		delete(m.pending, id)
+		delete(m.pendingIDs, q)
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"vread/internal/data"
+	"vread/internal/sim"
+)
+
+// ring is the guest↔daemon shared-memory channel (§3.3): a POSIX SHM object
+// surfaced to the guest as a virtual PCI device and divided into fixed-size
+// slots. Requests travel guest→daemon through a small descriptor area;
+// response data travels daemon→guest through the slots. Doorbells
+// (eventfds) are modeled by the queues' wakeup semantics, with their CPU
+// cost charged explicitly by the two sides.
+//
+// Requests are serialized per ring (the prototype's HDFS input streams read
+// one range at a time), enforced by reqMu.
+type ring struct {
+	cfg   Config
+	reqMu *sim.Mutex
+	reqs  *sim.Queue[ringReq]
+	free  *sim.Queue[struct{}] // slot tokens
+	full  *sim.Queue[ringSlot] // filled slots in order
+}
+
+type ringReqKind int
+
+const (
+	reqOpen ringReqKind = iota
+	reqRead
+)
+
+// ringReq is one descriptor written by libvread.
+type ringReq struct {
+	kind  ringReqKind
+	dn    string // datanode ID
+	path  string // block file path
+	off   int64
+	n     int64
+	reply *sim.Queue[openResult] // open only
+}
+
+type openResult struct {
+	ok   bool
+	size int64
+}
+
+// ringSlot is one filled data slot.
+type ringSlot struct {
+	s    data.Slice
+	err  bool // stream failed; guest aborts the read
+	last bool
+}
+
+func newRing(env *sim.Env, cfg Config) *ring {
+	r := &ring{
+		cfg:   cfg,
+		reqMu: sim.NewMutex(env),
+		reqs:  sim.NewQueue[ringReq](env, 64),
+		free:  sim.NewQueue[struct{}](env, cfg.RingSlots),
+		full:  sim.NewQueue[ringSlot](env, cfg.RingSlots),
+	}
+	for i := 0; i < cfg.RingSlots; i++ {
+		r.free.TryPut(struct{}{})
+	}
+	return r
+}
+
+// slotsFor returns how many slots a byte range occupies.
+func (r *ring) slotsFor(n int64) int64 {
+	return (n + r.cfg.SlotBytes - 1) / r.cfg.SlotBytes
+}

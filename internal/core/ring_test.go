@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"vread/internal/sim"
+)
+
+// White-box ring tests: the shared-memory channel invariants the daemon and
+// driver rely on.
+
+func TestRingSlotTokensConserved(t *testing.T) {
+	env := sim.NewEnv(1)
+	cfg := Config{}.WithDefaults()
+	r := newRing(env, cfg)
+	if r.free.Len() != cfg.RingSlots {
+		t.Fatalf("initial free slots = %d, want %d", r.free.Len(), cfg.RingSlots)
+	}
+	// A producer/consumer pair cycling many slots leaves the count intact.
+	env.Go("producer", func(p *sim.Proc) {
+		for i := 0; i < 5000; i++ {
+			r.free.Get(p)
+			r.full.Put(p, ringSlot{})
+		}
+	})
+	env.Go("consumer", func(p *sim.Proc) {
+		for i := 0; i < 5000; i++ {
+			r.full.Get(p)
+			r.free.Put(p, struct{}{})
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r.free.Len()+r.full.Len() != cfg.RingSlots {
+		t.Fatalf("slot tokens leaked: free %d + full %d != %d", r.free.Len(), r.full.Len(), cfg.RingSlots)
+	}
+	if r.free.Len() != cfg.RingSlots {
+		t.Fatalf("ring not drained: %d free", r.free.Len())
+	}
+}
+
+func TestRingSlotsFor(t *testing.T) {
+	env := sim.NewEnv(1)
+	r := newRing(env, Config{SlotBytes: 4096}.WithDefaults())
+	cases := []struct {
+		n    int64
+		want int64
+	}{
+		{0, 0}, {1, 1}, {4095, 1}, {4096, 1}, {4097, 2}, {128 << 10, 32},
+	}
+	for _, c := range cases {
+		if got := r.slotsFor(c.n); got != c.want {
+			t.Errorf("slotsFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+// Property: slotsFor never under-provisions (slots × slotBytes >= n) and
+// never wastes a whole slot.
+func TestRingSlotsForProperty(t *testing.T) {
+	env := sim.NewEnv(1)
+	r := newRing(env, Config{}.WithDefaults())
+	f := func(raw uint32) bool {
+		n := int64(raw)
+		s := r.slotsFor(n)
+		if s*r.cfg.SlotBytes < n {
+			return false
+		}
+		return n == 0 || (s-1)*r.cfg.SlotBytes < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRingRequestSerialization: the request mutex admits one reader at a
+// time, so interleaved requests never interleave their slots.
+func TestRingRequestSerialization(t *testing.T) {
+	env := sim.NewEnv(1)
+	cfg := Config{}.WithDefaults()
+	r := newRing(env, cfg)
+	inCritical := 0
+	maxInCritical := 0
+	for i := 0; i < 4; i++ {
+		env.Go(fmt.Sprintf("reader%d", i), func(p *sim.Proc) {
+			for j := 0; j < 10; j++ {
+				r.reqMu.Lock(p)
+				inCritical++
+				if inCritical > maxInCritical {
+					maxInCritical = inCritical
+				}
+				p.Sleep(100)
+				inCritical--
+				r.reqMu.Unlock()
+			}
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxInCritical != 1 {
+		t.Fatalf("ring mutex admitted %d concurrent requests", maxInCritical)
+	}
+}

@@ -1,0 +1,637 @@
+// Package cpusched models a virtualized host's CPU: a small number of cores
+// multiplexed among host-schedulable threads (vCPU threads, vhost-net I/O
+// threads, QEMU block iothreads, the vRead daemon, host softirq work) under a
+// CFS-like fair-share policy.
+//
+// This scheduler is where the paper's second systemic overhead lives: when
+// more runnable threads exist than cores, a waking I/O thread cannot always
+// run immediately, so VM↔I/O-thread synchronization pays scheduling delay
+// (Figure 3, and the 2-VM vs 4-VM gaps of Figures 9, 11, 12).
+//
+// The model mirrors the structure of Linux CFS around the paper's 3.12
+// kernel: per-core runqueues ordered by vruntime, cache-affine wakeup
+// placement with an idle-sibling scan, wakeup preemption checked only
+// against the target core's current thread, sleeper-fairness vruntime
+// placement, timeslices of sched_latency/nr_running clamped to a minimum
+// granularity, new-idle stealing, and periodic load balancing. All cycle
+// consumption is charged to a metrics.Registry under the consuming thread's
+// entity and the work item's tag.
+//
+// Threads are *work queues*, not coroutines: any number of simulated
+// processes may submit cycle-work to one thread (a 1-vCPU guest multiplexes
+// its application, syscall and softirq work on one host thread), and the
+// thread consumes items FIFO. CPU frequency converts cycles to time, which
+// is how the paper's 1.6/2.0/3.2 GHz sweep is reproduced.
+package cpusched
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"vread/internal/metrics"
+	"vread/internal/sim"
+)
+
+// Config holds the scheduler's tunables. Zero values select defaults that
+// approximate Linux CFS of the paper's era.
+type Config struct {
+	// SchedLatency is the target period in which every runnable thread on a
+	// core runs once. Default 6ms.
+	SchedLatency time.Duration
+	// MinGranularity is the smallest timeslice. Default 750µs.
+	MinGranularity time.Duration
+	// WakeupGranularity gates wakeup preemption: a waking thread preempts
+	// the target core's current thread only if its vruntime is at least
+	// this far behind. Default 1ms.
+	WakeupGranularity time.Duration
+	// SleeperCredit bounds how far behind a core's min vruntime a waking
+	// thread is placed (GENTLE_FAIR_SLEEPERS). Default 3ms.
+	SleeperCredit time.Duration
+	// CtxSwitchCycles is charged (to the incoming thread's entity, tag
+	// "others") on every context switch. Default 4000; -1 disables.
+	CtxSwitchCycles int64
+	// WakeLatency is the fixed cost (IPI + dispatch) of placing a waking
+	// thread on an idle core. Default 3µs.
+	WakeLatency time.Duration
+	// BalanceInterval is the periodic load-balance period. Default 4ms.
+	BalanceInterval time.Duration
+	// Tick caps how long a thread runs before the scheduler re-evaluates
+	// preemption (the scheduler-tick granularity). Default 1ms.
+	Tick time.Duration
+	// CacheColdCycles is charged when a thread is placed on a core whose
+	// previous occupant was a different thread (L1/L2/TLB refill). This is
+	// what makes over-subscribed hosts slower even when cores are nominally
+	// free — threads play musical chairs. Default 15000; -1 disables.
+	CacheColdCycles int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SchedLatency == 0 {
+		c.SchedLatency = 6 * time.Millisecond
+	}
+	if c.MinGranularity == 0 {
+		c.MinGranularity = 750 * time.Microsecond
+	}
+	if c.WakeupGranularity == 0 {
+		c.WakeupGranularity = time.Millisecond
+	}
+	if c.SleeperCredit == 0 {
+		c.SleeperCredit = 3 * time.Millisecond
+	}
+	if c.CtxSwitchCycles == 0 {
+		c.CtxSwitchCycles = 4000
+	}
+	if c.WakeLatency == 0 {
+		c.WakeLatency = 3 * time.Microsecond
+	}
+	if c.BalanceInterval == 0 {
+		c.BalanceInterval = 4 * time.Millisecond
+	}
+	if c.Tick == 0 {
+		c.Tick = time.Millisecond
+	}
+	if c.CacheColdCycles == 0 {
+		c.CacheColdCycles = 15000
+	}
+	return c
+}
+
+// CPU is one host's processor: n cores at a given frequency.
+type CPU struct {
+	env      *sim.Env
+	reg      *metrics.Registry
+	cfg      Config
+	freqHz   int64
+	cores    []*core
+	seq      uint64
+	rr       int // rotation cursor for placement tie-breaking
+	balArmed bool
+}
+
+type core struct {
+	id         int
+	cpu        *CPU
+	runq       threadHeap
+	cur        *Thread
+	last       *Thread // previous occupant, for the cache-cold penalty
+	minVR      time.Duration
+	sliceTimer *sim.Timer
+	sliceStart time.Duration
+	planned    int64 // cycles planned for the current slice; -1 = reserved
+}
+
+// ThreadState is a thread's scheduling state.
+type ThreadState int
+
+// Thread states.
+const (
+	StateIdle ThreadState = iota // no pending work
+	StateRunnable
+	StateRunning
+)
+
+// Thread is one host-schedulable execution context.
+type Thread struct {
+	cpu      *CPU
+	name     string
+	entity   string
+	state    ThreadState
+	vruntime time.Duration
+	seq      uint64 // runqueue FIFO tiebreak
+	core     *core  // core currently running on (nil unless StateRunning)
+	lastCore *core  // cache-affinity hint
+	work     []*workItem
+	pending  int64 // total cycles across work items
+	consumed int64 // lifetime cycles consumed
+}
+
+type workItem struct {
+	remaining int64
+	tag       string
+	onDone    func()
+}
+
+// New creates a CPU with the given core count and frequency.
+func New(env *sim.Env, reg *metrics.Registry, cores int, freqHz int64, cfg Config) *CPU {
+	if cores <= 0 {
+		panic("cpusched: cores must be positive")
+	}
+	if freqHz <= 0 {
+		panic("cpusched: frequency must be positive")
+	}
+	c := &CPU{env: env, reg: reg, cfg: cfg.withDefaults(), freqHz: freqHz}
+	for i := 0; i < cores; i++ {
+		c.cores = append(c.cores, &core{id: i, cpu: c})
+	}
+	return c
+}
+
+// FreqHz returns the clock frequency.
+func (c *CPU) FreqHz() int64 { return c.freqHz }
+
+// Cores returns the number of cores.
+func (c *CPU) Cores() int { return len(c.cores) }
+
+// Env returns the simulation environment.
+func (c *CPU) Env() *sim.Env { return c.env }
+
+// Registry returns the metrics registry charged by this CPU.
+func (c *CPU) Registry() *metrics.Registry { return c.reg }
+
+// CyclesFor converts a duration at this CPU's frequency into cycles.
+func (c *CPU) CyclesFor(d time.Duration) int64 {
+	return int64(float64(d.Nanoseconds()) * float64(c.freqHz) / 1e9)
+}
+
+// DurFor converts cycles into execution time at this CPU's frequency
+// (rounded up so consumption always completes the planned cycles).
+func (c *CPU) DurFor(cycles int64) time.Duration {
+	ns := (cycles*1e9 + c.freqHz - 1) / c.freqHz
+	return time.Duration(ns)
+}
+
+// NewThread registers a thread. Entity names group metrics ("client",
+// "datanode", "vread-daemon"...).
+func (c *CPU) NewThread(name, entity string) *Thread {
+	return &Thread{cpu: c, name: name, entity: entity}
+}
+
+// Name returns the thread name.
+func (t *Thread) Name() string { return t.name }
+
+// Entity returns the accounting entity.
+func (t *Thread) Entity() string { return t.entity }
+
+// State returns the scheduling state.
+func (t *Thread) State() ThreadState { return t.state }
+
+// Consumed returns lifetime cycles consumed by the thread.
+func (t *Thread) Consumed() int64 { return t.consumed }
+
+// Pending returns cycles queued but not yet consumed.
+func (t *Thread) Pending() int64 { return t.pending }
+
+// Post submits cycles of work tagged tag; onDone (may be nil) runs when the
+// work completes. Post never blocks and may be called from event context.
+func (t *Thread) Post(cycles int64, tag string, onDone func()) {
+	if cycles < 0 {
+		panic(fmt.Sprintf("cpusched: negative work %d on %s", cycles, t.name))
+	}
+	if cycles == 0 {
+		if onDone != nil {
+			t.cpu.env.Schedule(0, onDone)
+		}
+		return
+	}
+	t.work = append(t.work, &workItem{remaining: cycles, tag: tag, onDone: onDone})
+	t.pending += cycles
+	if t.state == StateIdle {
+		t.cpu.wake(t)
+	}
+}
+
+// Run submits cycles of work and blocks p until the work completes. This is
+// how simulated processes "execute on" a thread.
+func (t *Thread) Run(p *sim.Proc, cycles int64, tag string) {
+	if cycles <= 0 {
+		return
+	}
+	sig := sim.NewSignal(t.cpu.env)
+	done := false
+	t.Post(cycles, tag, func() {
+		done = true
+		sig.Broadcast()
+	})
+	for !done {
+		sig.Wait(p)
+	}
+}
+
+// RunDur is Run with the cycle count derived from a duration at the CPU's
+// frequency (for "this takes d on *this* CPU" calibrations).
+func (t *Thread) RunDur(p *sim.Proc, d time.Duration, tag string) {
+	t.Run(p, t.cpu.CyclesFor(d), tag)
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler internals. All methods below run in event context.
+
+// wake makes an idle thread with pending work runnable and places it:
+// last-run core if idle, else any idle core, else enqueue on the affine core
+// with a local preemption check — the CFS placement dance.
+func (c *CPU) wake(t *Thread) {
+	c.armBalancer()
+	target := t.lastCore
+	if target == nil {
+		target = c.leastLoaded()
+	}
+	if target.cur == nil {
+		c.dispatch(target, t, c.cfg.WakeLatency)
+		return
+	}
+	// Idle-sibling scan, rotated so placements spread instead of piling
+	// onto the lowest-numbered core.
+	n := len(c.cores)
+	for i := 0; i < n; i++ {
+		co := c.cores[(c.rr+i)%n]
+		if co.cur == nil {
+			c.rr = (c.rr + i + 1) % n
+			c.dispatch(co, t, c.cfg.WakeLatency)
+			return
+		}
+	}
+	// No idle core: place on the affine core's runqueue with sleeper credit
+	// relative to that core's min vruntime.
+	t.state = StateRunnable
+	if bound := target.minVR - c.cfg.SleeperCredit; t.vruntime < bound {
+		t.vruntime = bound
+	}
+	target.enqueue(t)
+	// Wakeup preemption, checked against this core's current thread only.
+	if target.planned >= 0 && t.vruntime+c.cfg.WakeupGranularity < target.cur.vruntime {
+		target.preemptCurrent()
+		target.pickNext()
+	}
+}
+
+func (c *CPU) leastLoaded() *core {
+	n := len(c.cores)
+	best := c.cores[c.rr%n]
+	bestLoad := best.load()
+	for i := 1; i < n; i++ {
+		co := c.cores[(c.rr+i)%n]
+		if l := co.load(); l < bestLoad {
+			best, bestLoad = co, l
+		}
+	}
+	c.rr = (c.rr + 1) % n
+	return best
+}
+
+func (co *core) load() int {
+	n := len(co.runq)
+	if co.cur != nil {
+		n++
+	}
+	return n
+}
+
+// dispatch reserves an idle core for t and starts its slice after delay.
+func (c *CPU) dispatch(co *core, t *Thread, delay time.Duration) {
+	co.cur = t
+	co.planned = -1
+	t.state = StateRunning
+	t.core = co
+	t.lastCore = co
+	co.chargeCold(t)
+	c.env.Schedule(delay, func() { co.startSlice() })
+}
+
+// chargeCold prepends the cache-refill penalty when the core's previous
+// occupant differs from the incoming thread.
+func (co *core) chargeCold(t *Thread) {
+	c := co.cpu
+	if c.cfg.CacheColdCycles > 0 && co.last != t {
+		t.work = append([]*workItem{{remaining: c.cfg.CacheColdCycles, tag: metrics.TagOthers}}, t.work...)
+		t.pending += c.cfg.CacheColdCycles
+	}
+	co.last = t
+}
+
+func (co *core) enqueue(t *Thread) {
+	t.state = StateRunnable
+	t.lastCore = co
+	co.cpu.seq++
+	t.seq = co.cpu.seq
+	heap.Push(&co.runq, t)
+}
+
+// timeslice returns the CFS slice for this core's load.
+func (co *core) timeslice() time.Duration {
+	n := co.load()
+	if n <= 0 {
+		n = 1
+	}
+	s := co.cpu.cfg.SchedLatency / time.Duration(n)
+	if s < co.cpu.cfg.MinGranularity {
+		s = co.cpu.cfg.MinGranularity
+	}
+	return s
+}
+
+// startSlice begins (or continues) execution of co.cur.
+func (co *core) startSlice() {
+	t := co.cur
+	if t == nil {
+		return
+	}
+	if t.pending == 0 {
+		co.finishCurrent()
+		return
+	}
+	c := co.cpu
+	slice := co.timeslice()
+	if slice > c.cfg.Tick {
+		slice = c.cfg.Tick // re-evaluate preemption at tick granularity
+	}
+	sliceCycles := c.CyclesFor(slice)
+	if sliceCycles < 1 {
+		sliceCycles = 1
+	}
+	if t.pending < sliceCycles {
+		sliceCycles = t.pending
+	}
+	co.planned = sliceCycles
+	co.sliceStart = c.env.Now()
+	co.sliceTimer = c.env.Schedule(c.DurFor(sliceCycles), co.sliceEnd)
+}
+
+// sliceEnd fires when the planned cycles have been consumed.
+func (co *core) sliceEnd() {
+	t := co.cur
+	if t == nil {
+		return
+	}
+	c := co.cpu
+	elapsed := c.env.Now() - co.sliceStart
+	c.consume(t, co.planned)
+	t.vruntime += elapsed
+	co.updateMinVR()
+	co.sliceTimer = nil
+	co.planned = -1
+	if t.pending == 0 {
+		co.finishCurrent()
+		return
+	}
+	// Tick preemption against this core's queue.
+	if next, ok := co.runq.peek(); ok && next.vruntime+c.cfg.WakeupGranularity < t.vruntime {
+		co.requeueCurrent()
+		co.pickNext()
+		return
+	}
+	co.startSlice()
+}
+
+// preemptCurrent stops the current slice mid-flight, charging partial
+// consumption, and requeues the thread on this core.
+func (co *core) preemptCurrent() {
+	t := co.cur
+	if t == nil {
+		return
+	}
+	c := co.cpu
+	if co.sliceTimer != nil {
+		co.sliceTimer.Cancel()
+		co.sliceTimer = nil
+	}
+	if co.planned >= 0 {
+		elapsed := c.env.Now() - co.sliceStart
+		consumed := c.CyclesFor(elapsed)
+		if consumed > co.planned {
+			consumed = co.planned
+		}
+		c.consume(t, consumed)
+		t.vruntime += elapsed
+		co.updateMinVR()
+	}
+	co.planned = -1
+	co.requeueCurrent()
+}
+
+func (co *core) requeueCurrent() {
+	t := co.cur
+	co.cur = nil
+	t.core = nil
+	if t.pending > 0 {
+		co.enqueue(t)
+	} else {
+		t.state = StateIdle
+	}
+}
+
+// finishCurrent idles the current thread and picks new work.
+func (co *core) finishCurrent() {
+	t := co.cur
+	co.cur = nil
+	co.planned = -1
+	t.core = nil
+	t.state = StateIdle
+	co.pickNext()
+}
+
+// pickNext pulls the lowest-vruntime thread from this core's queue — or
+// steals from the busiest other core (new-idle balancing) — onto the core.
+func (co *core) pickNext() {
+	if co.cur != nil {
+		return
+	}
+	next, ok := co.runq.pop()
+	if !ok {
+		next = co.cpu.steal(co)
+		if next == nil {
+			return
+		}
+	}
+	c := co.cpu
+	co.cur = next
+	co.planned = -1
+	next.state = StateRunning
+	next.core = co
+	next.lastCore = co
+	co.chargeCold(next)
+	// Context-switch cost charged as leading work on the incoming thread.
+	if c.cfg.CtxSwitchCycles > 0 {
+		next.work = append([]*workItem{{remaining: c.cfg.CtxSwitchCycles, tag: metrics.TagOthers}}, next.work...)
+		next.pending += c.cfg.CtxSwitchCycles
+	}
+	c.env.Schedule(0, co.startSlice)
+}
+
+// steal takes the head of the most-loaded other core's runqueue,
+// renormalizing vruntime between the queues.
+func (c *CPU) steal(dst *core) *Thread {
+	var src *core
+	for _, co := range c.cores {
+		if co == dst || len(co.runq) == 0 {
+			continue
+		}
+		if src == nil || len(co.runq) > len(src.runq) {
+			src = co
+		}
+	}
+	if src == nil {
+		return nil
+	}
+	t, _ := src.runq.pop()
+	t.vruntime += dst.minVR - src.minVR
+	if bound := dst.minVR - c.cfg.SleeperCredit; t.vruntime < bound {
+		t.vruntime = bound
+	}
+	return t
+}
+
+// consume charges cycles through the thread's FIFO work items.
+func (c *CPU) consume(t *Thread, cycles int64) {
+	for cycles > 0 && len(t.work) > 0 {
+		it := t.work[0]
+		use := it.remaining
+		if use > cycles {
+			use = cycles
+		}
+		it.remaining -= use
+		t.pending -= use
+		t.consumed += use
+		cycles -= use
+		c.reg.AddCycles(t.entity, it.tag, use)
+		if it.remaining == 0 {
+			t.work = t.work[1:]
+			if it.onDone != nil {
+				c.env.Schedule(0, it.onDone)
+			}
+		}
+	}
+}
+
+// updateMinVR advances this core's monotone minimum vruntime.
+func (co *core) updateMinVR() {
+	min := time.Duration(1<<62 - 1)
+	found := false
+	if co.cur != nil {
+		min = co.cur.vruntime
+		found = true
+	}
+	if next, ok := co.runq.peek(); ok && next.vruntime < min {
+		min = next.vruntime
+		found = true
+	}
+	if found && min > co.minVR {
+		co.minVR = min
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Periodic load balancing. The balancer self-arms on wake and disarms when
+// the machine is fully idle, so it never keeps the event loop alive.
+
+func (c *CPU) armBalancer() {
+	if c.balArmed {
+		return
+	}
+	c.balArmed = true
+	c.env.Schedule(c.cfg.BalanceInterval, c.balanceTick)
+}
+
+func (c *CPU) balanceTick() {
+	c.balArmed = false
+	busy := false
+	for _, co := range c.cores {
+		if co.cur != nil || len(co.runq) > 0 {
+			busy = true
+			break
+		}
+	}
+	if !busy {
+		return
+	}
+	// Move one queued thread from the most- to the least-loaded core
+	// whenever the loads differ. A 3-vs-2 split oscillates under this rule,
+	// which is exactly how long-run fairness emerges for thread counts that
+	// don't divide the core count (the kernel's periodic load balancing).
+	var maxC, minC *core
+	for _, co := range c.cores {
+		if maxC == nil || co.load() > maxC.load() {
+			maxC = co
+		}
+		if minC == nil || co.load() < minC.load() {
+			minC = co
+		}
+	}
+	if maxC != minC && maxC.load() > minC.load() && len(maxC.runq) > 0 {
+		t, _ := maxC.runq.pop()
+		t.vruntime += minC.minVR - maxC.minVR
+		if minC.cur == nil {
+			c.dispatch(minC, t, c.cfg.WakeLatency)
+		} else {
+			minC.enqueue(t)
+		}
+	}
+	c.armBalancer()
+}
+
+// ---------------------------------------------------------------------------
+// Runqueue heap ordered by (vruntime, seq).
+
+type threadHeap []*Thread
+
+func (h threadHeap) Len() int { return len(h) }
+func (h threadHeap) Less(i, j int) bool {
+	if h[i].vruntime != h[j].vruntime {
+		return h[i].vruntime < h[j].vruntime
+	}
+	return h[i].seq < h[j].seq
+}
+func (h threadHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *threadHeap) Push(x interface{}) { *h = append(*h, x.(*Thread)) }
+func (h *threadHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+func (h *threadHeap) peek() (*Thread, bool) {
+	if len(*h) == 0 {
+		return nil, false
+	}
+	return (*h)[0], true
+}
+
+func (h *threadHeap) pop() (*Thread, bool) {
+	if len(*h) == 0 {
+		return nil, false
+	}
+	return heap.Pop(h).(*Thread), true
+}

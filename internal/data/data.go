@@ -1,0 +1,184 @@
+// Package data provides the byte-content abstractions that flow through the
+// simulated I/O stack.
+//
+// Every component moves Slices — references to Content plus an offset/length
+// window — rather than materialized byte slices, so a simulated 5 GB DFSIO
+// job does not memcpy 5 GB of real memory. Content is either literal bytes
+// (tests verify end-to-end integrity with them) or a deterministic pattern
+// keyed by a seed (benchmark payloads, still verifiable at any byte range).
+package data
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Content is an immutable, random-access byte source.
+type Content interface {
+	// Len returns the total length in bytes.
+	Len() int64
+	// ReadAt fills b with the bytes starting at off. It panics if the range
+	// [off, off+len(b)) is outside the content; callers slice first.
+	ReadAt(b []byte, off int64)
+}
+
+// Bytes is literal in-memory content.
+type Bytes []byte
+
+// Len implements Content.
+func (c Bytes) Len() int64 { return int64(len(c)) }
+
+// ReadAt implements Content.
+func (c Bytes) ReadAt(b []byte, off int64) {
+	copy(b, c[off:])
+}
+
+// Pattern is deterministic pseudo-random content of a given size, generated
+// from a seed. Two Patterns with the same seed and size are byte-identical,
+// so integrity can be checked without storing the payload.
+type Pattern struct {
+	Seed uint64
+	Size int64
+}
+
+// Len implements Content.
+func (p Pattern) Len() int64 { return p.Size }
+
+// ReadAt implements Content.
+func (p Pattern) ReadAt(b []byte, off int64) {
+	for i := range b {
+		b[i] = p.byteAt(off + int64(i))
+	}
+}
+
+// byteAt returns the pattern byte at absolute offset off using a splitmix64
+// mix of the seed and the 8-byte lane index.
+func (p Pattern) byteAt(off int64) byte {
+	lane := uint64(off >> 3)
+	x := p.Seed + 0x9e3779b97f4a7c15*(lane+1)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return byte(x >> (8 * uint(off&7)))
+}
+
+// Zero is all-zero content of a given size.
+type Zero int64
+
+// Len implements Content.
+func (z Zero) Len() int64 { return int64(z) }
+
+// ReadAt implements Content.
+func (z Zero) ReadAt(b []byte, off int64) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// Concat is the concatenation of several Contents (how append-only files
+// accumulate chunks without copying).
+type Concat []Content
+
+// Len implements Content.
+func (c Concat) Len() int64 {
+	var n int64
+	for _, part := range c {
+		n += part.Len()
+	}
+	return n
+}
+
+// ReadAt implements Content.
+func (c Concat) ReadAt(b []byte, off int64) {
+	for _, part := range c {
+		if len(b) == 0 {
+			return
+		}
+		n := part.Len()
+		if off >= n {
+			off -= n
+			continue
+		}
+		take := n - off
+		if take > int64(len(b)) {
+			take = int64(len(b))
+		}
+		part.ReadAt(b[:take], off)
+		b = b[take:]
+		off = 0
+	}
+	if len(b) > 0 {
+		panic("data: Concat.ReadAt past end")
+	}
+}
+
+// Slice is a window into Content: the unit that moves through the simulated
+// stack. Copying a Slice is free; materializing bytes is explicit.
+type Slice struct {
+	C   Content
+	Off int64
+	N   int64
+}
+
+// NewSlice returns a Slice covering all of c.
+func NewSlice(c Content) Slice { return Slice{C: c, N: c.Len()} }
+
+// Len returns the window length.
+func (s Slice) Len() int64 { return s.N }
+
+// Sub returns the sub-window [off, off+n) of s.
+func (s Slice) Sub(off, n int64) Slice {
+	if off < 0 || n < 0 || off+n > s.N {
+		panic(fmt.Sprintf("data: Sub(%d,%d) out of window %d", off, n, s.N))
+	}
+	return Slice{C: s.C, Off: s.Off + off, N: n}
+}
+
+// Content adapts the window into a standalone Content (no copying).
+func (s Slice) Content() Content {
+	if s.Off == 0 && s.C != nil && s.N == s.C.Len() {
+		return s.C
+	}
+	return window{s}
+}
+
+type window struct{ s Slice }
+
+func (w window) Len() int64 { return w.s.N }
+func (w window) ReadAt(b []byte, off int64) {
+	w.s.C.ReadAt(b, w.s.Off+off)
+}
+
+// Bytes materializes the window. Intended for tests and small final reads.
+func (s Slice) Bytes() []byte {
+	b := make([]byte, s.N)
+	if s.N > 0 {
+		s.C.ReadAt(b, s.Off)
+	}
+	return b
+}
+
+// Equal reports whether two slices have identical bytes (materializing in
+// bounded chunks).
+func Equal(a, b Slice) bool {
+	if a.N != b.N {
+		return false
+	}
+	const chunk = 64 << 10
+	bufA := make([]byte, chunk)
+	bufB := make([]byte, chunk)
+	for off := int64(0); off < a.N; off += chunk {
+		n := a.N - off
+		if n > chunk {
+			n = chunk
+		}
+		a.C.ReadAt(bufA[:n], a.Off+off)
+		b.C.ReadAt(bufB[:n], b.Off+off)
+		if !bytes.Equal(bufA[:n], bufB[:n]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,162 @@
+package data
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestBytesContent(t *testing.T) {
+	c := Bytes("hello world")
+	if c.Len() != 11 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	b := make([]byte, 5)
+	c.ReadAt(b, 6)
+	if string(b) != "world" {
+		t.Fatalf("ReadAt = %q", b)
+	}
+}
+
+func TestPatternDeterministic(t *testing.T) {
+	p1 := Pattern{Seed: 42, Size: 1024}
+	p2 := Pattern{Seed: 42, Size: 1024}
+	a := make([]byte, 1024)
+	b := make([]byte, 1024)
+	p1.ReadAt(a, 0)
+	p2.ReadAt(b, 0)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same-seed patterns differ")
+	}
+	p3 := Pattern{Seed: 43, Size: 1024}
+	p3.ReadAt(b, 0)
+	if bytes.Equal(a, b) {
+		t.Fatal("different-seed patterns identical")
+	}
+}
+
+func TestPatternOffsetConsistency(t *testing.T) {
+	// Reading [100,200) in one call equals reading it byte by byte.
+	p := Pattern{Seed: 7, Size: 1 << 20}
+	whole := make([]byte, 100)
+	p.ReadAt(whole, 100)
+	for i := 0; i < 100; i++ {
+		one := make([]byte, 1)
+		p.ReadAt(one, 100+int64(i))
+		if one[0] != whole[i] {
+			t.Fatalf("byte %d differs: %x vs %x", i, one[0], whole[i])
+		}
+	}
+}
+
+func TestZero(t *testing.T) {
+	z := Zero(16)
+	b := []byte{1, 2, 3, 4}
+	z.ReadAt(b, 4)
+	for _, v := range b {
+		if v != 0 {
+			t.Fatal("Zero content returned nonzero")
+		}
+	}
+}
+
+func TestConcat(t *testing.T) {
+	c := Concat{Bytes("abc"), Bytes("de"), Bytes("fghi")}
+	if c.Len() != 9 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	b := make([]byte, 9)
+	c.ReadAt(b, 0)
+	if string(b) != "abcdefghi" {
+		t.Fatalf("full read = %q", b)
+	}
+	// Cross-boundary read.
+	b = make([]byte, 4)
+	c.ReadAt(b, 2)
+	if string(b) != "cdef" {
+		t.Fatalf("cross read = %q", b)
+	}
+}
+
+func TestSliceSubAndBytes(t *testing.T) {
+	s := NewSlice(Bytes("0123456789"))
+	sub := s.Sub(3, 4)
+	if got := string(sub.Bytes()); got != "3456" {
+		t.Fatalf("Sub bytes = %q", got)
+	}
+	subsub := sub.Sub(1, 2)
+	if got := string(subsub.Bytes()); got != "45" {
+		t.Fatalf("nested Sub = %q", got)
+	}
+}
+
+func TestSliceSubOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSlice(Bytes("abc")).Sub(1, 3)
+}
+
+func TestEqual(t *testing.T) {
+	a := NewSlice(Pattern{Seed: 5, Size: 200_000})
+	b := NewSlice(Pattern{Seed: 5, Size: 200_000})
+	if !Equal(a, b) {
+		t.Fatal("identical patterns not Equal")
+	}
+	c := NewSlice(Pattern{Seed: 6, Size: 200_000})
+	if Equal(a, c) {
+		t.Fatal("different patterns Equal")
+	}
+	if Equal(a, a.Sub(0, 100)) {
+		t.Fatal("different lengths Equal")
+	}
+}
+
+// Property: any Sub window of a Concat matches the same window of the
+// materialized whole.
+func TestConcatWindowProperty(t *testing.T) {
+	f := func(parts [][]byte, offRaw, nRaw uint16) bool {
+		var c Concat
+		var whole []byte
+		for _, p := range parts {
+			c = append(c, Bytes(p))
+			whole = append(whole, p...)
+		}
+		total := int64(len(whole))
+		if total == 0 {
+			return true
+		}
+		off := int64(offRaw) % total
+		n := int64(nRaw) % (total - off + 1)
+		got := NewSlice(c).Sub(off, n).Bytes()
+		return bytes.Equal(got, whole[off:off+n])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Pattern reads are window-consistent for arbitrary windows.
+func TestPatternWindowProperty(t *testing.T) {
+	f := func(seed uint64, offRaw, nRaw uint16) bool {
+		p := Pattern{Seed: seed, Size: 1 << 18}
+		off := int64(offRaw)
+		n := int64(nRaw)
+		if off+n > p.Size {
+			return true
+		}
+		whole := make([]byte, n)
+		p.ReadAt(whole, off)
+		half := n / 2
+		a := make([]byte, half)
+		b := make([]byte, n-half)
+		p.ReadAt(a, off)
+		p.ReadAt(b, off+half)
+		return bytes.Equal(whole, append(a, b...))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+package data
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPatternWindowConsistency: any two ways of materializing the same
+// window of a Pattern agree byte for byte.
+func FuzzPatternWindowConsistency(f *testing.F) {
+	f.Add(uint64(1), int64(0), int64(100))
+	f.Add(uint64(999), int64(7), int64(4096))
+	f.Add(uint64(0), int64(63), int64(1))
+	f.Fuzz(func(t *testing.T, seed uint64, off, n int64) {
+		const size = 1 << 16
+		if off < 0 || n < 0 || n > size || off > size-n {
+			t.Skip()
+		}
+		p := Pattern{Seed: seed, Size: size}
+		whole := make([]byte, n)
+		p.ReadAt(whole, off)
+		via := NewSlice(p).Sub(off, n).Bytes()
+		if !bytes.Equal(whole, via) {
+			t.Fatalf("direct and Slice reads differ for seed=%d off=%d n=%d", seed, off, n)
+		}
+	})
+}
+
+// FuzzConcatSplit: splitting content at an arbitrary point and
+// concatenating the halves is identity.
+func FuzzConcatSplit(f *testing.F) {
+	f.Add([]byte("hello world"), 3)
+	f.Add([]byte{}, 0)
+	f.Add([]byte{1}, 1)
+	f.Fuzz(func(t *testing.T, b []byte, cut int) {
+		if cut < 0 || cut > len(b) {
+			t.Skip()
+		}
+		c := Concat{Bytes(append([]byte(nil), b[:cut]...)), Bytes(append([]byte(nil), b[cut:]...))}
+		if c.Len() != int64(len(b)) {
+			t.Fatalf("Len = %d, want %d", c.Len(), len(b))
+		}
+		got := NewSlice(c).Bytes()
+		if !bytes.Equal(got, b) {
+			t.Fatalf("split/concat not identity")
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"vread/internal/core"
+	"vread/internal/data"
+	"vread/internal/metrics"
+	"vread/internal/sim"
+)
+
+// BreakdownRow is one stacked bar of Figures 6, 7 or 8: the per-tag CPU
+// utilization of one side (client or datanode) under one system.
+type BreakdownRow struct {
+	Figure    string             // "fig6" | "fig7" | "fig8"
+	Side      string             // "client" | "datanode"
+	System    string             // "vanilla" | "vRead"
+	Breakdown map[string]float64 // tag → fraction of one core
+}
+
+// Total returns the bar height (entity utilization, 0..1 of a core).
+func (r BreakdownRow) Total() float64 {
+	var t float64
+	for _, v := range r.Breakdown {
+		t += v
+	}
+	return t
+}
+
+// RunFig6 reproduces Figure 6: CPU utilization of a co-located 1 GB read
+// with 1 MB requests, vanilla vs vRead, broken down by the paper's tags.
+func RunFig6(opt Options) ([]BreakdownRow, error) {
+	return runBreakdown(opt, "fig6", Colocated, core.TransportRDMA)
+}
+
+// RunFig7 reproduces Figure 7: the remote read with RDMA daemons.
+func RunFig7(opt Options) ([]BreakdownRow, error) {
+	return runBreakdown(opt, "fig7", Remote, core.TransportRDMA)
+}
+
+// RunFig8 reproduces Figure 8: the remote read with TCP daemons.
+func RunFig8(opt Options) ([]BreakdownRow, error) {
+	return runBreakdown(opt, "fig8", Remote, core.TransportTCP)
+}
+
+func runBreakdown(opt Options, figure string, scenario Scenario, tr core.Transport) ([]BreakdownRow, error) {
+	opt = opt.withDefaults()
+	opt.ExtraVMs = false
+	opt.Transport = tr
+	var rows []BreakdownRow
+	for _, vread := range []bool{true, false} {
+		o := opt
+		o.VRead = vread
+		tb := NewTestbed(o)
+		tb.Place(scenario)
+		fileSize := o.scaled(1<<30, 64<<20)
+		const path = "/bench/breakdown"
+		if err := tb.Run(figure+"-setup", time.Hour, func(p *sim.Proc) error {
+			return tb.Client.WriteFile(p, path, data.Pattern{Seed: 6, Size: fileSize})
+		}); err != nil {
+			tb.Close()
+			return nil, err
+		}
+		if err := tb.Run(figure+"-read", time.Hour, func(p *sim.Proc) error {
+			tb.DropAllCaches()
+			tb.C.Reg.MarkWindow(tb.C.Env.Now())
+			r, err := tb.Client.Open(p, path)
+			if err != nil {
+				return err
+			}
+			defer r.Close(p)
+			for {
+				if _, err := r.Read(p, 1<<20); err == io.EOF {
+					return nil
+				} else if err != nil {
+					return err
+				}
+			}
+		}); err != nil {
+			tb.Close()
+			return nil, err
+		}
+
+		now := tb.C.Env.Now()
+		freq := tb.Opt.FreqHz
+		clientBD := tb.C.Reg.Breakdown("client", now, freq)
+		var dnBD map[string]float64
+		if vread {
+			if scenario == Remote {
+				// Client side also includes its host's daemon (request +
+				// completion work); datanode side is the remote daemon.
+				merge(clientBD, tb.C.Reg.Breakdown(core.DaemonEntity("host1"), now, freq))
+				dnBD = tb.C.Reg.Breakdown(core.DaemonEntity("host2"), now, freq)
+			} else {
+				dnBD = tb.C.Reg.Breakdown(core.DaemonEntity("host1"), now, freq)
+			}
+		} else {
+			dn := "dn1"
+			if scenario == Remote {
+				dn = "dn2"
+			}
+			dnBD = tb.C.Reg.Breakdown(dn, now, freq)
+		}
+		rows = append(rows,
+			BreakdownRow{Figure: figure, Side: "client", System: sysName(vread), Breakdown: clientBD},
+			BreakdownRow{Figure: figure, Side: "datanode", System: sysName(vread), Breakdown: dnBD},
+		)
+		tb.Close()
+	}
+	return rows, nil
+}
+
+func merge(dst, src map[string]float64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// FormatBreakdownRows renders rows for CLI/bench output.
+func FormatBreakdownRows(rows []BreakdownRow) string {
+	out := ""
+	for _, r := range rows {
+		out += fmt.Sprintf("%s %-9s %-8s total %5.1f%%\n", r.Figure, r.Side, r.System, r.Total()*100)
+		out += metrics.FormatBreakdown(r.Breakdown)
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"vread/internal/core"
+)
+
+// OptionsJSON is the serializable form of Options used by scenario files
+// (cmd/vread-sim -config). Field names are stable; absent fields keep their
+// defaults.
+type OptionsJSON struct {
+	Seed             int64   `json:"seed,omitempty"`
+	FreqGHz          float64 `json:"freq_ghz,omitempty"`
+	ExtraVMs         bool    `json:"extra_vms,omitempty"`
+	VRead            bool    `json:"vread,omitempty"`
+	Transport        string  `json:"transport,omitempty"` // "rdma" | "tcp"
+	DirectDiskBypass bool    `json:"direct_disk_bypass,omitempty"`
+	SharedMemNet     bool    `json:"shared_mem_net,omitempty"`
+	SRIOV            bool    `json:"sriov,omitempty"`
+	ShortCircuit     bool    `json:"short_circuit,omitempty"`
+	Scale            float64 `json:"scale,omitempty"`
+	BlockSizeMB      int64   `json:"block_size_mb,omitempty"`
+	Scenario         string  `json:"scenario,omitempty"` // "co-located" | "remote" | "hybrid"
+}
+
+// ParseOptions decodes a scenario file into Options plus the placement
+// scenario (defaulting to co-located). Unknown fields are rejected so typos
+// fail loudly.
+func ParseOptions(raw []byte) (Options, Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var j OptionsJSON
+	if err := dec.Decode(&j); err != nil {
+		return Options{}, Colocated, fmt.Errorf("experiments: bad scenario config: %w", err)
+	}
+	opt := Options{
+		Seed:             j.Seed,
+		FreqHz:           int64(j.FreqGHz * 1e9),
+		ExtraVMs:         j.ExtraVMs,
+		VRead:            j.VRead,
+		DirectDiskBypass: j.DirectDiskBypass,
+		SharedMemNet:     j.SharedMemNet,
+		SRIOV:            j.SRIOV,
+		ShortCircuit:     j.ShortCircuit,
+		Scale:            j.Scale,
+		BlockSize:        j.BlockSizeMB << 20,
+	}
+	switch j.Transport {
+	case "", "rdma":
+		opt.Transport = core.TransportRDMA
+	case "tcp":
+		opt.Transport = core.TransportTCP
+	default:
+		return Options{}, Colocated, fmt.Errorf("experiments: unknown transport %q", j.Transport)
+	}
+	var scenario Scenario
+	switch j.Scenario {
+	case "", "co-located", "colocated":
+		scenario = Colocated
+	case "remote":
+		scenario = Remote
+	case "hybrid":
+		scenario = Hybrid
+	default:
+		return Options{}, Colocated, fmt.Errorf("experiments: unknown scenario %q", j.Scenario)
+	}
+	return opt, scenario, nil
+}

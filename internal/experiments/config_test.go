@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"vread/internal/core"
+)
+
+func TestParseOptionsFull(t *testing.T) {
+	raw := []byte(`{
+		"seed": 9,
+		"freq_ghz": 3.2,
+		"extra_vms": true,
+		"vread": true,
+		"transport": "tcp",
+		"sriov": true,
+		"scale": 0.5,
+		"block_size_mb": 32,
+		"scenario": "hybrid"
+	}`)
+	opt, scenario, err := ParseOptions(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Seed != 9 || opt.FreqHz != 3_200_000_000 || !opt.ExtraVMs || !opt.VRead {
+		t.Fatalf("opt = %+v", opt)
+	}
+	if opt.Transport != core.TransportTCP || !opt.SRIOV {
+		t.Fatalf("opt = %+v", opt)
+	}
+	if opt.Scale != 0.5 || opt.BlockSize != 32<<20 {
+		t.Fatalf("opt = %+v", opt)
+	}
+	if scenario != Hybrid {
+		t.Fatalf("scenario = %v", scenario)
+	}
+}
+
+func TestParseOptionsDefaults(t *testing.T) {
+	opt, scenario, err := ParseOptions([]byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Transport != core.TransportRDMA || scenario != Colocated {
+		t.Fatalf("defaults wrong: %+v %v", opt, scenario)
+	}
+	// The zero values defer to Options.withDefaults downstream.
+	o := opt.withDefaults()
+	if o.Seed != 1 || o.FreqHz != 2_000_000_000 {
+		t.Fatalf("withDefaults = %+v", o)
+	}
+}
+
+func TestParseOptionsRejectsUnknownFields(t *testing.T) {
+	_, _, err := ParseOptions([]byte(`{"sead": 9}`))
+	if err == nil || !strings.Contains(err.Error(), "sead") {
+		t.Fatalf("typo not rejected: %v", err)
+	}
+}
+
+func TestParseOptionsRejectsBadEnums(t *testing.T) {
+	if _, _, err := ParseOptions([]byte(`{"transport": "carrier-pigeon"}`)); err == nil {
+		t.Fatal("bad transport accepted")
+	}
+	if _, _, err := ParseOptions([]byte(`{"scenario": "somewhere"}`)); err == nil {
+		t.Fatal("bad scenario accepted")
+	}
+}

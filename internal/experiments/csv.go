@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// CSV export for every experiment row type, so the paper's plots can be
+// regenerated with any plotting tool (`vread-bench -csv` writes these).
+
+func writeCSV(header []string, rows [][]string) string {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	_ = w.Write(header)
+	_ = w.WriteAll(rows)
+	w.Flush()
+	return sb.String()
+}
+
+func f3(v float64) string        { return strconv.FormatFloat(v, 'f', 3, 64) }
+func msS(d time.Duration) string { return f3(ms(d)) }
+func boolS(b bool) string        { return strconv.FormatBool(b) }
+func intS(v int64) string        { return strconv.FormatInt(v, 10) }
+
+// CSVFig2 renders Figure 2 rows as CSV.
+func CSVFig2(rows []Fig2Row) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{intS(r.ReqSize), boolS(r.Cached), msS(r.InterVM), msS(r.Local)})
+	}
+	return writeCSV([]string{"request_bytes", "cached", "inter_vm_ms", "local_ms"}, out)
+}
+
+// CSVFig3 renders Figure 3 rows as CSV.
+func CSVFig3(rows []Fig3Row) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{intS(r.ReqSize), strconv.Itoa(r.VMs), f3(r.Rate)})
+	}
+	return writeCSV([]string{"request_bytes", "vms", "transactions_per_sec"}, out)
+}
+
+// CSVBreakdowns renders Figures 6–8 rows as long-form CSV (one line per
+// tag, ready for stacked-bar plotting).
+func CSVBreakdowns(rows []BreakdownRow) string {
+	var out [][]string
+	for _, r := range rows {
+		for tag, v := range r.Breakdown {
+			out = append(out, []string{r.Figure, r.Side, r.System, tag, f3(v * 100)})
+		}
+	}
+	return writeCSV([]string{"figure", "side", "system", "tag", "cpu_pct"}, out)
+}
+
+// CSVFig9 renders Figure 9 rows as CSV.
+func CSVFig9(rows []Fig9Row) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			intS(r.ReqSize), strconv.Itoa(r.VMs), boolS(r.Cached),
+			msS(r.Vanilla), msS(r.VRead), msS(r.VanillaP99), msS(r.VReadP99),
+		})
+	}
+	return writeCSV([]string{"request_bytes", "vms", "cached", "vanilla_ms", "vread_ms", "vanilla_p99_ms", "vread_p99_ms"}, out)
+}
+
+// CSVDFSIO renders Figures 11/12 rows as CSV.
+func CSVDFSIO(rows []DFSIORow) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Scenario.String(), strconv.Itoa(r.VMs), fmt.Sprintf("%.1f", float64(r.FreqHz)/1e9),
+			r.System, r.Mode, f3(r.Throughput), f3(r.CPUTimeMs),
+		})
+	}
+	return writeCSV([]string{"scenario", "vms", "freq_ghz", "system", "mode", "throughput_mbps", "cpu_ms"}, out)
+}
+
+// CSVFig13 renders Figure 13 rows as CSV.
+func CSVFig13(rows []Fig13Row) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Scenario.String(), r.System, f3(r.Throughput), intS(r.Refreshes)})
+	}
+	return writeCSV([]string{"scenario", "system", "throughput_mbps", "refreshes"}, out)
+}
+
+// CSVTable2 renders Table 2 rows as CSV.
+func CSVTable2(rows []Table2Row) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Phase, f3(r.Vanilla), f3(r.VRead), f3(r.Improvement())})
+	}
+	return writeCSV([]string{"phase", "vanilla_mbps", "vread_mbps", "improvement_pct"}, out)
+}
+
+// CSVTable3 renders Table 3 rows as CSV.
+func CSVTable3(rows []Table3Row) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Workload, msS(r.Vanilla), msS(r.VRead), f3(r.Reduction())})
+	}
+	return writeCSV([]string{"workload", "vanilla_ms", "vread_ms", "reduction_pct"}, out)
+}
+
+// CSVAblations renders ablation rows as CSV.
+func CSVAblations(rows []AblationRow) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Study, r.Config, f3(r.Value), r.Unit})
+	}
+	return writeCSV([]string{"study", "config", "value", "unit"}, out)
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vread/internal/mapred"
+	"vread/internal/sim"
+	"vread/internal/workload"
+)
+
+// DFSIORow is one bar of Figures 11 and 12: a TestDFSIO run under one
+// (scenario, VM count, frequency, system, read mode) point.
+type DFSIORow struct {
+	Scenario   Scenario
+	VMs        int
+	FreqHz     int64
+	System     string  // "vanilla" | "vRead"
+	Mode       string  // "read" | "re-read"
+	Throughput float64 // MB/s, TestDFSIO's metric (fig 11)
+	CPUTimeMs  float64 // CPU running time in ms (fig 12)
+}
+
+// RunFig11and12 reproduces Figures 11 and 12: the full TestDFSIO grid.
+// Every testbed writes the dataset once, reads it cold ("read"), then reads
+// it again warm ("re-read") — the paper's read vs re-read pairs.
+func RunFig11and12(opt Options) ([]DFSIORow, error) {
+	opt = opt.withDefaults()
+	var rows []DFSIORow
+	for _, scenario := range []Scenario{Colocated, Remote, Hybrid} {
+		for _, vms := range []int{2, 4} {
+			for _, freq := range PaperFreqs {
+				for _, vread := range []bool{false, true} {
+					pair, err := runDFSIOOnce(opt, scenario, vms, freq, vread)
+					if err != nil {
+						return nil, err
+					}
+					rows = append(rows, pair...)
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RunDFSIOPoint runs a single grid point (used by the CLI and ablations).
+func RunDFSIOPoint(opt Options, scenario Scenario, vms int, freq int64, vread bool) ([]DFSIORow, error) {
+	return runDFSIOOnce(opt.withDefaults(), scenario, vms, freq, vread)
+}
+
+func runDFSIOOnce(opt Options, scenario Scenario, vms int, freq int64, vread bool) ([]DFSIORow, error) {
+	o := opt
+	o.FreqHz = freq
+	o.ExtraVMs = vms == 4
+	o.VRead = vread
+	tb := NewTestbed(o)
+	defer tb.Close()
+	tb.Place(scenario)
+
+	// The paper reads 5 GB with the default 1 MB buffer.
+	cfg := workload.DFSIOConfig{
+		Files:    5,
+		FileSize: o.scaled(1<<30, 16<<20),
+		Seed:     uint64(o.Seed),
+	}
+	trackers := []*mapred.Tracker{tb.Tracker}
+	label := fmt.Sprintf("dfsio-%s-%dvms-%s-%s", scenario, vms, GHz(freq), sysName(vread))
+
+	var cold, warm workload.DFSIOResult
+	if err := tb.Run(label, 4*time.Hour, func(p *sim.Proc) error {
+		if _, err := workload.RunDFSIOWrite(p, tb.Engine, trackers, cfg); err != nil {
+			return err
+		}
+		tb.DropAllCaches()
+		var err error
+		if cold, err = workload.RunDFSIORead(p, tb.Engine, trackers, cfg); err != nil {
+			return err
+		}
+		warm, err = workload.RunDFSIORead(p, tb.Engine, trackers, cfg)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	mk := func(mode string, res workload.DFSIOResult) DFSIORow {
+		return DFSIORow{
+			Scenario:   scenario,
+			VMs:        vms,
+			FreqHz:     freq,
+			System:     sysName(vread),
+			Mode:       mode,
+			Throughput: res.Throughput(),
+			CPUTimeMs:  float64(res.CPUTime(freq)) / float64(time.Millisecond),
+		}
+	}
+	return []DFSIORow{mk("read", cold), mk("re-read", warm)}, nil
+}
+
+// Fig13Row is one bar of Figure 13: TestDFSIO-write throughput.
+type Fig13Row struct {
+	Scenario   Scenario
+	System     string
+	Throughput float64 // MB/s
+	Refreshes  int64   // vRead dentry refreshes triggered by the write
+}
+
+// RunFig13 reproduces Figure 13: write throughput with and without vRead's
+// mount-point refresh on the write path (the overhead the figure shows to
+// be negligible). CPU fixed at 2.0 GHz per the paper.
+func RunFig13(opt Options) ([]Fig13Row, error) {
+	opt = opt.withDefaults()
+	opt.FreqHz = 2_000_000_000
+	var rows []Fig13Row
+	for _, scenario := range []Scenario{Colocated, Remote, Hybrid} {
+		for _, vread := range []bool{false, true} {
+			o := opt
+			o.VRead = vread
+			o.ExtraVMs = false
+			tb := NewTestbed(o)
+			tb.Place(scenario)
+			cfg := workload.DFSIOConfig{
+				Files:    5,
+				FileSize: o.scaled(1<<30, 16<<20),
+				Seed:     uint64(o.Seed),
+			}
+			var res workload.DFSIOResult
+			if err := tb.Run(fmt.Sprintf("fig13-%s-%s", scenario, sysName(vread)), 4*time.Hour, func(p *sim.Proc) error {
+				r, err := workload.RunDFSIOWrite(p, tb.Engine, []*mapred.Tracker{tb.Tracker}, cfg)
+				if err != nil {
+					return err
+				}
+				res = r
+				return nil
+			}); err != nil {
+				tb.Close()
+				return nil, err
+			}
+			row := Fig13Row{Scenario: scenario, System: sysName(vread), Throughput: res.Throughput()}
+			if tb.Mgr != nil {
+				row.Refreshes = tb.Mgr.Refreshes()
+			}
+			rows = append(rows, row)
+			tb.Close()
+		}
+	}
+	return rows, nil
+}

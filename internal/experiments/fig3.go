@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vread/internal/sim"
+	"vread/internal/workload"
+)
+
+// Fig3ReqSizes is Figure 3's request-size sweep.
+var Fig3ReqSizes = []int64{32 << 10, 64 << 10, 128 << 10}
+
+// Fig3Row is one bar of Figure 3: netperf TCP_RR rate between two co-located
+// VMs at one request size and VM count.
+type Fig3Row struct {
+	ReqSize int64
+	VMs     int
+	Rate    float64 // transactions/second
+}
+
+// RunFig3 reproduces Figure 3: I/O-thread synchronization overhead. A
+// netperf server and client in two co-located VMs on a quad-core host; the
+// 4-VM variant adds two 85% lookbusy VMs.
+func RunFig3(opt Options) ([]Fig3Row, error) {
+	opt = opt.withDefaults()
+	dur := 2 * time.Second
+	var rows []Fig3Row
+	for _, vms := range []int{2, 4} {
+		o := opt
+		o.VRead = false
+		o.ExtraVMs = false
+		tb := NewTestbed(o)
+		if vms == 4 {
+			// Figure 3's setup: exactly 2 lookbusy VMs on the netperf host.
+			for i := 0; i < 2; i++ {
+				hog := tb.C.Host("host1").AddVM(fmt.Sprintf("nphog%d", i), "hog")
+				workload.StartLookbusy(hog, 0.85, 0)
+			}
+		}
+		workload.StartNetperfServer(tb.C.VM("dn1").Kernel)
+		for _, req := range Fig3ReqSizes {
+			var res workload.NetperfResult
+			if err := tb.Run(fmt.Sprintf("fig3-%d-%d", vms, req), time.Hour, func(p *sim.Proc) error {
+				r, err := workload.RunNetperfRR(p, tb.C.VM("client").Kernel, "dn1", req, dur)
+				if err != nil {
+					return err
+				}
+				res = r
+				return nil
+			}); err != nil {
+				tb.Close()
+				return nil, err
+			}
+			rows = append(rows, Fig3Row{ReqSize: req, VMs: vms, Rate: res.Rate()})
+		}
+		tb.Close()
+	}
+	return rows, nil
+}

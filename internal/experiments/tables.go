@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"vread/internal/sim"
+	"vread/internal/workload"
+)
+
+// Table2Row is one row of Table 2: an HBase PerformanceEvaluation phase.
+type Table2Row struct {
+	Phase   string  // "Scan" | "SequentialRead" | "RandomRead"
+	Vanilla float64 // MB/s
+	VRead   float64 // MB/s
+}
+
+// Improvement returns the percentage improvement of vRead over vanilla.
+func (r Table2Row) Improvement() float64 {
+	if r.Vanilla == 0 {
+		return 0
+	}
+	return (r.VRead - r.Vanilla) / r.Vanilla * 100
+}
+
+// RunTable2 reproduces Table 2: HBase-0.94 PerformanceEvaluation over the
+// hybrid 4-VM setup at 2.0 GHz (frequency scaling disabled, as the paper
+// notes). The paper inserts 5 million rows; Scale shrinks that.
+func RunTable2(opt Options) ([]Table2Row, error) {
+	opt = opt.withDefaults()
+	opt.FreqHz = 2_000_000_000
+	opt.ExtraVMs = true
+
+	rows := []Table2Row{{Phase: "Scan"}, {Phase: "SequentialRead"}, {Phase: "RandomRead"}}
+	for _, vread := range []bool{false, true} {
+		o := opt
+		o.VRead = vread
+		tb := NewTestbed(o)
+		tb.Place(Hybrid)
+		cfg := workload.HBaseConfig{
+			Rows: o.scaled(5_000_000, 20_000),
+			Seed: uint64(o.Seed),
+		}
+		// PE scans the full table; the get phases read a slice of it so the
+		// run stays tractable at every scale.
+		getRows := cfg.Rows / 10
+		if getRows < 1000 {
+			getRows = 1000
+		}
+		var scan, seq, rnd workload.PEResult
+		if err := tb.Run("table2-"+sysName(vread), 8*time.Hour, func(p *sim.Proc) error {
+			h, err := workload.SetupHBase(p, tb.Client, cfg)
+			if err != nil {
+				return err
+			}
+			tb.DropAllCaches()
+			if scan, err = h.Scan(p, cfg.Rows); err != nil {
+				return err
+			}
+			if seq, err = h.SequentialRead(p, getRows); err != nil {
+				return err
+			}
+			rng := rand.New(rand.NewSource(o.Seed))
+			rnd, err = h.RandomRead(p, getRows, rng)
+			return err
+		}); err != nil {
+			tb.Close()
+			return nil, err
+		}
+		vals := []float64{scan.MBps(), seq.MBps(), rnd.MBps()}
+		for i := range rows {
+			if vread {
+				rows[i].VRead = vals[i]
+			} else {
+				rows[i].Vanilla = vals[i]
+			}
+		}
+		tb.Close()
+	}
+	return rows, nil
+}
+
+// Table3Row is one column of Table 3: a completion time pair.
+type Table3Row struct {
+	Workload string // "Hive select" | "Sqoop export"
+	Vanilla  time.Duration
+	VRead    time.Duration
+}
+
+// Reduction returns the percentage time reduction from vRead.
+func (r Table3Row) Reduction() float64 {
+	if r.Vanilla == 0 {
+		return 0
+	}
+	return float64(r.Vanilla-r.VRead) / float64(r.Vanilla) * 100
+}
+
+// RunTable3 reproduces Table 3: the Hive range select over 30 M rows and
+// the Sqoop export of the same table into an external MySQL, on the hybrid
+// 4-VM setup at 2.0 GHz.
+func RunTable3(opt Options) ([]Table3Row, error) {
+	opt = opt.withDefaults()
+	opt.FreqHz = 2_000_000_000
+	opt.ExtraVMs = true
+
+	rows := []Table3Row{{Workload: "Hive select"}, {Workload: "Sqoop export"}}
+	for _, vread := range []bool{false, true} {
+		o := opt
+		o.VRead = vread
+		tb := NewTestbed(o)
+		tb.Place(Hybrid)
+		table := workload.HiveConfig{
+			Rows: o.scaled(30_000_000, 100_000),
+			Seed: uint64(o.Seed),
+		}
+		var hive workload.HiveResult
+		var sqoop workload.SqoopResult
+		if err := tb.Run("table3-"+sysName(vread), 8*time.Hour, func(p *sim.Proc) error {
+			if err := workload.SetupHiveTable(p, tb.Client, table); err != nil {
+				return err
+			}
+			tb.DropAllCaches()
+			var err error
+			if hive, err = workload.RunHiveSelect(p, tb.Engine, table); err != nil {
+				return err
+			}
+			tb.DropAllCaches()
+			sqoop, err = workload.RunSqoopExport(p, tb.Engine, workload.SqoopConfig{Table: table})
+			return err
+		}); err != nil {
+			tb.Close()
+			return nil, err
+		}
+		if vread {
+			rows[0].VRead = hive.Elapsed
+			rows[1].VRead = sqoop.Elapsed
+		} else {
+			rows[0].Vanilla = hive.Elapsed
+			rows[1].Vanilla = sqoop.Elapsed
+		}
+		tb.Close()
+	}
+	return rows, nil
+}

@@ -1,0 +1,371 @@
+// Package fsim implements the file system that lives inside a datanode VM's
+// disk image, plus the host-side read-only mount that the vRead daemon uses
+// to reach it.
+//
+// The FS is a plain hierarchical inode store (directories, append-only file
+// chunks) with no notion of time — the guest kernel and virtio layers charge
+// cycles and device I/O around it. What it does model carefully is the
+// paper's consistency mechanism: a HostMount takes a *snapshot* of the
+// dentry/inode state at mount time (the hypervisor's mount of the image as a
+// loop device), so files the guest creates afterwards are invisible to the
+// host until Refresh — exactly the staleness that vRead_update exists to fix
+// (§3.2, §4 of the paper).
+package fsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"vread/internal/data"
+)
+
+// Errors returned by FS and HostMount operations.
+var (
+	ErrNotExist = errors.New("fsim: no such file or directory")
+	ErrExist    = errors.New("fsim: file exists")
+	ErrIsDir    = errors.New("fsim: is a directory")
+	ErrNotDir   = errors.New("fsim: not a directory")
+	ErrRange    = errors.New("fsim: read out of range")
+	ErrStale    = errors.New("fsim: stale mount (file not in dentry cache)")
+)
+
+// Ino is an inode number, unique within one FS.
+type Ino int64
+
+// Inode is a file or directory. Files accumulate immutable content chunks
+// (append-only, matching HDFS block files); directories map names to inodes.
+type Inode struct {
+	ino     Ino
+	isDir   bool
+	chunks  data.Concat
+	size    int64
+	entries map[string]*Inode
+}
+
+// Ino returns the inode number.
+func (n *Inode) Ino() Ino { return n.ino }
+
+// IsDir reports whether the inode is a directory.
+func (n *Inode) IsDir() bool { return n.isDir }
+
+// Size returns the file size in bytes (0 for directories).
+func (n *Inode) Size() int64 { return n.size }
+
+// FS is one file system instance.
+type FS struct {
+	name    string
+	nextIno Ino
+	root    *Inode
+	files   int
+}
+
+// New creates an empty file system.
+func New(name string) *FS {
+	fs := &FS{name: name, nextIno: 1}
+	fs.root = &Inode{ino: 1, isDir: true, entries: make(map[string]*Inode)}
+	return fs
+}
+
+// Name returns the FS label.
+func (fs *FS) Name() string { return fs.name }
+
+// FileCount returns the number of regular files.
+func (fs *FS) FileCount() int { return fs.files }
+
+func splitPath(path string) []string {
+	var parts []string
+	for _, p := range strings.Split(path, "/") {
+		if p != "" {
+			parts = append(parts, p)
+		}
+	}
+	return parts
+}
+
+// lookup resolves a path to its inode.
+func (fs *FS) lookup(path string) (*Inode, error) {
+	cur := fs.root
+	for _, part := range splitPath(path) {
+		if !cur.isDir {
+			return nil, fmt.Errorf("%w: %s", ErrNotDir, path)
+		}
+		next, ok := cur.entries[part]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// lookupParent resolves the directory containing path and the final name.
+func (fs *FS) lookupParent(path string) (*Inode, string, error) {
+	parts := splitPath(path)
+	if len(parts) == 0 {
+		return nil, "", fmt.Errorf("%w: cannot use root here", ErrIsDir)
+	}
+	dirParts, name := parts[:len(parts)-1], parts[len(parts)-1]
+	cur := fs.root
+	for _, part := range dirParts {
+		next, ok := cur.entries[part]
+		if !ok {
+			return nil, "", fmt.Errorf("%w: %s", ErrNotExist, path)
+		}
+		if !next.isDir {
+			return nil, "", fmt.Errorf("%w: %s", ErrNotDir, path)
+		}
+		cur = next
+	}
+	return cur, name, nil
+}
+
+// MkdirAll creates the directory path and all parents.
+func (fs *FS) MkdirAll(path string) error {
+	cur := fs.root
+	for _, part := range splitPath(path) {
+		next, ok := cur.entries[part]
+		if !ok {
+			fs.nextIno++
+			next = &Inode{ino: fs.nextIno, isDir: true, entries: make(map[string]*Inode)}
+			cur.entries[part] = next
+		} else if !next.isDir {
+			return fmt.Errorf("%w: %s", ErrNotDir, path)
+		}
+		cur = next
+	}
+	return nil
+}
+
+// Create makes an empty file. Parents must exist; the file must not.
+func (fs *FS) Create(path string) (*Inode, error) {
+	dir, name, err := fs.lookupParent(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := dir.entries[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExist, path)
+	}
+	fs.nextIno++
+	node := &Inode{ino: fs.nextIno}
+	dir.entries[name] = node
+	fs.files++
+	return node, nil
+}
+
+// Append adds content to the end of an existing file.
+func (fs *FS) Append(path string, c data.Content) error {
+	node, err := fs.lookup(path)
+	if err != nil {
+		return err
+	}
+	if node.isDir {
+		return fmt.Errorf("%w: %s", ErrIsDir, path)
+	}
+	node.chunks = append(node.chunks, c)
+	node.size += c.Len()
+	return nil
+}
+
+// WriteFile creates (or replaces) a file with the given content.
+func (fs *FS) WriteFile(path string, c data.Content) error {
+	if node, err := fs.lookup(path); err == nil {
+		if node.isDir {
+			return fmt.Errorf("%w: %s", ErrIsDir, path)
+		}
+		node.chunks = data.Concat{c}
+		node.size = c.Len()
+		return nil
+	}
+	node, err := fs.Create(path)
+	if err != nil {
+		return err
+	}
+	node.chunks = data.Concat{c}
+	node.size = c.Len()
+	return nil
+}
+
+// ReadAt returns the byte window [off, off+n) of the file at path.
+func (fs *FS) ReadAt(path string, off, n int64) (data.Slice, error) {
+	node, err := fs.lookup(path)
+	if err != nil {
+		return data.Slice{}, err
+	}
+	return readInode(node, off, n, node.size, path)
+}
+
+func readInode(node *Inode, off, n, limit int64, path string) (data.Slice, error) {
+	if node.isDir {
+		return data.Slice{}, fmt.Errorf("%w: %s", ErrIsDir, path)
+	}
+	if off < 0 || n < 0 || off+n > limit {
+		return data.Slice{}, fmt.Errorf("%w: [%d,%d) of %d in %s", ErrRange, off, off+n, limit, path)
+	}
+	return data.Slice{C: node.chunks, Off: off, N: n}, nil
+}
+
+// Stat returns the inode for path.
+func (fs *FS) Stat(path string) (*Inode, error) { return fs.lookup(path) }
+
+// Remove deletes a file or empty directory.
+func (fs *FS) Remove(path string) error {
+	dir, name, err := fs.lookupParent(path)
+	if err != nil {
+		return err
+	}
+	node, ok := dir.entries[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	if node.isDir && len(node.entries) > 0 {
+		return fmt.Errorf("fsim: directory not empty: %s", path)
+	}
+	delete(dir.entries, name)
+	if !node.isDir {
+		fs.files--
+	}
+	return nil
+}
+
+// Rename moves a file or directory. The destination must not exist.
+func (fs *FS) Rename(oldPath, newPath string) error {
+	oldDir, oldName, err := fs.lookupParent(oldPath)
+	if err != nil {
+		return err
+	}
+	node, ok := oldDir.entries[oldName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, oldPath)
+	}
+	newDir, newName, err := fs.lookupParent(newPath)
+	if err != nil {
+		return err
+	}
+	if _, ok := newDir.entries[newName]; ok {
+		return fmt.Errorf("%w: %s", ErrExist, newPath)
+	}
+	delete(oldDir.entries, oldName)
+	newDir.entries[newName] = node
+	return nil
+}
+
+// List returns the sorted entry names of a directory.
+func (fs *FS) List(path string) ([]string, error) {
+	node, err := fs.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if !node.isDir {
+		return nil, fmt.Errorf("%w: %s", ErrNotDir, path)
+	}
+	names := make([]string, 0, len(node.entries))
+	for name := range node.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Walk visits every regular file (sorted, depth-first) with its full path.
+func (fs *FS) Walk(fn func(path string, node *Inode)) {
+	fs.walkDir("", fs.root, fn)
+}
+
+func (fs *FS) walkDir(prefix string, dir *Inode, fn func(string, *Inode)) {
+	names := make([]string, 0, len(dir.entries))
+	for name := range dir.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		node := dir.entries[name]
+		path := prefix + "/" + name
+		if node.isDir {
+			fs.walkDir(path, node, fn)
+		} else {
+			fn(path, node)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Host-side read-only mount with a snapshot dentry/inode cache.
+
+// MountEntry is one cached dentry: the inode pointer plus the file size at
+// snapshot time. Reads through the mount are bounded by the snapshot size
+// even if the guest appended since (the hypervisor's cached metadata).
+type MountEntry struct {
+	Node *Inode
+	Size int64
+}
+
+// HostMount is the hypervisor's read-only view of a guest FS, as produced by
+// losetup/kpartx plus a read-only mount in the paper's prototype.
+type HostMount struct {
+	fs        *FS
+	dentries  map[string]MountEntry
+	refreshes int
+}
+
+// MountRO snapshots the FS's current files into a new mount.
+func MountRO(fs *FS) *HostMount {
+	m := &HostMount{fs: fs, dentries: make(map[string]MountEntry)}
+	m.RefreshAll()
+	m.refreshes = 0
+	return m
+}
+
+// Lookup consults only the dentry cache (never the live FS).
+func (m *HostMount) Lookup(path string) (MountEntry, bool) {
+	e, ok := m.dentries[canonical(path)]
+	return e, ok
+}
+
+// ReadAt reads [off, off+n) of path through the dentry cache. A file created
+// after the snapshot returns ErrStale; a read past the snapshot size returns
+// ErrRange.
+func (m *HostMount) ReadAt(path string, off, n int64) (data.Slice, error) {
+	e, ok := m.dentries[canonical(path)]
+	if !ok {
+		return data.Slice{}, fmt.Errorf("%w: %s", ErrStale, path)
+	}
+	return readInode(e.Node, off, n, e.Size, path)
+}
+
+// RefreshAll re-snapshots every file (a full remount).
+func (m *HostMount) RefreshAll() {
+	m.refreshes++
+	m.dentries = make(map[string]MountEntry)
+	m.fs.Walk(func(path string, node *Inode) {
+		m.dentries[path] = MountEntry{Node: node, Size: node.size}
+	})
+}
+
+// RefreshPath updates (or inserts) the dentry for a single path — the cheap
+// per-new-block update that vRead_update performs. It reports whether the
+// path exists in the live FS.
+func (m *HostMount) RefreshPath(path string) bool {
+	m.refreshes++
+	node, err := m.fs.lookup(path)
+	if err != nil || node.isDir {
+		delete(m.dentries, canonical(path))
+		return false
+	}
+	m.dentries[canonical(path)] = MountEntry{Node: node, Size: node.size}
+	return true
+}
+
+// Refreshes returns how many refresh operations have run (fig13 verifies the
+// write-path overhead stays negligible).
+func (m *HostMount) Refreshes() int { return m.refreshes }
+
+// Entries returns the number of cached dentries.
+func (m *HostMount) Entries() int { return len(m.dentries) }
+
+// canonical normalizes a path to the /a/b/c form Walk produces.
+func canonical(path string) string {
+	parts := splitPath(path)
+	return "/" + strings.Join(parts, "/")
+}

@@ -1,0 +1,292 @@
+package fsim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"vread/internal/data"
+)
+
+func newHadoopFS(t *testing.T) *FS {
+	t.Helper()
+	fs := New("dn1")
+	if err := fs.MkdirAll("/hadoop/dfs/data"); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestCreateWriteRead(t *testing.T) {
+	fs := newHadoopFS(t)
+	if err := fs.WriteFile("/hadoop/dfs/data/blk_1", data.Bytes("hello block")); err != nil {
+		t.Fatal(err)
+	}
+	s, err := fs.ReadAt("/hadoop/dfs/data/blk_1", 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(s.Bytes()); got != "block" {
+		t.Fatalf("read = %q", got)
+	}
+	node, err := fs.Stat("/hadoop/dfs/data/blk_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node.Size() != 11 || node.IsDir() {
+		t.Fatalf("stat = size %d isDir %v", node.Size(), node.IsDir())
+	}
+	if fs.FileCount() != 1 {
+		t.Fatalf("FileCount = %d", fs.FileCount())
+	}
+}
+
+func TestAppendAccumulates(t *testing.T) {
+	fs := newHadoopFS(t)
+	if _, err := fs.Create("/hadoop/dfs/data/blk_2"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := fs.Append("/hadoop/dfs/data/blk_2", data.Bytes(fmt.Sprintf("part%d|", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := fs.ReadAt("/hadoop/dfs/data/blk_2", 0, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(s.Bytes()); got != "part0|part1|part2|" {
+		t.Fatalf("read = %q", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	fs := newHadoopFS(t)
+	if _, err := fs.ReadAt("/nope", 0, 1); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("missing file error = %v", err)
+	}
+	if _, err := fs.Create("/no/parents/here"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("missing parent error = %v", err)
+	}
+	if err := fs.WriteFile("/hadoop", data.Bytes("x")); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("write to dir error = %v", err)
+	}
+	if err := fs.WriteFile("/hadoop/dfs/data/f", data.Bytes("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("/hadoop/dfs/data/f"); !errors.Is(err, ErrExist) {
+		t.Fatalf("duplicate create error = %v", err)
+	}
+	if _, err := fs.ReadAt("/hadoop/dfs/data/f", 2, 5); !errors.Is(err, ErrRange) {
+		t.Fatalf("range error = %v", err)
+	}
+	if _, err := fs.List("/hadoop/dfs/data/f"); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("list file error = %v", err)
+	}
+	if err := fs.Remove("/hadoop"); err == nil {
+		t.Fatal("removing non-empty dir succeeded")
+	}
+}
+
+func TestRemoveAndRename(t *testing.T) {
+	fs := newHadoopFS(t)
+	if err := fs.WriteFile("/hadoop/dfs/data/blk_tmp", data.Bytes("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/hadoop/dfs/data/blk_tmp", "/hadoop/dfs/data/blk_final"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/hadoop/dfs/data/blk_tmp"); !errors.Is(err, ErrNotExist) {
+		t.Fatal("old name still exists after rename")
+	}
+	if _, err := fs.Stat("/hadoop/dfs/data/blk_final"); err != nil {
+		t.Fatal("new name missing after rename")
+	}
+	if err := fs.Remove("/hadoop/dfs/data/blk_final"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.FileCount() != 0 {
+		t.Fatalf("FileCount = %d after remove", fs.FileCount())
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	fs := newHadoopFS(t)
+	for _, name := range []string{"blk_9", "blk_1", "blk_5"} {
+		if err := fs.WriteFile("/hadoop/dfs/data/"+name, data.Bytes("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := fs.List("/hadoop/dfs/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"blk_1", "blk_5", "blk_9"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("List = %v", names)
+		}
+	}
+}
+
+func TestMountSnapshotStaleness(t *testing.T) {
+	fs := newHadoopFS(t)
+	if err := fs.WriteFile("/hadoop/dfs/data/blk_old", data.Bytes("old-block")); err != nil {
+		t.Fatal(err)
+	}
+	m := MountRO(fs)
+
+	// Pre-mount file is readable through the mount.
+	s, err := m.ReadAt("/hadoop/dfs/data/blk_old", 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(s.Bytes()) != "old-block" {
+		t.Fatalf("mount read = %q", s.Bytes())
+	}
+
+	// A file created after the mount is invisible (stale dentry cache).
+	if err := fs.WriteFile("/hadoop/dfs/data/blk_new", data.Bytes("new-block")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadAt("/hadoop/dfs/data/blk_new", 0, 9); !errors.Is(err, ErrStale) {
+		t.Fatalf("stale read error = %v", err)
+	}
+
+	// RefreshPath makes exactly that file visible.
+	if !m.RefreshPath("/hadoop/dfs/data/blk_new") {
+		t.Fatal("RefreshPath reported missing file")
+	}
+	s, err = m.ReadAt("/hadoop/dfs/data/blk_new", 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(s.Bytes()) != "block" {
+		t.Fatalf("post-refresh read = %q", s.Bytes())
+	}
+}
+
+func TestMountSnapshotSizeBound(t *testing.T) {
+	fs := newHadoopFS(t)
+	if err := fs.WriteFile("/hadoop/dfs/data/blk", data.Bytes("12345")); err != nil {
+		t.Fatal(err)
+	}
+	m := MountRO(fs)
+	// Guest appends after the mount; the mount still sees the old size.
+	if err := fs.Append("/hadoop/dfs/data/blk", data.Bytes("6789")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadAt("/hadoop/dfs/data/blk", 0, 9); !errors.Is(err, ErrRange) {
+		t.Fatalf("read past snapshot size error = %v", err)
+	}
+	s, err := m.ReadAt("/hadoop/dfs/data/blk", 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(s.Bytes()) != "12345" {
+		t.Fatalf("snapshot read = %q", s.Bytes())
+	}
+	// After refresh the appended bytes are visible.
+	m.RefreshPath("/hadoop/dfs/data/blk")
+	s, err = m.ReadAt("/hadoop/dfs/data/blk", 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(s.Bytes()) != "6789" {
+		t.Fatalf("post-refresh append read = %q", s.Bytes())
+	}
+}
+
+func TestMountSurvivesGuestDelete(t *testing.T) {
+	// Like an open dentry reference in Linux: a file the guest deletes
+	// remains readable through the stale mount until refresh.
+	fs := newHadoopFS(t)
+	if err := fs.WriteFile("/hadoop/dfs/data/blk", data.Bytes("ghost")); err != nil {
+		t.Fatal(err)
+	}
+	m := MountRO(fs)
+	if err := fs.Remove("/hadoop/dfs/data/blk"); err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.ReadAt("/hadoop/dfs/data/blk", 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(s.Bytes()) != "ghost" {
+		t.Fatalf("ghost read = %q", s.Bytes())
+	}
+	if m.RefreshPath("/hadoop/dfs/data/blk") {
+		t.Fatal("RefreshPath found deleted file")
+	}
+	if _, err := m.ReadAt("/hadoop/dfs/data/blk", 0, 5); !errors.Is(err, ErrStale) {
+		t.Fatalf("post-refresh ghost read error = %v", err)
+	}
+}
+
+func TestMountRefreshAll(t *testing.T) {
+	fs := newHadoopFS(t)
+	m := MountRO(fs)
+	for i := 0; i < 5; i++ {
+		path := fmt.Sprintf("/hadoop/dfs/data/blk_%d", i)
+		if err := fs.WriteFile(path, data.Bytes("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Entries() != 0 {
+		t.Fatalf("Entries = %d before refresh", m.Entries())
+	}
+	m.RefreshAll()
+	if m.Entries() != 5 {
+		t.Fatalf("Entries = %d after RefreshAll", m.Entries())
+	}
+	if _, ok := m.Lookup("/hadoop/dfs/data/blk_3"); !ok {
+		t.Fatal("Lookup failed after RefreshAll")
+	}
+}
+
+// Property: for any set of files with pattern content, every file read back
+// through both the live FS and a fresh mount matches the written bytes.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(sizes []uint16, seed uint64) bool {
+		fs := New("p")
+		if err := fs.MkdirAll("/d"); err != nil {
+			return false
+		}
+		type file struct {
+			path    string
+			content data.Pattern
+		}
+		var files []file
+		for i, sz := range sizes {
+			if i >= 8 {
+				break
+			}
+			c := data.Pattern{Seed: seed + uint64(i), Size: int64(sz) + 1}
+			path := fmt.Sprintf("/d/f%d", i)
+			if err := fs.WriteFile(path, c); err != nil {
+				return false
+			}
+			files = append(files, file{path, c})
+		}
+		m := MountRO(fs)
+		for _, fl := range files {
+			live, err := fs.ReadAt(fl.path, 0, fl.content.Size)
+			if err != nil {
+				return false
+			}
+			mnt, err := m.ReadAt(fl.path, 0, fl.content.Size)
+			if err != nil {
+				return false
+			}
+			want := data.NewSlice(fl.content)
+			if !data.Equal(live, want) || !data.Equal(mnt, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

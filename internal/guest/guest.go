@@ -1,0 +1,642 @@
+// Package guest models the guest operating system of each VM: the socket
+// layer (TCP-like reliable streams over virtio-net) and the file layer
+// (guest page cache over virtio-blk), with syscall and user↔kernel copy
+// costs charged to the VM's vCPU thread.
+//
+// Simplifications, documented for honesty:
+//   - acknowledgements and window updates are free (they piggyback in real
+//     TCP); the data path carries all modeled cost;
+//   - connection handshakes are real frame exchanges (SYN / SYN-ACK / RST)
+//     so connection setup pays the full virtualized path latency;
+//   - in-order delivery is guaranteed by construction (one FIFO path), so
+//     there is no retransmission machinery.
+package guest
+
+import (
+	"errors"
+	"fmt"
+
+	"vread/internal/cpusched"
+	"vread/internal/data"
+	"vread/internal/fsim"
+	"vread/internal/metrics"
+	"vread/internal/netsim"
+	"vread/internal/sim"
+	"vread/internal/storage"
+	"vread/internal/virtio"
+)
+
+// Errors returned by the socket layer.
+var (
+	ErrRefused = errors.New("guest: connection refused")
+	ErrClosed  = errors.New("guest: connection closed")
+)
+
+// Config holds guest-kernel cost parameters. Zero values select defaults.
+type Config struct {
+	// SyscallCycles per system call. Default 1500.
+	SyscallCycles int64
+	// CopyCyclesPerKB for user↔kernel copies. Default 256.
+	CopyCyclesPerKB int64
+	// TCPTxSegCycles is transmit-path TCP/IP processing per segment.
+	// Default 4500.
+	TCPTxSegCycles int64
+	// TCPRxSegCycles is receive-path TCP/IP processing per segment.
+	// Default 6000.
+	TCPRxSegCycles int64
+	// SockBufBytes is the per-connection send window. Default 1 MiB.
+	SockBufBytes int64
+	// SegmentBytes is the TSO segment size; must not exceed the virtio
+	// segment size. Default 64 KiB.
+	SegmentBytes int64
+	// ReadaheadBytes is the guest kernel's sequential readahead window.
+	// Default 512 KiB.
+	ReadaheadBytes int64
+}
+
+// WithDefaults fills zero fields.
+func (c Config) WithDefaults() Config {
+	if c.SyscallCycles == 0 {
+		c.SyscallCycles = 1500
+	}
+	if c.CopyCyclesPerKB == 0 {
+		c.CopyCyclesPerKB = 256
+	}
+	if c.TCPTxSegCycles == 0 {
+		c.TCPTxSegCycles = 4500
+	}
+	if c.TCPRxSegCycles == 0 {
+		c.TCPRxSegCycles = 6000
+	}
+	if c.SockBufBytes == 0 {
+		c.SockBufBytes = 1 << 20
+	}
+	if c.SegmentBytes == 0 {
+		c.SegmentBytes = 64 << 10
+	}
+	if c.ReadaheadBytes == 0 {
+		c.ReadaheadBytes = 512 << 10
+	}
+	return c
+}
+
+func (c Config) copyCycles(n int64) int64 { return n * c.CopyCyclesPerKB / 1024 }
+
+// Network is the cluster-wide registry that lets kernels resolve peers for
+// connection bookkeeping (the data path still rides virtio/netsim).
+type Network struct {
+	env      *sim.Env
+	kernels  map[string]*Kernel
+	nextConn int64
+}
+
+// NewNetwork creates an empty registry.
+func NewNetwork(env *sim.Env) *Network {
+	return &Network{env: env, kernels: make(map[string]*Kernel)}
+}
+
+// Kernel returns a registered kernel by VM name, or nil.
+func (n *Network) Kernel(vm string) *Kernel { return n.kernels[vm] }
+
+// Kernel is one VM's guest OS.
+type Kernel struct {
+	env    *sim.Env
+	cfg    Config
+	name   string
+	appTag string
+	vcpu   *cpusched.Thread
+	net    *virtio.NetDev
+	blk    *virtio.BlkDev
+	cache  *storage.PageCache
+	fs     *fsim.FS
+	netw   *Network
+
+	listeners map[int]*sim.Queue[*Conn]
+	conns     map[int64]*connEnd
+	raSeq     map[fsim.Ino]int64 // next sequential offset per file
+	raIssued  map[fsim.Ino]int64 // readahead issued up to (exclusive)
+	raFlight  map[fsim.Ino][]*raWindow
+}
+
+// raWindow tracks one in-flight readahead I/O so overlapping reads wait on
+// it instead of re-issuing the same disk work.
+type raWindow struct {
+	start, end int64
+	finished   bool
+	canceled   bool
+	done       *sim.Signal
+}
+
+// KernelParams collects the pieces a Kernel is assembled from.
+type KernelParams struct {
+	Name    string // VM name (also the metrics entity)
+	AppTag  string // metrics tag for application-attributed work
+	VCPU    *cpusched.Thread
+	NetDev  *virtio.NetDev
+	BlkDev  *virtio.BlkDev
+	Cache   *storage.PageCache // guest page cache
+	FS      *fsim.FS           // the VM's disk-image file system
+	Network *Network
+}
+
+// NewKernel assembles a guest kernel and registers it on the network.
+func NewKernel(env *sim.Env, cfg Config, params KernelParams) *Kernel {
+	k := &Kernel{
+		env:       env,
+		cfg:       cfg.WithDefaults(),
+		name:      params.Name,
+		appTag:    params.AppTag,
+		vcpu:      params.VCPU,
+		net:       params.NetDev,
+		blk:       params.BlkDev,
+		cache:     params.Cache,
+		fs:        params.FS,
+		netw:      params.Network,
+		listeners: make(map[int]*sim.Queue[*Conn]),
+		conns:     make(map[int64]*connEnd),
+		raSeq:     make(map[fsim.Ino]int64),
+		raIssued:  make(map[fsim.Ino]int64),
+		raFlight:  make(map[fsim.Ino][]*raWindow),
+	}
+	if k.appTag == "" {
+		k.appTag = metrics.TagClientApp
+	}
+	if k.net != nil {
+		k.net.SetDeliver(k.handleFrame)
+	}
+	params.Network.kernels[k.name] = k
+	return k
+}
+
+// Name returns the VM name.
+func (k *Kernel) Name() string { return k.name }
+
+// Migrate rebinds the kernel to new virtual hardware after a live
+// migration (new vCPU thread and devices on the destination host). The VM
+// must be quiesced: no in-flight I/O on the old devices.
+func (k *Kernel) Migrate(vcpu *cpusched.Thread, net *virtio.NetDev, blk *virtio.BlkDev) {
+	k.vcpu = vcpu
+	k.net = net
+	k.blk = blk
+	if k.net != nil {
+		k.net.SetDeliver(k.handleFrame)
+	}
+}
+
+// VCPU returns the VM's vCPU thread (workloads run compute on it).
+func (k *Kernel) VCPU() *cpusched.Thread { return k.vcpu }
+
+// FS returns the VM's file system.
+func (k *Kernel) FS() *fsim.FS { return k.fs }
+
+// Cache returns the guest page cache.
+func (k *Kernel) Cache() *storage.PageCache { return k.cache }
+
+// Env returns the simulation environment.
+func (k *Kernel) Env() *sim.Env { return k.env }
+
+// ---------------------------------------------------------------------------
+// Socket layer.
+
+type segKind int
+
+const (
+	segSYN segKind = iota
+	segSYNACK
+	segRST
+	segData
+	segFIN
+)
+
+type segMeta struct {
+	kind   segKind
+	connID int64
+	port   int    // SYN only
+	srcVM  string // SYN only
+}
+
+type connEnd struct {
+	kernel       *Kernel
+	peerVM       string
+	peer         *connEnd
+	key          int64 // id<<1 | role; role 0 = dialer, 1 = acceptor
+	recvQ        []data.Slice
+	recvBytes    int64
+	recvSig      *sim.Signal
+	inflight     int64 // bytes sent, not yet consumed by peer app
+	windowSig    *sim.Signal
+	synSig       *sim.Signal
+	synOK        bool
+	synDone      bool
+	remoteClosed bool
+	localClosed  bool
+}
+
+// Conn is one end of an established stream.
+type Conn struct{ end *connEnd }
+
+// PeerVM returns the VM name of the other end.
+func (c *Conn) PeerVM() string { return c.end.peerVM }
+
+// Listen binds a port and returns the accept queue.
+func (k *Kernel) Listen(port int) *Listener {
+	if _, ok := k.listeners[port]; ok {
+		panic(fmt.Sprintf("guest: port %d already bound on %s", port, k.name))
+	}
+	q := sim.NewQueue[*Conn](k.env, 0)
+	k.listeners[port] = q
+	return &Listener{kernel: k, port: port, q: q}
+}
+
+// Listener accepts inbound connections on one port.
+type Listener struct {
+	kernel *Kernel
+	port   int
+	q      *sim.Queue[*Conn]
+}
+
+// Accept blocks until a connection arrives.
+func (l *Listener) Accept(p *sim.Proc) (*Conn, bool) {
+	return l.q.Get(p)
+}
+
+// Close unbinds the port.
+func (l *Listener) Close() {
+	delete(l.kernel.listeners, l.port)
+	l.q.Close()
+}
+
+// Dial opens a stream to dstVM:port, paying a full SYN/SYN-ACK exchange
+// through the virtualized network path.
+func (k *Kernel) Dial(p *sim.Proc, dstVM string, port int) (*Conn, error) {
+	if k.netw.Kernel(dstVM) == nil {
+		return nil, fmt.Errorf("%w: unknown VM %s", ErrRefused, dstVM)
+	}
+	k.netw.nextConn++
+	id := k.netw.nextConn
+	end := &connEnd{
+		kernel: k, peerVM: dstVM, key: id << 1,
+		recvSig:   sim.NewSignal(k.env),
+		windowSig: sim.NewSignal(k.env),
+		synSig:    sim.NewSignal(k.env),
+	}
+	k.conns[end.key] = end
+	// The SYN targets the not-yet-existing acceptor end (key id<<1|1).
+	k.sendSegment(p, dstVM, data.NewSlice(data.Zero(64)), segMeta{kind: segSYN, connID: end.key | 1, port: port, srcVM: k.name})
+	for !end.synDone {
+		end.synSig.Wait(p)
+	}
+	if !end.synOK {
+		delete(k.conns, end.key)
+		return nil, fmt.Errorf("%w: %s:%d", ErrRefused, dstVM, port)
+	}
+	return &Conn{end: end}, nil
+}
+
+// Send writes the slice to the stream, blocking on the send window and the
+// virtio ring. Tags: syscall+user-copy to the app tag, TCP processing to
+// "others".
+func (c *Conn) Send(p *sim.Proc, s data.Slice) error {
+	end := c.end
+	k := end.kernel
+	if end.localClosed {
+		return ErrClosed
+	}
+	for off := int64(0); off < s.Len(); {
+		seg := s.Len() - off
+		if seg > k.cfg.SegmentBytes {
+			seg = k.cfg.SegmentBytes
+		}
+		for end.inflight+seg > k.cfg.SockBufBytes && !end.remoteClosed {
+			end.windowSig.Wait(p)
+		}
+		if end.remoteClosed {
+			return ErrClosed // peer went away; stop streaming
+		}
+		end.inflight += seg
+		k.sendSegment(p, end.peerVM, s.Sub(off, seg), segMeta{kind: segData, connID: end.key ^ 1})
+		off += seg
+	}
+	return nil
+}
+
+// sendSegment pays the guest transmit path and hands the frame to virtio.
+func (k *Kernel) sendSegment(p *sim.Proc, dstVM string, payload data.Slice, meta segMeta) {
+	k.vcpu.Run(p, k.cfg.SyscallCycles+k.cfg.copyCycles(payload.Len()), k.appTag)
+	k.vcpu.Run(p, k.cfg.TCPTxSegCycles, metrics.TagOthers)
+	k.net.Transmit(p, netsim.Frame{DstVM: dstVM, Payload: payload, Meta: meta})
+}
+
+// Recv returns up to max bytes, blocking until data or EOF. ok is false at
+// EOF (peer closed and buffer drained).
+func (c *Conn) Recv(p *sim.Proc, max int64) (data.Slice, bool) {
+	end := c.end
+	k := end.kernel
+	for end.recvBytes == 0 && !end.remoteClosed {
+		end.recvSig.Wait(p)
+	}
+	if end.recvBytes == 0 {
+		return data.Slice{}, false
+	}
+	var parts data.Concat
+	var got int64
+	for got < max && len(end.recvQ) > 0 {
+		head := end.recvQ[0]
+		take := head.Len()
+		if take > max-got {
+			take = max - got
+			end.recvQ[0] = head.Sub(take, head.Len()-take)
+			head = head.Sub(0, take)
+		} else {
+			end.recvQ = end.recvQ[1:]
+		}
+		parts = append(parts, sliceContent{head})
+		got += take
+	}
+	end.recvBytes -= got
+	// Window credit back to the sender (free, as piggybacked acks).
+	if end.peer != nil {
+		end.peer.inflight -= got
+		end.peer.windowSig.Broadcast()
+	}
+	k.vcpu.Run(p, k.cfg.SyscallCycles+k.cfg.copyCycles(got), k.appTag)
+	return data.Slice{C: parts, N: got}, true
+}
+
+// sliceContent adapts a Slice window into a Content (for reassembly).
+type sliceContent struct{ s data.Slice }
+
+func (sc sliceContent) Len() int64 { return sc.s.Len() }
+func (sc sliceContent) ReadAt(b []byte, off int64) {
+	sc.s.C.ReadAt(b, sc.s.Off+off)
+}
+
+// RecvFull reads exactly n bytes (or returns ok=false at premature EOF).
+func (c *Conn) RecvFull(p *sim.Proc, n int64) (data.Slice, bool) {
+	var parts data.Concat
+	var got int64
+	for got < n {
+		s, ok := c.Recv(p, n-got)
+		if !ok {
+			return data.Slice{}, false
+		}
+		parts = append(parts, sliceContent{s})
+		got += s.Len()
+	}
+	return data.Slice{C: parts, N: got}, true
+}
+
+// Close sends FIN. Reads on the peer drain and then report EOF.
+func (c *Conn) Close(p *sim.Proc) {
+	end := c.end
+	if end.localClosed {
+		return
+	}
+	end.localClosed = true
+	end.kernel.sendSegment(p, end.peerVM, data.Slice{C: data.Zero(0)}, segMeta{kind: segFIN, connID: end.key ^ 1})
+}
+
+// handleFrame is the virtio deliver hook: runs in event context after the
+// guest IRQ charge; posts receive-path work on the vCPU.
+func (k *Kernel) handleFrame(fr netsim.Frame) {
+	meta, ok := fr.Meta.(segMeta)
+	if !ok {
+		panic(fmt.Sprintf("guest: %s received non-segment frame", k.name))
+	}
+	k.vcpu.Post(k.cfg.TCPRxSegCycles, metrics.TagOthers, func() {
+		k.processSegment(fr, meta)
+	})
+}
+
+func (k *Kernel) processSegment(fr netsim.Frame, meta segMeta) {
+	switch meta.kind {
+	case segSYN:
+		k.acceptSYN(fr, meta)
+	case segSYNACK, segRST:
+		end := k.conns[meta.connID]
+		if end == nil {
+			return
+		}
+		if meta.kind == segSYNACK {
+			// Bind the two ends now that both exist.
+			peerK := k.netw.Kernel(end.peerVM)
+			end.peer = peerK.conns[meta.connID^1]
+			end.synOK = true
+		}
+		end.synDone = true
+		end.synSig.Broadcast()
+	case segData:
+		end := k.conns[meta.connID]
+		if end == nil {
+			return // data after close; drop
+		}
+		end.recvQ = append(end.recvQ, fr.Payload)
+		end.recvBytes += fr.Payload.Len()
+		end.recvSig.Broadcast()
+	case segFIN:
+		end := k.conns[meta.connID]
+		if end == nil {
+			return
+		}
+		end.remoteClosed = true
+		end.recvSig.Broadcast()
+		end.windowSig.Broadcast() // unblock senders into a dead peer
+	}
+}
+
+// acceptSYN creates the passive end and replies (SYN-ACK or RST). The reply
+// is sent by a short-lived kernel process so it pays the normal path.
+func (k *Kernel) acceptSYN(fr netsim.Frame, meta segMeta) {
+	q, ok := k.listeners[meta.port]
+	if !ok {
+		k.env.Go(fmt.Sprintf("%s:rst", k.name), func(p *sim.Proc) {
+			k.sendSegment(p, meta.srcVM, data.Slice{C: data.Zero(0)}, segMeta{kind: segRST, connID: meta.connID ^ 1})
+		})
+		return
+	}
+	end := &connEnd{
+		kernel: k, peerVM: meta.srcVM, key: meta.connID, // SYN targeted this key
+		recvSig:   sim.NewSignal(k.env),
+		windowSig: sim.NewSignal(k.env),
+		synSig:    sim.NewSignal(k.env),
+	}
+	// Bind to the dialing end (it exists before the SYN was sent).
+	peerK := k.netw.Kernel(meta.srcVM)
+	end.peer = peerK.conns[meta.connID^1]
+	k.conns[end.key] = end
+	k.env.Go(fmt.Sprintf("%s:synack", k.name), func(p *sim.Proc) {
+		k.sendSegment(p, meta.srcVM, data.NewSlice(data.Zero(64)), segMeta{kind: segSYNACK, connID: meta.connID ^ 1})
+	})
+	q.TryPut(&Conn{end: end})
+}
+
+// ---------------------------------------------------------------------------
+// File layer.
+
+// ReadFileAt reads [off, off+n) of a file on the VM's disk through the guest
+// page cache; misses go to virtio-blk. This is the paper's "local read"
+// baseline: 2 copies (device→kernel via the virtqueue, kernel→user here).
+func (k *Kernel) ReadFileAt(p *sim.Proc, path string, off, n int64) (data.Slice, error) {
+	k.vcpu.Run(p, k.cfg.SyscallCycles, k.appTag)
+	node, err := k.fs.Stat(path)
+	if err != nil {
+		return data.Slice{}, err
+	}
+	obj := int64(node.Ino())
+	_, miss := k.cache.Lookup(obj, off, n)
+	if miss > 0 {
+		// Wait for any overlapping in-flight readahead before touching the
+		// device ourselves — the kernel's lock_page-on-readahead behavior.
+		k.waitInflightRA(p, node.Ino(), off, n)
+		if _, miss = k.cache.Lookup(obj, off, n); miss > 0 {
+			k.blk.Read(p, miss)
+			k.cache.Insert(obj, off, n)
+		}
+	}
+	k.readahead(node, off, n)
+	k.vcpu.Run(p, k.cfg.copyCycles(n), k.appTag)
+	return k.fs.ReadAt(path, off, n)
+}
+
+// waitInflightRA blocks until no unfinished readahead window overlaps the
+// range.
+func (k *Kernel) waitInflightRA(p *sim.Proc, ino fsim.Ino, off, n int64) {
+	for {
+		var w *raWindow
+		for _, cand := range k.raFlight[ino] {
+			if !cand.finished && cand.start < off+n && off < cand.end {
+				w = cand
+				break
+			}
+		}
+		if w == nil {
+			return
+		}
+		for !w.finished {
+			w.done.Wait(p)
+		}
+	}
+}
+
+// readahead issues an asynchronous block read of the next window when the
+// access pattern is sequential (the guest kernel's readahead machinery, the
+// reason streaming block files keeps the device busy ahead of the reader).
+func (k *Kernel) readahead(node *fsim.Inode, off, n int64) {
+	ino := node.Ino()
+	end := off + n
+	if off != k.raSeq[ino] {
+		k.raSeq[ino] = end // pattern broken; re-arm
+		k.raIssued[ino] = 0
+		return
+	}
+	k.raSeq[ino] = end
+	raStart := end
+	if issued := k.raIssued[ino]; issued > raStart {
+		raStart = issued
+	}
+	// Keep up to two full windows in flight ahead of the reader (the
+	// kernel's async readahead pipeline), issuing whole windows at a time.
+	if raStart-end >= 2*k.cfg.ReadaheadBytes {
+		return
+	}
+	raEnd := raStart + k.cfg.ReadaheadBytes
+	if raEnd > node.Size() {
+		raEnd = node.Size()
+	}
+	if raEnd > raStart+k.blk.MaxRequestBytes() {
+		raEnd = raStart + k.blk.MaxRequestBytes()
+	}
+	if raEnd <= raStart {
+		return
+	}
+	obj := int64(ino)
+	if k.cache.Contains(obj, raStart, raEnd-raStart) {
+		k.raIssued[ino] = raEnd
+		return
+	}
+	w := &raWindow{start: raStart, end: raEnd, done: sim.NewSignal(k.env)}
+	if k.blk.TryReadAsync(raEnd-raStart, func() {
+		if !w.canceled {
+			k.cache.Insert(obj, w.start, w.end-w.start)
+		}
+		w.finished = true
+		w.done.Broadcast()
+		k.dropWindow(ino, w)
+	}) {
+		k.raFlight[ino] = append(k.raFlight[ino], w)
+		k.raIssued[ino] = raEnd
+	}
+}
+
+func (k *Kernel) dropWindow(ino fsim.Ino, w *raWindow) {
+	list := k.raFlight[ino]
+	for i, cand := range list {
+		if cand == w {
+			k.raFlight[ino] = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
+}
+
+// CreateFile creates an empty file (metadata only).
+func (k *Kernel) CreateFile(p *sim.Proc, path string) error {
+	k.vcpu.Run(p, k.cfg.SyscallCycles, k.appTag)
+	_, err := k.fs.Create(path)
+	return err
+}
+
+// AppendFile appends content to a file: user→kernel copy, page-cache
+// insertion, and asynchronous writeback to virtio-blk.
+func (k *Kernel) AppendFile(p *sim.Proc, path string, c data.Content) error {
+	n := c.Len()
+	k.vcpu.Run(p, k.cfg.SyscallCycles+k.cfg.copyCycles(n), k.appTag)
+	node, err := k.fs.Stat(path)
+	if err != nil {
+		return err
+	}
+	oldSize := node.Size()
+	if err := k.fs.Append(path, c); err != nil {
+		return err
+	}
+	k.cache.Insert(int64(node.Ino()), oldSize, n)
+	k.blk.WriteAsync(p, n)
+	return nil
+}
+
+// MkdirAll creates directories (metadata only).
+func (k *Kernel) MkdirAll(p *sim.Proc, path string) error {
+	k.vcpu.Run(p, k.cfg.SyscallCycles, k.appTag)
+	return k.fs.MkdirAll(path)
+}
+
+// RemoveFile deletes a file.
+func (k *Kernel) RemoveFile(p *sim.Proc, path string) error {
+	k.vcpu.Run(p, k.cfg.SyscallCycles, k.appTag)
+	node, err := k.fs.Stat(path)
+	if err != nil {
+		return err
+	}
+	k.cache.InvalidateObject(int64(node.Ino()))
+	return k.fs.Remove(path)
+}
+
+// RenameFile renames a file.
+func (k *Kernel) RenameFile(p *sim.Proc, oldPath, newPath string) error {
+	k.vcpu.Run(p, k.cfg.SyscallCycles, k.appTag)
+	return k.fs.Rename(oldPath, newPath)
+}
+
+// DropCaches empties the guest page cache (the experiment's
+// /proc/sys/vm/drop_caches between cold-read runs) and resets readahead
+// tracking.
+func (k *Kernel) DropCaches() {
+	k.cache.DropAll()
+	k.raSeq = make(map[fsim.Ino]int64)
+	k.raIssued = make(map[fsim.Ino]int64)
+	// In-flight readahead must not repopulate the dropped cache.
+	for _, list := range k.raFlight {
+		for _, w := range list {
+			w.canceled = true
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package hdfs
+
+import "testing"
+
+// FuzzWriteReqRoundTrip: the pipeline-write header survives encode/decode
+// for arbitrary targets and sizes.
+func FuzzWriteReqRoundTrip(f *testing.F) {
+	f.Add(int64(1), int64(64<<20), "dn1", "dn2", "")
+	f.Add(int64(999), int64(0), "", "", "")
+	f.Fuzz(func(t *testing.T, id, n int64, t1, t2, t3 string) {
+		var targets []string
+		for _, s := range []string{t1, t2, t3} {
+			if s == "" {
+				continue
+			}
+			if len(s) > targetNameLen {
+				t.Skip()
+			}
+			for _, r := range s {
+				if r == 0 { // NUL is the padding terminator
+					t.Skip()
+				}
+			}
+			targets = append(targets, s)
+		}
+		w := writeReq{id: BlockID(id), n: n, targets: targets}
+		got := decodeWriteReq(encodeWriteReq(w).Bytes())
+		if got.id != w.id || got.n != w.n || len(got.targets) != len(w.targets) {
+			t.Fatalf("round trip: %+v vs %+v", got, w)
+		}
+		for i := range targets {
+			if got.targets[i] != targets[i] {
+				t.Fatalf("target %d: %q vs %q", i, got.targets[i], targets[i])
+			}
+		}
+	})
+}
+
+// FuzzReadReqRoundTrip: the read header survives encode/decode.
+func FuzzReadReqRoundTrip(f *testing.F) {
+	f.Add(int64(1), int64(0), int64(64<<10))
+	f.Fuzz(func(t *testing.T, id, off, n int64) {
+		r := readReq{id: BlockID(id), off: off, n: n}
+		b := encodeReadReq(r).Bytes()
+		if decodeOp(b) != opRead {
+			t.Fatal("opcode lost")
+		}
+		got := decodeReadReq(b)
+		if got != r {
+			t.Fatalf("round trip: %+v vs %+v", got, r)
+		}
+	})
+}

@@ -1,0 +1,393 @@
+// Package hdfs implements the Hadoop distributed file system of the paper's
+// testbed (Hadoop 1.2.1 era): a namenode holding file→block metadata,
+// datanode servers that store blocks as regular files in their VM's file
+// system and stream them over TCP, and a DFSClient with the two read paths
+// the paper re-implements (read1 sequential, read2 positional) plus the
+// write pipeline.
+//
+// The vRead integration point is the BlockReader hook: when installed (by
+// internal/core), DFSClient reads go through vRead descriptors, falling back
+// to the original socket path exactly as Algorithms 1 and 2 prescribe.
+package hdfs
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"vread/internal/guest"
+	"vread/internal/metrics"
+	"vread/internal/sim"
+)
+
+// Errors returned by HDFS operations.
+var (
+	ErrNotFound   = errors.New("hdfs: file not found")
+	ErrExists     = errors.New("hdfs: file already exists")
+	ErrIncomplete = errors.New("hdfs: file not complete")
+	ErrNoDatanode = errors.New("hdfs: no datanode available")
+)
+
+// DataPort is the datanode streaming port (Hadoop's 50010).
+const DataPort = 50010
+
+// Config holds HDFS parameters. Zero values select Hadoop-1.2-era defaults.
+type Config struct {
+	// BlockSize is the HDFS block size. Default 64 MiB.
+	BlockSize int64
+	// PacketBytes is the streaming packet size. Default 64 KiB.
+	PacketBytes int64
+	// ChecksumCyclesPerKB models CRC32 generation/verification per side.
+	// Default 1500 (~1.5 cycles/byte in the era's Java CRC32).
+	ChecksumCyclesPerKB int64
+	// StreamCyclesPerKB is the client-side DFSInputStream/BlockReader Java
+	// processing per received KB (buffer chains, packet reassembly).
+	// Default 3600.
+	StreamCyclesPerKB int64
+	// DNStreamCyclesPerKB is the datanode-side BlockSender Java processing
+	// per sent KB. Default 1200.
+	DNStreamCyclesPerKB int64
+	// PacketClientCycles is per-packet client processing (header parse,
+	// bookkeeping). Default 20000.
+	PacketClientCycles int64
+	// PacketDNCycles is per-packet datanode processing. Default 15000.
+	PacketDNCycles int64
+	// RequestCycles is per-read-request datanode processing (DataXceiver
+	// setup). Default 15000.
+	RequestCycles int64
+	// RPCLatency is a namenode RPC round trip. Default 250µs.
+	RPCLatency time.Duration
+	// RPCCycles is client-side RPC processing. Default 10000.
+	RPCCycles int64
+	// Replication is the write pipeline depth. Default 1 (the paper's
+	// experiments place one replica per scenario).
+	Replication int
+	// ShortCircuit enables HDFS-2246/347 short-circuit local reads when the
+	// client runs in the same VM as the datanode (§2.2 comparison).
+	ShortCircuit bool
+}
+
+// WithDefaults fills zero fields.
+func (c Config) WithDefaults() Config {
+	if c.BlockSize == 0 {
+		c.BlockSize = 64 << 20
+	}
+	if c.PacketBytes == 0 {
+		c.PacketBytes = 64 << 10
+	}
+	if c.ChecksumCyclesPerKB == 0 {
+		c.ChecksumCyclesPerKB = 1500
+	}
+	if c.StreamCyclesPerKB == 0 {
+		c.StreamCyclesPerKB = 3600
+	}
+	if c.DNStreamCyclesPerKB == 0 {
+		c.DNStreamCyclesPerKB = 1200
+	}
+	if c.PacketClientCycles == 0 {
+		c.PacketClientCycles = 20000
+	}
+	if c.PacketDNCycles == 0 {
+		c.PacketDNCycles = 15000
+	}
+	if c.RequestCycles == 0 {
+		c.RequestCycles = 15000
+	}
+	if c.RPCLatency == 0 {
+		c.RPCLatency = 250 * time.Microsecond
+	}
+	if c.RPCCycles == 0 {
+		c.RPCCycles = 10000
+	}
+	if c.Replication == 0 {
+		c.Replication = 1
+	}
+	return c
+}
+
+func (c Config) checksumCycles(n int64) int64 { return n * c.ChecksumCyclesPerKB / 1024 }
+
+// clientRecvCycles is the full client-side cost of receiving n streamed
+// bytes: checksum verify + stream processing + per-packet overheads.
+func (c Config) clientRecvCycles(n int64) int64 {
+	packets := (n + c.PacketBytes - 1) / c.PacketBytes
+	return c.checksumCycles(n) + n*c.StreamCyclesPerKB/1024 + packets*c.PacketClientCycles
+}
+
+// dnSendCycles is the datanode-side per-packet cost beyond raw copies.
+func (c Config) dnSendCycles(n int64) int64 {
+	return c.checksumCycles(n) + n*c.DNStreamCyclesPerKB/1024 + c.PacketDNCycles
+}
+
+// BlockID identifies one HDFS block.
+type BlockID int64
+
+// BlockName renders the on-disk file name of a block.
+func (id BlockID) BlockName() string { return fmt.Sprintf("blk_%d", int64(id)) }
+
+// BlockInfo is the namenode's record of one block.
+type BlockInfo struct {
+	ID         BlockID
+	Size       int64
+	FileOffset int64
+	Locations  []string // datanode VM names, preferred order
+}
+
+// BlockName returns the block's file name.
+func (b BlockInfo) BlockName() string { return b.ID.BlockName() }
+
+// Topology resolves VM placement (implemented by netsim.Fabric).
+type Topology interface {
+	HostOf(vm string) (string, bool)
+}
+
+// PlacementPolicy picks datanodes for a new block's replicas.
+type PlacementPolicy func(clientVM string, replication int) []string
+
+// BlockEventListener observes block lifecycle on a datanode — the namenode-
+// driven trigger that vRead uses to refresh daemon mount points (§3.2).
+type BlockEventListener interface {
+	// BlockAdded fires when dn has completed writing the named block file.
+	BlockAdded(dn string, blockPath string)
+	// BlockRemoved fires when dn deletes the block file.
+	BlockRemoved(dn string, blockPath string)
+}
+
+// NameNode holds all file metadata. RPCs to it are modeled as a fixed
+// latency plus client cycles (the paper leaves client↔namenode logic
+// untouched, and metadata traffic is not on the measured path).
+type NameNode struct {
+	env       *sim.Env
+	cfg       Config
+	topo      Topology
+	files     map[string]*fileMeta
+	datanodes map[string]*DataNode
+	dnOrder   []string
+	nextBlock BlockID
+	placement PlacementPolicy
+	listeners []BlockEventListener
+	rrNext    int
+}
+
+type fileMeta struct {
+	name     string
+	blocks   []BlockInfo
+	complete bool
+}
+
+// NewNameNode creates a namenode.
+func NewNameNode(env *sim.Env, cfg Config, topo Topology) *NameNode {
+	nn := &NameNode{
+		env:       env,
+		cfg:       cfg.WithDefaults(),
+		topo:      topo,
+		files:     make(map[string]*fileMeta),
+		datanodes: make(map[string]*DataNode),
+	}
+	nn.placement = nn.defaultPlacement
+	return nn
+}
+
+// Config returns the cluster configuration.
+func (nn *NameNode) Config() Config { return nn.cfg }
+
+// SetPlacementPolicy overrides replica placement (experiments use this to
+// force co-located / remote / hybrid reads).
+func (nn *NameNode) SetPlacementPolicy(p PlacementPolicy) { nn.placement = p }
+
+// AddBlockListener registers a block lifecycle observer.
+func (nn *NameNode) AddBlockListener(l BlockEventListener) {
+	nn.listeners = append(nn.listeners, l)
+}
+
+// registerDataNode is called by StartDataNode.
+func (nn *NameNode) registerDataNode(dn *DataNode) {
+	if _, ok := nn.datanodes[dn.Name()]; ok {
+		panic(fmt.Sprintf("hdfs: duplicate datanode %q", dn.Name()))
+	}
+	nn.datanodes[dn.Name()] = dn
+	nn.dnOrder = append(nn.dnOrder, dn.Name())
+}
+
+// DataNodes returns the registered datanode names in registration order.
+func (nn *NameNode) DataNodes() []string { return append([]string(nil), nn.dnOrder...) }
+
+// defaultPlacement prefers a datanode co-located with the client (HVE-style
+// topology awareness), then round-robins the rest.
+func (nn *NameNode) defaultPlacement(clientVM string, replication int) []string {
+	clientHost, _ := nn.topo.HostOf(clientVM)
+	var local, remote []string
+	for _, name := range nn.dnOrder {
+		h, _ := nn.topo.HostOf(name)
+		if h == clientHost {
+			local = append(local, name)
+		} else {
+			remote = append(remote, name)
+		}
+	}
+	ordered := append(local, remote...)
+	if len(ordered) == 0 {
+		return nil
+	}
+	if replication > len(ordered) {
+		replication = len(ordered)
+	}
+	// Rotate the non-local tail for balance across blocks.
+	nn.rrNext++
+	return append([]string(nil), ordered[:replication]...)
+}
+
+// orderLocations sorts replicas for a reader: same-VM first (short-circuit),
+// then same-host, then remote.
+func (nn *NameNode) orderLocations(clientVM string, locs []string) []string {
+	clientHost, _ := nn.topo.HostOf(clientVM)
+	var sameVM, sameHost, remote []string
+	for _, l := range locs {
+		h, _ := nn.topo.HostOf(l)
+		switch {
+		case l == clientVM:
+			sameVM = append(sameVM, l)
+		case h == clientHost:
+			sameHost = append(sameHost, l)
+		default:
+			remote = append(remote, l)
+		}
+	}
+	out := append(sameVM, sameHost...)
+	return append(out, remote...)
+}
+
+// rpc charges one namenode round trip to the calling client.
+func (nn *NameNode) rpc(p *sim.Proc, k *guest.Kernel) {
+	k.VCPU().Run(p, nn.cfg.RPCCycles, metrics.TagOthers)
+	p.Sleep(nn.cfg.RPCLatency)
+}
+
+// GetBlockLocations returns the block list of a complete file, replica
+// lists ordered for this client.
+func (nn *NameNode) GetBlockLocations(p *sim.Proc, k *guest.Kernel, path string) ([]BlockInfo, error) {
+	nn.rpc(p, k)
+	meta, ok := nn.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	if !meta.complete {
+		return nil, fmt.Errorf("%w: %s", ErrIncomplete, path)
+	}
+	out := make([]BlockInfo, len(meta.blocks))
+	for i, b := range meta.blocks {
+		b.Locations = nn.orderLocations(k.Name(), b.Locations)
+		out[i] = b
+	}
+	return out, nil
+}
+
+// CreateFile registers a new, incomplete file.
+func (nn *NameNode) CreateFile(p *sim.Proc, k *guest.Kernel, path string) error {
+	nn.rpc(p, k)
+	if _, ok := nn.files[path]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, path)
+	}
+	nn.files[path] = &fileMeta{name: path}
+	return nil
+}
+
+// AllocateBlock assigns the next block of an open file to datanodes.
+func (nn *NameNode) AllocateBlock(p *sim.Proc, k *guest.Kernel, path string) (BlockInfo, error) {
+	nn.rpc(p, k)
+	meta, ok := nn.files[path]
+	if !ok {
+		return BlockInfo{}, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	targets := nn.placement(k.Name(), nn.cfg.Replication)
+	if len(targets) == 0 {
+		return BlockInfo{}, ErrNoDatanode
+	}
+	nn.nextBlock++
+	var off int64
+	for _, b := range meta.blocks {
+		off += b.Size
+	}
+	info := BlockInfo{ID: nn.nextBlock, FileOffset: off, Locations: targets}
+	meta.blocks = append(meta.blocks, info)
+	return info, nil
+}
+
+// blockReceived records a completed replica and fires the vRead refresh
+// trigger. Called by datanodes (not billed to the client).
+func (nn *NameNode) blockReceived(dn string, id BlockID, size int64) {
+	for _, meta := range nn.files {
+		for i := range meta.blocks {
+			if meta.blocks[i].ID == id {
+				meta.blocks[i].Size = size
+			}
+		}
+	}
+	path := blockPath(id)
+	for _, l := range nn.listeners {
+		l.BlockAdded(dn, path)
+	}
+}
+
+// CompleteFile marks a file complete (readable).
+func (nn *NameNode) CompleteFile(p *sim.Proc, k *guest.Kernel, path string) error {
+	nn.rpc(p, k)
+	meta, ok := nn.files[path]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	meta.complete = true
+	return nil
+}
+
+// DeleteFile removes a file's metadata and its block files on datanodes.
+func (nn *NameNode) DeleteFile(p *sim.Proc, k *guest.Kernel, path string) error {
+	nn.rpc(p, k)
+	meta, ok := nn.files[path]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	delete(nn.files, path)
+	for _, b := range meta.blocks {
+		for _, loc := range b.Locations {
+			if dn := nn.datanodes[loc]; dn != nil {
+				dn.removeBlock(p, b.ID)
+				for _, l := range nn.listeners {
+					l.BlockRemoved(loc, blockPath(b.ID))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// FileSize returns the total length of a file.
+func (nn *NameNode) FileSize(path string) (int64, bool) {
+	meta, ok := nn.files[path]
+	if !ok {
+		return 0, false
+	}
+	var n int64
+	for _, b := range meta.blocks {
+		n += b.Size
+	}
+	return n, true
+}
+
+// Exists reports whether a path is registered.
+func (nn *NameNode) Exists(path string) bool {
+	_, ok := nn.files[path]
+	return ok
+}
+
+// DataDir is where datanodes keep block files inside their VM.
+const DataDir = "/hadoop/dfs/data"
+
+// blockPath returns a block's file path inside the datanode VM.
+func blockPath(id BlockID) string { return DataDir + "/" + id.BlockName() }
+
+// BlockPath is the exported form used by the vRead daemon.
+func BlockPath(id BlockID) string { return blockPath(id) }
+
+// BlockPathByName returns the path for a block file name ("blk_7").
+func BlockPathByName(name string) string { return DataDir + "/" + name }

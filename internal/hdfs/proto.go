@@ -1,0 +1,113 @@
+package hdfs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"vread/internal/data"
+)
+
+// Wire protocol between DFSClient and datanodes: fixed-size binary headers
+// followed by raw streamed data, length-framed so both sides always know how
+// many bytes to expect.
+
+const (
+	opRead  uint64 = 1
+	opWrite uint64 = 2
+
+	statusOK  uint64 = 0
+	statusErr uint64 = 1
+
+	readReqSize   = 32  // op, blockID, off, len
+	writeReqSize  = 128 // op, blockID, len, nTargets, 3×32-byte target names
+	respHdrSize   = 16  // status, len
+	ackSize       = 8   // status
+	maxTargets    = 3
+	targetNameLen = 32
+)
+
+type readReq struct {
+	id  BlockID
+	off int64
+	n   int64
+}
+
+func encodeReadReq(r readReq) data.Slice {
+	b := make([]byte, readReqSize)
+	binary.BigEndian.PutUint64(b[0:], opRead)
+	binary.BigEndian.PutUint64(b[8:], uint64(r.id))
+	binary.BigEndian.PutUint64(b[16:], uint64(r.off))
+	binary.BigEndian.PutUint64(b[24:], uint64(r.n))
+	return data.NewSlice(data.Bytes(b))
+}
+
+type writeReq struct {
+	id      BlockID
+	n       int64
+	targets []string // downstream pipeline (not including the receiver)
+}
+
+func encodeWriteReq(w writeReq) data.Slice {
+	if len(w.targets) > maxTargets {
+		panic(fmt.Sprintf("hdfs: %d pipeline targets exceeds %d", len(w.targets), maxTargets))
+	}
+	b := make([]byte, writeReqSize)
+	binary.BigEndian.PutUint64(b[0:], opWrite)
+	binary.BigEndian.PutUint64(b[8:], uint64(w.id))
+	binary.BigEndian.PutUint64(b[16:], uint64(w.n))
+	binary.BigEndian.PutUint64(b[24:], uint64(len(w.targets)))
+	for i, tgt := range w.targets {
+		if len(tgt) > targetNameLen {
+			panic(fmt.Sprintf("hdfs: target name %q too long", tgt))
+		}
+		copy(b[32+i*targetNameLen:], tgt)
+	}
+	return data.NewSlice(data.Bytes(b))
+}
+
+// decodeOp reads the opcode from a request's first 8 bytes.
+func decodeOp(b []byte) uint64 { return binary.BigEndian.Uint64(b) }
+
+func decodeReadReq(b []byte) readReq {
+	return readReq{
+		id:  BlockID(binary.BigEndian.Uint64(b[8:])),
+		off: int64(binary.BigEndian.Uint64(b[16:])),
+		n:   int64(binary.BigEndian.Uint64(b[24:])),
+	}
+}
+
+func decodeWriteReq(b []byte) writeReq {
+	w := writeReq{
+		id: BlockID(binary.BigEndian.Uint64(b[8:])),
+		n:  int64(binary.BigEndian.Uint64(b[16:])),
+	}
+	nt := int(binary.BigEndian.Uint64(b[24:]))
+	for i := 0; i < nt; i++ {
+		raw := b[32+i*targetNameLen : 32+(i+1)*targetNameLen]
+		end := 0
+		for end < len(raw) && raw[end] != 0 {
+			end++
+		}
+		w.targets = append(w.targets, string(raw[:end]))
+	}
+	return w
+}
+
+func encodeResp(status uint64, n int64) data.Slice {
+	b := make([]byte, respHdrSize)
+	binary.BigEndian.PutUint64(b[0:], status)
+	binary.BigEndian.PutUint64(b[8:], uint64(n))
+	return data.NewSlice(data.Bytes(b))
+}
+
+func decodeResp(b []byte) (status uint64, n int64) {
+	return binary.BigEndian.Uint64(b[0:]), int64(binary.BigEndian.Uint64(b[8:]))
+}
+
+func encodeAck(status uint64) data.Slice {
+	b := make([]byte, ackSize)
+	binary.BigEndian.PutUint64(b, status)
+	return data.NewSlice(data.Bytes(b))
+}
+
+func decodeAck(b []byte) uint64 { return binary.BigEndian.Uint64(b) }

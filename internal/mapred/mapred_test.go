@@ -1,0 +1,161 @@
+package mapred_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"vread/internal/cluster"
+	"vread/internal/hdfs"
+	"vread/internal/mapred"
+	"vread/internal/metrics"
+	"vread/internal/sim"
+)
+
+func newEngine(t *testing.T, cfg mapred.Config) (*cluster.Cluster, *mapred.Engine) {
+	t.Helper()
+	c := cluster.New(1, cluster.Params{})
+	h1 := c.AddHost("host1")
+	vm := h1.AddVM("worker", metrics.TagClientApp)
+	nn := hdfs.NewNameNode(c.Env, hdfs.Config{}, c.Fabric)
+	cl := hdfs.NewClient(c.Env, nn, vm.Kernel)
+	e := mapred.NewEngine(c.Env, cfg)
+	e.AddTracker(vm.Kernel, cl)
+	return c, e
+}
+
+func TestRunCollectsResults(t *testing.T) {
+	c, e := newEngine(t, mapred.Config{})
+	defer c.Close()
+	tasks := make([]mapred.Task, 5)
+	for i := range tasks {
+		i := i
+		tasks[i] = mapred.Task{ID: i, Fn: func(p *sim.Proc, tr *mapred.Tracker) (interface{}, error) {
+			p.Sleep(10 * time.Millisecond)
+			return i * i, nil
+		}}
+	}
+	var job mapred.JobResult
+	finished := false
+	c.Go("driver", func(p *sim.Proc) {
+		job = e.Run(p, "squares", tasks)
+		finished = true
+	})
+	if err := c.Env.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !finished {
+		t.Fatal("job did not finish")
+	}
+	if len(job.Results) != 5 || len(job.Failed()) != 0 {
+		t.Fatalf("results = %d failed = %d", len(job.Results), len(job.Failed()))
+	}
+	seen := map[int]int{}
+	for _, r := range job.Results {
+		seen[r.TaskID] = r.Value.(int)
+	}
+	for i := 0; i < 5; i++ {
+		if seen[i] != i*i {
+			t.Fatalf("task %d result = %d", i, seen[i])
+		}
+	}
+	if job.Elapsed() <= 0 {
+		t.Fatal("job elapsed not positive")
+	}
+}
+
+func TestSlotsBoundConcurrency(t *testing.T) {
+	c, e := newEngine(t, mapred.Config{SlotsPerTracker: 2})
+	defer c.Close()
+	running, maxRunning := 0, 0
+	tasks := make([]mapred.Task, 6)
+	for i := range tasks {
+		tasks[i] = mapred.Task{ID: i, Fn: func(p *sim.Proc, tr *mapred.Tracker) (interface{}, error) {
+			running++
+			if running > maxRunning {
+				maxRunning = running
+			}
+			p.Sleep(20 * time.Millisecond)
+			running--
+			return nil, nil
+		}}
+	}
+	c.Go("driver", func(p *sim.Proc) { e.Run(p, "bounded", tasks) })
+	if err := c.Env.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if maxRunning != 2 {
+		t.Fatalf("max concurrent tasks = %d, want 2", maxRunning)
+	}
+}
+
+func TestRetryOnFailure(t *testing.T) {
+	c, e := newEngine(t, mapred.Config{MaxAttempts: 3})
+	defer c.Close()
+	attempts := 0
+	boom := errors.New("flaky")
+	tasks := []mapred.Task{{ID: 1, Fn: func(p *sim.Proc, tr *mapred.Tracker) (interface{}, error) {
+		attempts++
+		if attempts < 3 {
+			return nil, boom
+		}
+		return "ok", nil
+	}}}
+	var job mapred.JobResult
+	c.Go("driver", func(p *sim.Proc) { job = e.Run(p, "flaky", tasks) })
+	if err := c.Env.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d", attempts)
+	}
+	if len(job.Failed()) != 0 || job.Results[0].Value != "ok" {
+		t.Fatalf("job = %+v", job.Results)
+	}
+}
+
+func TestPermanentFailureReported(t *testing.T) {
+	c, e := newEngine(t, mapred.Config{MaxAttempts: 2})
+	defer c.Close()
+	boom := errors.New("always")
+	tasks := []mapred.Task{{ID: 7, Fn: func(p *sim.Proc, tr *mapred.Tracker) (interface{}, error) {
+		return nil, boom
+	}}}
+	var job mapred.JobResult
+	c.Go("driver", func(p *sim.Proc) { job = e.Run(p, "doomed", tasks) })
+	if err := c.Env.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	failed := job.Failed()
+	if len(failed) != 1 || !errors.Is(failed[0].Err, boom) || failed[0].Attempts != 2 {
+		t.Fatalf("failed = %+v", failed)
+	}
+}
+
+func TestMultipleTrackersShareWork(t *testing.T) {
+	c := cluster.New(1, cluster.Params{})
+	defer c.Close()
+	h1 := c.AddHost("host1")
+	nn := hdfs.NewNameNode(c.Env, hdfs.Config{}, c.Fabric)
+	e := mapred.NewEngine(c.Env, mapred.Config{SlotsPerTracker: 1})
+	byTracker := map[string]int{}
+	for _, name := range []string{"w1", "w2"} {
+		vm := h1.AddVM(name, metrics.TagClientApp)
+		e.AddTracker(vm.Kernel, hdfs.NewClient(c.Env, nn, vm.Kernel))
+	}
+	tasks := make([]mapred.Task, 8)
+	for i := range tasks {
+		tasks[i] = mapred.Task{ID: i, Fn: func(p *sim.Proc, tr *mapred.Tracker) (interface{}, error) {
+			byTracker[tr.Kernel.Name()]++
+			p.Sleep(10 * time.Millisecond)
+			return nil, nil
+		}}
+	}
+	c.Go("driver", func(p *sim.Proc) { e.Run(p, "shared", tasks) })
+	if err := c.Env.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if byTracker["w1"] == 0 || byTracker["w2"] == 0 {
+		t.Fatalf("work distribution = %v", byTracker)
+	}
+}

@@ -1,0 +1,279 @@
+// Package metrics accumulates the measurements the paper reports: CPU cycles
+// attributed to (entity, tag) pairs — the stacked bars of Figures 6–8 — plus
+// latency and throughput aggregates for the delay and DFSIO experiments.
+//
+// Entities are coarse accounting domains ("client", "datanode"); tags are the
+// paper's legend labels ("client-application", "loop device",
+// "copy:virtio-vqueue", "copy:vread-buffer", "vhost-net", "rdma", "vread-net",
+// "disk read", "others").
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Canonical tag names, matching the legends of Figures 6, 7 and 8.
+const (
+	TagClientApp   = "client-application"
+	TagLoopDevice  = "loop device"
+	TagCopyVirtio  = "copy:virtio-vqueue"
+	TagCopyVRead   = "copy:vread-buffer"
+	TagVhostNet    = "vhost-net"
+	TagRDMA        = "rdma"
+	TagVReadNet    = "vread-net"
+	TagDiskRead    = "disk read"
+	TagOthers      = "others"
+	TagDatanodeApp = "datanode-application"
+)
+
+// Registry accumulates cycle counts. The zero value is not usable; call
+// NewRegistry.
+type Registry struct {
+	cycles map[string]map[string]int64 // entity -> tag -> cycles
+	marks  map[string]int64            // snapshot support: key "entity\x00tag"
+	start  time.Duration               // window start for utilization reports
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		cycles: make(map[string]map[string]int64),
+		marks:  make(map[string]int64),
+	}
+}
+
+// AddCycles charges n cycles to (entity, tag). Negative n panics.
+func (r *Registry) AddCycles(entity, tag string, n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("metrics: negative cycles %d for %s/%s", n, entity, tag))
+	}
+	m := r.cycles[entity]
+	if m == nil {
+		m = make(map[string]int64)
+		r.cycles[entity] = m
+	}
+	m[tag] += n
+}
+
+// Cycles returns the cycles charged to (entity, tag) since creation.
+func (r *Registry) Cycles(entity, tag string) int64 { return r.cycles[entity][tag] }
+
+// EntityCycles returns total cycles charged to an entity across all tags.
+func (r *Registry) EntityCycles(entity string) int64 {
+	var sum int64
+	for _, v := range r.cycles[entity] {
+		sum += v
+	}
+	return sum
+}
+
+// TotalCycles returns the grand total across all entities.
+func (r *Registry) TotalCycles() int64 {
+	var sum int64
+	for e := range r.cycles {
+		sum += r.EntityCycles(e)
+	}
+	return sum
+}
+
+// Entities returns all entity names, sorted.
+func (r *Registry) Entities() []string {
+	out := make([]string, 0, len(r.cycles))
+	for e := range r.cycles {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tags returns the tags charged under entity, sorted.
+func (r *Registry) Tags(entity string) []string {
+	m := r.cycles[entity]
+	out := make([]string, 0, len(m))
+	for t := range m {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MarkWindow records the current counters and time as the start of a
+// measurement window; Utilization and WindowCycles report relative to it.
+func (r *Registry) MarkWindow(now time.Duration) {
+	r.start = now
+	for e, m := range r.cycles {
+		for t, v := range m {
+			r.marks[e+"\x00"+t] = v
+		}
+	}
+}
+
+// WindowCycles returns cycles charged to (entity, tag) since MarkWindow.
+func (r *Registry) WindowCycles(entity, tag string) int64 {
+	return r.cycles[entity][tag] - r.marks[entity+"\x00"+tag]
+}
+
+// WindowEntityCycles returns cycles charged to entity since MarkWindow.
+func (r *Registry) WindowEntityCycles(entity string) int64 {
+	var sum int64
+	for t := range r.cycles[entity] {
+		sum += r.WindowCycles(entity, t)
+	}
+	return sum
+}
+
+// Utilization returns the fraction of one core (0..n) that (entity, tag)
+// consumed between MarkWindow and now at the given clock frequency.
+func (r *Registry) Utilization(entity, tag string, now time.Duration, freqHz int64) float64 {
+	elapsed := now - r.start
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(r.WindowCycles(entity, tag)) / (float64(freqHz) * elapsed.Seconds())
+}
+
+// EntityUtilization is Utilization summed over all tags of entity.
+func (r *Registry) EntityUtilization(entity string, now time.Duration, freqHz int64) float64 {
+	elapsed := now - r.start
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(r.WindowEntityCycles(entity)) / (float64(freqHz) * elapsed.Seconds())
+}
+
+// Breakdown returns the per-tag utilization for entity as a map, suitable for
+// rendering one stacked bar of Figures 6–8.
+func (r *Registry) Breakdown(entity string, now time.Duration, freqHz int64) map[string]float64 {
+	out := make(map[string]float64)
+	for _, tag := range r.Tags(entity) {
+		if u := r.Utilization(entity, tag, now, freqHz); u > 0 {
+			out[tag] = u
+		}
+	}
+	return out
+}
+
+// FormatBreakdown renders a breakdown as "tag pct%" lines sorted descending,
+// for experiment output.
+func FormatBreakdown(b map[string]float64) string {
+	type kv struct {
+		k string
+		v float64
+	}
+	rows := make([]kv, 0, len(b))
+	for k, v := range b {
+		rows = append(rows, kv{k, v})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].v != rows[j].v {
+			return rows[i].v > rows[j].v
+		}
+		return rows[i].k < rows[j].k
+	})
+	var sb strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-24s %6.2f%%\n", r.k, r.v*100)
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Latency samples.
+
+// LatencyRecorder collects duration samples and reports simple statistics.
+type LatencyRecorder struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// NewLatencyRecorder returns an empty recorder.
+func NewLatencyRecorder() *LatencyRecorder { return &LatencyRecorder{} }
+
+// Record adds one sample.
+func (l *LatencyRecorder) Record(d time.Duration) {
+	l.samples = append(l.samples, d)
+	l.sorted = false
+}
+
+// Count returns the number of samples.
+func (l *LatencyRecorder) Count() int { return len(l.samples) }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (l *LatencyRecorder) Mean() time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range l.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(l.samples))
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (l *LatencyRecorder) Min() time.Duration {
+	l.sort()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	return l.samples[0]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (l *LatencyRecorder) Max() time.Duration {
+	l.sort()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	return l.samples[len(l.samples)-1]
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) by nearest-rank.
+func (l *LatencyRecorder) Percentile(p float64) time.Duration {
+	l.sort()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return l.samples[0]
+	}
+	rank := int(p/100*float64(len(l.samples))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(l.samples) {
+		rank = len(l.samples) - 1
+	}
+	return l.samples[rank]
+}
+
+func (l *LatencyRecorder) sort() {
+	if !l.sorted {
+		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+		l.sorted = true
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Throughput.
+
+// Throughput converts bytes moved in elapsed virtual time to MB/s (decimal
+// megabytes, as the paper's MBps axes).
+func Throughput(bytes int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) / 1e6 / elapsed.Seconds()
+}
+
+// Rate converts a count of operations in elapsed virtual time to ops/second
+// (the transaction-rate axis of Figure 3).
+func Rate(ops int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(ops) / elapsed.Seconds()
+}

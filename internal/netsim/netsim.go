@@ -1,0 +1,329 @@
+// Package netsim models the physical network of the testbed: per-host NICs
+// feeding a non-blocking 10 Gbps LAN switch, host-kernel receive processing
+// (softirq), and RDMA-over-Converged-Ethernet queue pairs between hosts.
+//
+// Frames are opaque to the network: virtio-net (inter-VM traffic), the vRead
+// daemons' TCP transport, and RDMA verbs all ride the same NIC pacing, so
+// competing flows share wire bandwidth the way the paper's single 10 Gbps
+// port does.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"vread/internal/cpusched"
+	"vread/internal/data"
+	"vread/internal/metrics"
+	"vread/internal/sim"
+)
+
+// Config holds network parameters. Zero values select the paper's testbed:
+// 10 Gbps LAN, RoCE-capable NICs.
+type Config struct {
+	// Bandwidth of each NIC port in bytes/second. Default 1.25e9 (10 Gbps).
+	Bandwidth int64
+	// Latency is the one-way wire+switch delay. Default 20µs.
+	Latency time.Duration
+	// SoftirqFrameCycles is host-kernel receive processing per frame.
+	// Default 4000.
+	SoftirqFrameCycles int64
+	// RDMAPostCycles is the CPU cost of posting one RDMA work request.
+	// Default 1200.
+	RDMAPostCycles int64
+	// RDMACompleteCycles is the CPU cost of reaping one completion.
+	// Default 800.
+	RDMACompleteCycles int64
+	// RDMALatency is the hardware-offloaded one-way latency. Default 8µs.
+	RDMALatency time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Bandwidth == 0 {
+		c.Bandwidth = 1_250_000_000
+	}
+	if c.Latency == 0 {
+		c.Latency = 20 * time.Microsecond
+	}
+	if c.SoftirqFrameCycles == 0 {
+		c.SoftirqFrameCycles = 4000
+	}
+	if c.RDMAPostCycles == 0 {
+		c.RDMAPostCycles = 1200
+	}
+	if c.RDMACompleteCycles == 0 {
+		c.RDMACompleteCycles = 800
+	}
+	if c.RDMALatency == 0 {
+		c.RDMALatency = 8 * time.Microsecond
+	}
+	return c
+}
+
+// Frame is one unit on the wire: a TSO-sized guest segment, a daemon TCP
+// segment, or an RDMA transfer chunk.
+type Frame struct {
+	SrcHost string
+	DstHost string
+	DstVM   string // "" for host-terminated traffic (daemon TCP, RDMA)
+	Payload data.Slice
+	Meta    interface{}
+}
+
+// Endpoint receives frames addressed to a VM on a host. virtio.NetDev
+// implements it.
+type Endpoint interface {
+	// DeliverFromWire is invoked in event context on the *receiving host*
+	// after NIC+softirq processing; the endpoint charges its own vhost-copy
+	// and guest costs.
+	DeliverFromWire(fr Frame)
+}
+
+// HostHandler receives host-terminated frames (the vRead daemon's TCP
+// transport).
+type HostHandler func(fr Frame)
+
+// Fabric is the LAN: a registry of hosts and VM endpoints plus the switch.
+type Fabric struct {
+	env   *sim.Env
+	cfg   Config
+	nics  map[string]*NIC
+	vms   map[string]vmReg
+	ports map[hostPort]HostHandler
+}
+
+type vmReg struct {
+	host string
+	ep   Endpoint
+}
+
+type hostPort struct {
+	host string
+	port int
+}
+
+// NewFabric creates an empty LAN.
+func NewFabric(env *sim.Env, cfg Config) *Fabric {
+	return &Fabric{
+		env:   env,
+		cfg:   cfg.withDefaults(),
+		nics:  make(map[string]*NIC),
+		vms:   make(map[string]vmReg),
+		ports: make(map[hostPort]HostHandler),
+	}
+}
+
+// Config returns the fabric parameters.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// AddHost registers a host NIC. softirq is the host thread that receive
+// processing is charged to; entity/tag attribution follows that thread.
+func (f *Fabric) AddHost(name string, softirq *cpusched.Thread) *NIC {
+	if _, ok := f.nics[name]; ok {
+		panic(fmt.Sprintf("netsim: duplicate host %q", name))
+	}
+	nic := &NIC{fabric: f, host: name, softirq: softirq}
+	f.nics[name] = nic
+	return nic
+}
+
+// NIC returns the registered NIC for host, or nil.
+func (f *Fabric) NIC(host string) *NIC { return f.nics[host] }
+
+// RegisterVM binds a VM name to its host and endpoint.
+func (f *Fabric) RegisterVM(vm, host string, ep Endpoint) {
+	if _, ok := f.vms[vm]; ok {
+		panic(fmt.Sprintf("netsim: duplicate VM %q", vm))
+	}
+	f.vms[vm] = vmReg{host: host, ep: ep}
+}
+
+// UnregisterVM removes a VM binding (live migration support).
+func (f *Fabric) UnregisterVM(vm string) { delete(f.vms, vm) }
+
+// HostOf returns the host a VM currently runs on.
+func (f *Fabric) HostOf(vm string) (string, bool) {
+	r, ok := f.vms[vm]
+	return r.host, ok
+}
+
+// EndpointOf returns the endpoint of a VM.
+func (f *Fabric) EndpointOf(vm string) (Endpoint, bool) {
+	r, ok := f.vms[vm]
+	return r.ep, ok
+}
+
+// BindHostPort registers a host-terminated service (the vRead daemon's TCP
+// listener).
+func (f *Fabric) BindHostPort(host string, port int, h HostHandler) {
+	key := hostPort{host, port}
+	if _, ok := f.ports[key]; ok {
+		panic(fmt.Sprintf("netsim: port %d already bound on %s", port, host))
+	}
+	f.ports[key] = h
+}
+
+// NIC is one host's 10 Gbps port with FIFO egress pacing.
+type NIC struct {
+	fabric    *Fabric
+	host      string
+	softirq   *cpusched.Thread
+	busyUntil time.Duration
+	txBytes   int64
+	txFrames  int64
+}
+
+// Host returns the owning host name.
+func (n *NIC) Host() string { return n.host }
+
+// TxBytes returns total bytes transmitted.
+func (n *NIC) TxBytes() int64 { return n.txBytes }
+
+// TxFrames returns total frames transmitted.
+func (n *NIC) TxFrames() int64 { return n.txFrames }
+
+// SendToVM transmits a frame to a VM on another host. After wire time, the
+// receiving host's softirq processing runs, then the VM endpoint's
+// DeliverFromWire. onSent (may be nil) fires when the frame leaves this NIC
+// (transmit-complete, for sender-side pacing).
+func (n *NIC) SendToVM(fr Frame, onSent func()) {
+	reg, ok := n.fabric.vms[fr.DstVM]
+	if !ok {
+		panic(fmt.Sprintf("netsim: unknown destination VM %q", fr.DstVM))
+	}
+	fr.SrcHost = n.host
+	fr.DstHost = reg.host
+	n.transmit(fr, onSent, func(arrived Frame) {
+		dst := n.fabric.nics[reg.host]
+		dst.softirq.Post(n.fabric.cfg.SoftirqFrameCycles, metrics.TagVhostNet, func() {
+			reg.ep.DeliverFromWire(arrived)
+		})
+	})
+}
+
+// SendToHost transmits a host-terminated frame (daemon TCP). Receive
+// processing is charged to the receiving host's softirq thread with the
+// vread-net tag, then the bound handler runs.
+func (n *NIC) SendToHost(dstHost string, port int, fr Frame, onSent func()) {
+	h, ok := n.fabric.ports[hostPort{dstHost, port}]
+	if !ok {
+		panic(fmt.Sprintf("netsim: no handler on %s:%d", dstHost, port))
+	}
+	fr.SrcHost = n.host
+	fr.DstHost = dstHost
+	n.transmit(fr, onSent, func(arrived Frame) {
+		dst := n.fabric.nics[dstHost]
+		dst.softirq.Post(n.fabric.cfg.SoftirqFrameCycles, metrics.TagVReadNet, func() {
+			h(arrived)
+		})
+	})
+}
+
+// SendDMA transmits a frame fully in hardware (SR-IOV virtual functions):
+// NIC pacing and wire latency apply, but no host softirq runs — deliver is
+// invoked directly on arrival. Co-located destinations hairpin through the
+// NIC's internal switch (same pacing, same latency).
+func (n *NIC) SendDMA(fr Frame, onSent func(), deliver func(Frame)) {
+	fr.SrcHost = n.host
+	n.transmit(fr, onSent, deliver)
+}
+
+// transmit paces the frame through this NIC and schedules arrival.
+func (n *NIC) transmit(fr Frame, onSent func(), deliver func(Frame)) {
+	cfg := n.fabric.cfg
+	now := n.fabric.env.Now()
+	start := now
+	if n.busyUntil > start {
+		start = n.busyUntil
+	}
+	txTime := time.Duration(float64(fr.Payload.Len()) / float64(cfg.Bandwidth) * float64(time.Second))
+	done := start + txTime
+	n.busyUntil = done
+	n.txBytes += fr.Payload.Len()
+	n.txFrames++
+	if onSent != nil {
+		n.fabric.env.Schedule(done-now, onSent)
+	}
+	n.fabric.env.Schedule(done-now+cfg.Latency, func() { deliver(fr) })
+}
+
+// ---------------------------------------------------------------------------
+// RDMA (RoCE).
+
+// QP is a reliable-connected RDMA queue pair between two hosts. Work
+// requests pay small per-op CPU on the posting thread and are transferred by
+// NIC hardware (wire pacing, no softirq, no copies).
+type QP struct {
+	fabric   *Fabric
+	hostA    string
+	hostB    string
+	recvA    func(Frame)
+	recvB    func(Frame)
+	threadA  *cpusched.Thread
+	threadB  *cpusched.Thread
+	ops      int64
+	opsBytes int64
+}
+
+// NewQP connects two hosts. threadX is the thread whose entity RDMA CPU is
+// charged to on each side; recvX handles messages arriving at that side.
+func (f *Fabric) NewQP(hostA string, threadA *cpusched.Thread, recvA func(Frame),
+	hostB string, threadB *cpusched.Thread, recvB func(Frame)) *QP {
+	if f.nics[hostA] == nil || f.nics[hostB] == nil {
+		panic("netsim: QP hosts must be registered")
+	}
+	return &QP{
+		fabric: f, hostA: hostA, hostB: hostB,
+		recvA: recvA, recvB: recvB, threadA: threadA, threadB: threadB,
+	}
+}
+
+// Ops returns the number of posted work requests.
+func (q *QP) Ops() int64 { return q.ops }
+
+// OpsBytes returns total bytes moved through the QP.
+func (q *QP) OpsBytes() int64 { return q.opsBytes }
+
+// PostFrom posts a send/write work request from the given side ("A" side is
+// hostA). The posting thread pays RDMAPostCycles; the NIC DMAs the payload
+// at wire speed; the remote side pays RDMACompleteCycles and then its recv
+// handler runs. onSent (may be nil) fires at local transmit-complete.
+func (q *QP) PostFrom(host string, fr Frame, onSent func()) {
+	cfg := q.fabric.cfg
+	var postTh, complTh *cpusched.Thread
+	var recv func(Frame)
+	var dstHost string
+	switch host {
+	case q.hostA:
+		postTh, complTh, recv, dstHost = q.threadA, q.threadB, q.recvB, q.hostB
+	case q.hostB:
+		postTh, complTh, recv, dstHost = q.threadB, q.threadA, q.recvA, q.hostA
+	default:
+		panic(fmt.Sprintf("netsim: host %q not part of QP", host))
+	}
+	q.ops++
+	q.opsBytes += fr.Payload.Len()
+	fr.SrcHost = host
+	fr.DstHost = dstHost
+	nic := q.fabric.nics[host]
+	postTh.Post(cfg.RDMAPostCycles, metrics.TagRDMA, func() {
+		now := q.fabric.env.Now()
+		start := now
+		if nic.busyUntil > start {
+			start = nic.busyUntil
+		}
+		txTime := time.Duration(float64(fr.Payload.Len()) / float64(cfg.Bandwidth) * float64(time.Second))
+		done := start + txTime
+		nic.busyUntil = done
+		nic.txBytes += fr.Payload.Len()
+		nic.txFrames++
+		if onSent != nil {
+			q.fabric.env.Schedule(done-now, onSent)
+		}
+		q.fabric.env.Schedule(done-now+cfg.RDMALatency, func() {
+			complTh.Post(cfg.RDMACompleteCycles, metrics.TagRDMA, func() {
+				recv(fr)
+			})
+		})
+	})
+}

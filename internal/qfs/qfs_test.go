@@ -1,0 +1,199 @@
+package qfs_test
+
+import (
+	"testing"
+	"time"
+
+	"vread/internal/cluster"
+	"vread/internal/core"
+	"vread/internal/data"
+	"vread/internal/metrics"
+	"vread/internal/qfs"
+	"vread/internal/sim"
+)
+
+type bed struct {
+	c   *cluster.Cluster
+	ms  *qfs.MetaServer
+	cs1 *qfs.ChunkServer
+	cs2 *qfs.ChunkServer
+	cl  *qfs.Client
+	mgr *core.Manager
+	lib *core.Lib
+}
+
+func newBed(t *testing.T, vread bool) *bed {
+	t.Helper()
+	c := cluster.New(1, cluster.Params{})
+	h1 := c.AddHost("host1")
+	h2 := c.AddHost("host2")
+	clientVM := h1.AddVM("client", metrics.TagClientApp)
+	cs1VM := h1.AddVM("cs1", metrics.TagDatanodeApp)
+	cs2VM := h2.AddVM("cs2", metrics.TagDatanodeApp)
+
+	ms := qfs.NewMetaServer(c.Env, qfs.Config{ChunkSize: 4 << 20})
+	cs1 := qfs.StartChunkServer(c.Env, ms, cs1VM.Kernel)
+	cs2 := qfs.StartChunkServer(c.Env, ms, cs2VM.Kernel)
+	cl := qfs.NewClient(c.Env, ms, clientVM.Kernel)
+
+	b := &bed{c: c, ms: ms, cs1: cs1, cs2: cs2, cl: cl}
+	if vread {
+		b.mgr = core.NewManager(c, nil, core.Config{}) // no HDFS namenode
+		b.mgr.MountDatanode("cs1")
+		b.mgr.MountDatanode("cs2")
+		ms.AddListener(b.mgr) // metaserver drives the dentry refresh
+		b.lib = b.mgr.EnableClient("client")
+		cl.SetPathReader(qfs.PathReaderFunc(func(p *sim.Proc, server, path, key string) (qfs.Handle, bool) {
+			return b.lib.OpenPath(p, server, path, key)
+		}))
+	}
+	return b
+}
+
+func (b *bed) run(t *testing.T, d time.Duration, name string, fn func(p *sim.Proc)) {
+	t.Helper()
+	done := false
+	b.c.Go(name, func(p *sim.Proc) {
+		fn(p)
+		done = true
+	})
+	if err := b.c.Env.RunUntil(b.c.Env.Now() + d); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatalf("%s did not finish", name)
+	}
+}
+
+func TestQFSRoundTrip(t *testing.T) {
+	b := newBed(t, false)
+	defer b.c.Close()
+	content := data.Pattern{Seed: 81, Size: 10 << 20} // 3 chunks, striped over 2 servers
+	b.run(t, 5*time.Minute, "rw", func(p *sim.Proc) {
+		if err := b.cl.WriteFile(p, "/q/f", content); err != nil {
+			t.Error(err)
+			return
+		}
+		got, err := b.cl.ReadFile(p, "/q/f")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !data.Equal(got, data.NewSlice(content)) {
+			t.Error("QFS round trip corrupted")
+		}
+	})
+	if size, ok := b.ms.FileSize("/q/f"); !ok || size != content.Size {
+		t.Fatalf("FileSize = %d,%v", size, ok)
+	}
+	// Striping used both servers.
+	if b.cs1.ServedBytes() == 0 || b.cs2.ServedBytes() == 0 {
+		t.Fatalf("striping broken: served %d / %d", b.cs1.ServedBytes(), b.cs2.ServedBytes())
+	}
+}
+
+func TestQFSPositionalRead(t *testing.T) {
+	b := newBed(t, false)
+	defer b.c.Close()
+	content := data.Pattern{Seed: 82, Size: 9 << 20}
+	b.run(t, 5*time.Minute, "pread", func(p *sim.Proc) {
+		if err := b.cl.WriteFile(p, "/q/f", content); err != nil {
+			t.Error(err)
+			return
+		}
+		// Cross-chunk positional read.
+		off, n := int64(4<<20)-512, int64(2048)
+		got, err := b.cl.ReadAt(p, "/q/f", off, n)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !data.Equal(got, data.NewSlice(content).Sub(off, n)) {
+			t.Error("cross-chunk pread corrupted")
+		}
+	})
+}
+
+func TestQFSWithVReadBypassesChunkServers(t *testing.T) {
+	b := newBed(t, true)
+	defer b.c.Close()
+	content := data.Pattern{Seed: 83, Size: 10 << 20}
+	b.run(t, 5*time.Minute, "vread-rw", func(p *sim.Proc) {
+		if err := b.cl.WriteFile(p, "/q/f", content); err != nil {
+			t.Error(err)
+			return
+		}
+		got, err := b.cl.ReadFile(p, "/q/f")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !data.Equal(got, data.NewSlice(content)) {
+			t.Error("QFS vRead read corrupted")
+		}
+	})
+	// Every byte came through the daemons (local for cs1, remote for cs2).
+	if b.cs1.ServedBytes() != 0 || b.cs2.ServedBytes() != 0 {
+		t.Fatalf("chunk servers streamed %d/%d bytes despite vRead",
+			b.cs1.ServedBytes(), b.cs2.ServedBytes())
+	}
+	st := b.mgr.Daemon("client").Stats()
+	if st.BytesLocal+st.BytesRemote != content.Size {
+		t.Fatalf("daemon served %d bytes, want %d", st.BytesLocal+st.BytesRemote, content.Size)
+	}
+	if st.BytesLocal == 0 || st.BytesRemote == 0 {
+		t.Fatalf("expected both local and remote daemon traffic: %+v", st)
+	}
+	if st.OpenMisses != 0 {
+		t.Fatalf("open misses: %d (refresh hook broken?)", st.OpenMisses)
+	}
+}
+
+func TestQFSVReadFasterThanVanilla(t *testing.T) {
+	measure := func(vread bool) time.Duration {
+		b := newBed(t, vread)
+		defer b.c.Close()
+		content := data.Pattern{Seed: 84, Size: 8 << 20}
+		var elapsed time.Duration
+		b.run(t, 10*time.Minute, "measure", func(p *sim.Proc) {
+			if err := b.cl.WriteFile(p, "/q/f", content); err != nil {
+				t.Error(err)
+				return
+			}
+			for _, vm := range b.c.AllVMs() {
+				vm.Kernel.DropCaches()
+			}
+			b.c.Host("host1").Cache.DropAll()
+			b.c.Host("host2").Cache.DropAll()
+			start := b.c.Env.Now()
+			if _, err := b.cl.ReadFile(p, "/q/f"); err != nil {
+				t.Error(err)
+				return
+			}
+			elapsed = b.c.Env.Now() - start
+		})
+		return elapsed
+	}
+	vanilla := measure(false)
+	vread := measure(true)
+	if vread >= vanilla {
+		t.Fatalf("QFS with vRead %v not faster than vanilla %v", vread, vanilla)
+	}
+}
+
+func TestQFSErrors(t *testing.T) {
+	b := newBed(t, false)
+	defer b.c.Close()
+	b.run(t, time.Minute, "errs", func(p *sim.Proc) {
+		if _, err := b.cl.ReadFile(p, "/missing"); err == nil {
+			t.Error("read of missing file succeeded")
+		}
+		if err := b.cl.WriteFile(p, "/q/f", data.Bytes("x")); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := b.cl.WriteFile(p, "/q/f", data.Bytes("y")); err == nil {
+			t.Error("duplicate write succeeded")
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package sim
+
+import "time"
+
+// Signal is a reusable wake-up point: processes Wait on it, other code
+// (processes or event callbacks) Signals or Broadcasts it. There is no
+// memory: a Broadcast with no waiters is a no-op, exactly like a condition
+// variable. Use Gate for level-triggered conditions.
+type Signal struct {
+	env     *Env
+	waiters []*waiter
+}
+
+type waiter struct {
+	p        *Proc
+	fired    bool
+	timedOut bool
+}
+
+// NewSignal returns a Signal bound to env.
+func NewSignal(env *Env) *Signal { return &Signal{env: env} }
+
+// Wait suspends p until the next Signal or Broadcast.
+func (s *Signal) Wait(p *Proc) {
+	p.checkContext()
+	w := &waiter{p: p}
+	s.waiters = append(s.waiters, w)
+	p.park()
+}
+
+// WaitTimeout suspends p until the next Signal/Broadcast or until d elapses.
+// It reports false on timeout.
+func (s *Signal) WaitTimeout(p *Proc, d time.Duration) bool {
+	p.checkContext()
+	w := &waiter{p: p}
+	s.waiters = append(s.waiters, w)
+	timer := s.env.Schedule(d, func() {
+		if w.fired {
+			return
+		}
+		w.fired = true
+		w.timedOut = true
+		s.env.dispatch(p)
+	})
+	p.park()
+	timer.Cancel()
+	return !w.timedOut
+}
+
+// Signal wakes exactly one waiting process (the longest-waiting one). It
+// reports whether a process was woken.
+func (s *Signal) Signal() bool {
+	for len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		if w.fired {
+			continue
+		}
+		w.fired = true
+		s.env.Schedule(0, func() { s.env.dispatch(w.p) })
+		return true
+	}
+	return false
+}
+
+// Broadcast wakes every currently waiting process.
+func (s *Signal) Broadcast() {
+	ws := s.waiters
+	s.waiters = nil
+	for _, w := range ws {
+		if w.fired {
+			continue
+		}
+		w.fired = true
+		ww := w
+		s.env.Schedule(0, func() { s.env.dispatch(ww.p) })
+	}
+}
+
+// Waiters returns the number of processes currently waiting.
+func (s *Signal) Waiters() int {
+	n := 0
+	for _, w := range s.waiters {
+		if !w.fired {
+			n++
+		}
+	}
+	return n
+}
+
+// Gate is a level-triggered condition: Open lets all present and future
+// waiters through until Close. It replaces the common "check flag, maybe
+// wait" pattern.
+type Gate struct {
+	open bool
+	sig  *Signal
+}
+
+// NewGate returns a Gate in the given initial state.
+func NewGate(env *Env, open bool) *Gate {
+	return &Gate{open: open, sig: NewSignal(env)}
+}
+
+// Wait blocks p until the gate is open.
+func (g *Gate) Wait(p *Proc) {
+	for !g.open {
+		g.sig.Wait(p)
+	}
+}
+
+// Open opens the gate and wakes all waiters.
+func (g *Gate) Open() {
+	if g.open {
+		return
+	}
+	g.open = true
+	g.sig.Broadcast()
+}
+
+// Close closes the gate; subsequent Wait calls block.
+func (g *Gate) Close() { g.open = false }
+
+// IsOpen reports the gate state.
+func (g *Gate) IsOpen() bool { return g.open }
+
+// Mutex is a simulated mutual-exclusion lock. Lock order is FIFO.
+type Mutex struct {
+	locked bool
+	sig    *Signal
+}
+
+// NewMutex returns an unlocked mutex.
+func NewMutex(env *Env) *Mutex { return &Mutex{sig: NewSignal(env)} }
+
+// Lock blocks p until the mutex is acquired.
+func (m *Mutex) Lock(p *Proc) {
+	for m.locked {
+		m.sig.Wait(p)
+	}
+	m.locked = true
+}
+
+// Unlock releases the mutex. Unlocking an unlocked mutex panics.
+func (m *Mutex) Unlock() {
+	if !m.locked {
+		panic("sim: unlock of unlocked Mutex")
+	}
+	m.locked = false
+	m.sig.Signal()
+}
+
+// TryLock acquires the mutex if it is free, reporting success.
+func (m *Mutex) TryLock() bool {
+	if m.locked {
+		return false
+	}
+	m.locked = true
+	return true
+}

@@ -1,0 +1,345 @@
+// Package sim implements the deterministic discrete-event engine that every
+// other subsystem of the vRead reproduction runs on.
+//
+// The engine combines two classic ideas:
+//
+//   - a virtual clock driven by a binary-heap event queue (ties broken by a
+//     monotonically increasing sequence number, so runs are bit-reproducible);
+//   - coroutine-style processes: each Proc is a goroutine, but at most one
+//     goroutine — either the engine loop or exactly one Proc — executes at a
+//     time, with explicit channel handoff. Processes therefore read like
+//     straight-line imperative code (the HDFS datanode loop looks like a
+//     datanode loop) while remaining fully deterministic.
+//
+// Virtual time is a time.Duration measured from the start of the run. No
+// component of the simulator may consult the wall clock.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Env is a simulation environment: a virtual clock plus the pending-event
+// queue and the set of live processes. An Env is not safe for concurrent use;
+// the whole point is that nothing in a simulation is concurrent in real time.
+type Env struct {
+	now     time.Duration
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	procs   map[*Proc]struct{}
+	current *Proc
+
+	// handback is signalled by a Proc when it parks (or exits), returning
+	// control to the engine goroutine. A single channel suffices because at
+	// most one Proc is runnable at a time.
+	handback chan struct{}
+
+	stopped  bool
+	procErr  *procPanic
+	idleHook func() // invoked when the queue drains during Run*, may add events
+}
+
+// NewEnv returns an empty environment with the virtual clock at zero. The
+// seed feeds the environment's deterministic random source (used only by
+// workload generators, never by the engine itself).
+func NewEnv(seed int64) *Env {
+	return &Env{
+		rng:      rand.New(rand.NewSource(seed)),
+		procs:    make(map[*Proc]struct{}),
+		handback: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() time.Duration { return e.now }
+
+// Rand returns the environment's deterministic random source.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Stop makes the current Run call return after the event being processed
+// completes. Pending events remain queued.
+func (e *Env) Stop() { e.stopped = true }
+
+// SetIdleHook registers a function invoked whenever the event queue drains
+// while Run is active. The hook may schedule more work (for example, a
+// benchmark driver starting the next phase); if it schedules nothing, Run
+// returns. Passing nil clears the hook.
+func (e *Env) SetIdleHook(fn func()) { e.idleHook = fn }
+
+// Schedule runs fn at virtual time Now()+after. It returns a Timer that can
+// cancel the callback as long as it has not fired.
+func (e *Env) Schedule(after time.Duration, fn func()) *Timer {
+	if after < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", after))
+	}
+	ev := &event{at: e.now + after, seq: e.nextSeq(), fn: fn}
+	heap.Push(&e.events, ev)
+	return &Timer{env: e, ev: ev}
+}
+
+func (e *Env) nextSeq() uint64 {
+	e.seq++
+	return e.seq
+}
+
+// Run processes events until the queue is empty (and the idle hook, if any,
+// declines to add more), Stop is called, or a process panics. It returns the
+// first process panic as an error; engine-level misuse panics directly.
+func (e *Env) Run() error { return e.run(-1) }
+
+// RunUntil processes events with timestamps <= t, then advances the clock to
+// exactly t (if the run was not stopped earlier).
+func (e *Env) RunUntil(t time.Duration) error {
+	if t < e.now {
+		return fmt.Errorf("sim: RunUntil(%v) is in the past (now %v)", t, e.now)
+	}
+	err := e.run(t)
+	if err == nil && !e.stopped && e.now < t {
+		e.now = t
+	}
+	return err
+}
+
+// RunFor is RunUntil(Now()+d).
+func (e *Env) RunFor(d time.Duration) error { return e.RunUntil(e.now + d) }
+
+func (e *Env) run(deadline time.Duration) error {
+	e.stopped = false
+	for !e.stopped {
+		if e.events.Len() == 0 {
+			if e.idleHook != nil {
+				e.idleHook()
+				if e.events.Len() > 0 {
+					continue
+				}
+			}
+			break
+		}
+		ev := e.events[0]
+		if deadline >= 0 && ev.at > deadline {
+			break
+		}
+		heap.Pop(&e.events)
+		if ev.canceled {
+			continue
+		}
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: event scheduled in the past (%v < %v)", ev.at, e.now))
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil // mark fired so Timer.Cancel is O(1)
+		fn()
+		if e.procErr != nil {
+			pe := e.procErr
+			e.procErr = nil
+			return pe
+		}
+	}
+	return nil
+}
+
+// Close aborts every live process so their goroutines exit. The environment
+// must not be used afterwards. It is safe to call Close on an environment
+// whose processes have all finished.
+func (e *Env) Close() {
+	for p := range e.procs {
+		if !p.started {
+			// Goroutine is parked on its very first resume; abort it the
+			// same way.
+			p.started = true
+		}
+		e.current = p
+		p.resume <- resumeMsg{abort: true}
+		<-e.handback
+		e.current = nil
+	}
+	e.procErr = nil
+}
+
+// Live reports the number of processes that have been started (or created)
+// and have not yet finished.
+func (e *Env) Live() int { return len(e.procs) }
+
+// ---------------------------------------------------------------------------
+// Events and timers.
+
+type event struct {
+	at       time.Duration
+	seq      uint64
+	fn       func()
+	canceled bool
+}
+
+// Timer identifies a scheduled callback and allows cancelling it.
+type Timer struct {
+	env *Env
+	ev  *event
+}
+
+// Cancel prevents the callback from firing. It reports whether the callback
+// was still pending. Cancelling an already-fired or already-cancelled timer
+// is a no-op returning false.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.canceled || t.ev.fn == nil {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// When returns the virtual time the timer is scheduled to fire at.
+func (t *Timer) When() time.Duration { return t.ev.at }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// ---------------------------------------------------------------------------
+// Processes.
+
+type resumeMsg struct{ abort bool }
+
+type procPanic struct {
+	proc  string
+	value interface{}
+}
+
+func (p *procPanic) Error() string {
+	return fmt.Sprintf("sim: process %q panicked: %v", p.proc, p.value)
+}
+
+type abortSentinel struct{}
+
+// Proc is a simulated process. All Proc methods that can block must be called
+// only from the process's own goroutine (that is, from within the function
+// passed to Go).
+type Proc struct {
+	env     *Env
+	name    string
+	resume  chan resumeMsg
+	started bool
+	done    bool
+	doneSig *Signal
+}
+
+// Go creates a process and schedules it to start at the current virtual time
+// (after already-queued events).
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	return e.GoAfter(0, name, fn)
+}
+
+// GoAfter creates a process that starts after the given virtual delay.
+func (e *Env) GoAfter(after time.Duration, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan resumeMsg)}
+	p.doneSig = NewSignal(e)
+	e.procs[p] = struct{}{}
+	go p.run(fn)
+	e.Schedule(after, func() {
+		p.started = true
+		e.dispatch(p)
+	})
+	return p
+}
+
+func (p *Proc) run(fn func(p *Proc)) {
+	defer func() {
+		r := recover()
+		if _, ok := r.(abortSentinel); ok {
+			delete(p.env.procs, p)
+			p.done = true
+			p.env.handback <- struct{}{}
+			return
+		}
+		if r != nil {
+			p.env.procErr = &procPanic{proc: p.name, value: r}
+		}
+		delete(p.env.procs, p)
+		p.done = true
+		p.doneSig.Broadcast()
+		p.env.handback <- struct{}{}
+	}()
+	// Park until the start event dispatches us.
+	if msg := <-p.resume; msg.abort {
+		panic(abortSentinel{})
+	}
+	fn(p)
+}
+
+// dispatch transfers control to p until it parks or finishes. Must run on the
+// engine goroutine (inside an event callback).
+func (e *Env) dispatch(p *Proc) {
+	if p.done {
+		return
+	}
+	prev := e.current
+	e.current = p
+	p.resume <- resumeMsg{}
+	<-e.handback
+	e.current = prev
+}
+
+// park yields control back to the engine until some event dispatches p again.
+func (p *Proc) park() {
+	p.env.handback <- struct{}{}
+	if msg := <-p.resume; msg.abort {
+		panic(abortSentinel{})
+	}
+}
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Done reports whether the process function has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	p.checkContext()
+	p.env.Schedule(d, func() { p.env.dispatch(p) })
+	p.park()
+}
+
+// Yield reschedules the process behind all events pending at the current
+// instant.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Join blocks until other finishes. Joining a finished process returns
+// immediately.
+func (p *Proc) Join(other *Proc) {
+	if other.done {
+		return
+	}
+	other.doneSig.Wait(p)
+}
+
+// checkContext panics if a blocking method is invoked from outside the
+// process goroutine — a programming error that would otherwise deadlock.
+func (p *Proc) checkContext() {
+	if p.env.current != p {
+		panic(fmt.Sprintf("sim: blocking call on process %q from outside its goroutine", p.name))
+	}
+}

@@ -1,0 +1,568 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	env := NewEnv(1)
+	var got []int
+	env.Schedule(3*time.Millisecond, func() { got = append(got, 3) })
+	env.Schedule(1*time.Millisecond, func() { got = append(got, 1) })
+	env.Schedule(2*time.Millisecond, func() { got = append(got, 2) })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if env.Now() != 3*time.Millisecond {
+		t.Fatalf("Now() = %v, want 3ms", env.Now())
+	}
+}
+
+func TestScheduleTieBreakFIFO(t *testing.T) {
+	env := NewEnv(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		env.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	env := NewEnv(1)
+	fired := false
+	tm := env.Schedule(time.Millisecond, func() { fired = true })
+	if !tm.Cancel() {
+		t.Fatal("Cancel on pending timer returned false")
+	}
+	if tm.Cancel() {
+		t.Fatal("second Cancel returned true")
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestTimerCancelAfterFire(t *testing.T) {
+	env := NewEnv(1)
+	tm := env.Schedule(time.Millisecond, func() {})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tm.Cancel() {
+		t.Fatal("Cancel after fire returned true")
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	env := NewEnv(1)
+	var wake time.Duration
+	env.Go("sleeper", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		wake = env.Now()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wake != 5*time.Millisecond {
+		t.Fatalf("woke at %v, want 5ms", wake)
+	}
+	if env.Live() != 0 {
+		t.Fatalf("Live() = %d after Run", env.Live())
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	env := NewEnv(1)
+	var trace []string
+	mk := func(name string, d time.Duration) {
+		env.Go(name, func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Sleep(d)
+				trace = append(trace, fmt.Sprintf("%s@%v", name, env.Now()))
+			}
+		})
+	}
+	mk("a", 2*time.Millisecond)
+	mk("b", 3*time.Millisecond)
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Both wake at 6ms; b's wake event was scheduled earlier (at 3ms) than
+	// a's (at 4ms), so FIFO tie-breaking runs b first.
+	want := []string{"a@2ms", "b@3ms", "a@4ms", "b@6ms", "a@6ms", "b@9ms"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestProcJoin(t *testing.T) {
+	env := NewEnv(1)
+	var order []string
+	worker := env.Go("worker", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		order = append(order, "worker-done")
+	})
+	env.Go("waiter", func(p *Proc) {
+		p.Join(worker)
+		order = append(order, "joined")
+		p.Join(worker) // join on finished proc returns immediately
+		order = append(order, "joined-again")
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "worker-done" || order[2] != "joined-again" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	env := NewEnv(1)
+	env.Go("bad", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		panic("boom")
+	})
+	err := env.Run()
+	if err == nil {
+		t.Fatal("Run returned nil for panicking process")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	env := NewEnv(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		env.Schedule(time.Millisecond, tick)
+	}
+	env.Schedule(time.Millisecond, tick)
+	if err := env.RunUntil(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	if env.Now() != 10*time.Millisecond {
+		t.Fatalf("Now() = %v", env.Now())
+	}
+	if err := env.RunFor(5 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if count != 15 {
+		t.Fatalf("count = %d, want 15", count)
+	}
+	env.Close()
+}
+
+func TestStop(t *testing.T) {
+	env := NewEnv(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n == 5 {
+			env.Stop()
+		}
+		env.Schedule(time.Millisecond, tick)
+	}
+	env.Schedule(time.Millisecond, tick)
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("n = %d, want 5", n)
+	}
+	env.Close()
+}
+
+func TestCloseAbortsParkedProcs(t *testing.T) {
+	env := NewEnv(1)
+	sig := NewSignal(env)
+	for i := 0; i < 4; i++ {
+		env.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			sig.Wait(p) // never signalled
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if env.Live() != 4 {
+		t.Fatalf("Live() = %d, want 4", env.Live())
+	}
+	env.Close()
+	if env.Live() != 0 {
+		t.Fatalf("Live() = %d after Close", env.Live())
+	}
+}
+
+func TestSignalWakeOrder(t *testing.T) {
+	env := NewEnv(1)
+	sig := NewSignal(env)
+	var got []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		env.Go(name, func(p *Proc) {
+			sig.Wait(p)
+			got = append(got, name)
+		})
+	}
+	env.Schedule(time.Millisecond, func() {
+		if !sig.Signal() {
+			t.Error("Signal found no waiters")
+		}
+	})
+	env.Schedule(2*time.Millisecond, func() { sig.Broadcast() })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("wake order = %v, want FIFO %v", got, want)
+		}
+	}
+}
+
+func TestSignalWaitTimeout(t *testing.T) {
+	env := NewEnv(1)
+	sig := NewSignal(env)
+	var timedOut, signalled bool
+	env.Go("timeout", func(p *Proc) {
+		timedOut = !sig.WaitTimeout(p, time.Millisecond)
+	})
+	env.Go("signalled", func(p *Proc) {
+		p.Sleep(2 * time.Millisecond) // first waiter already timed out
+		signalled = sig.WaitTimeout(p, 10*time.Millisecond)
+	})
+	env.Schedule(5*time.Millisecond, func() { sig.Broadcast() })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !timedOut {
+		t.Fatal("first waiter should have timed out")
+	}
+	if !signalled {
+		t.Fatal("second waiter should have been signalled")
+	}
+}
+
+func TestGate(t *testing.T) {
+	env := NewEnv(1)
+	gate := NewGate(env, false)
+	var passed []time.Duration
+	env.Go("w1", func(p *Proc) {
+		gate.Wait(p)
+		passed = append(passed, env.Now())
+	})
+	env.Schedule(3*time.Millisecond, func() { gate.Open() })
+	env.GoAfter(5*time.Millisecond, "w2", func(p *Proc) {
+		gate.Wait(p) // already open: passes immediately
+		passed = append(passed, env.Now())
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(passed) != 2 || passed[0] != 3*time.Millisecond || passed[1] != 5*time.Millisecond {
+		t.Fatalf("passed = %v", passed)
+	}
+}
+
+func TestMutexMutualExclusion(t *testing.T) {
+	env := NewEnv(1)
+	mu := NewMutex(env)
+	inside := 0
+	maxInside := 0
+	for i := 0; i < 5; i++ {
+		env.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			mu.Lock(p)
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			p.Sleep(time.Millisecond)
+			inside--
+			mu.Unlock()
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxInside != 1 {
+		t.Fatalf("maxInside = %d, want 1", maxInside)
+	}
+	if env.Now() != 5*time.Millisecond {
+		t.Fatalf("Now() = %v, want 5ms (serialized)", env.Now())
+	}
+}
+
+func TestMutexTryLock(t *testing.T) {
+	env := NewEnv(1)
+	mu := NewMutex(env)
+	if !mu.TryLock() {
+		t.Fatal("TryLock on free mutex failed")
+	}
+	if mu.TryLock() {
+		t.Fatal("TryLock on held mutex succeeded")
+	}
+	mu.Unlock()
+	if !mu.TryLock() {
+		t.Fatal("TryLock after Unlock failed")
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	env := NewEnv(1)
+	q := NewQueue[int](env, 0)
+	var got []int
+	env.Go("producer", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			q.Put(p, i)
+			p.Sleep(time.Microsecond)
+		}
+		q.Close()
+	})
+	env.Go("consumer", func(p *Proc) {
+		for {
+			v, ok := q.Get(p)
+			if !ok {
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("got %d items", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestQueueBlockingBounded(t *testing.T) {
+	env := NewEnv(1)
+	q := NewQueue[int](env, 2)
+	var putDone time.Duration
+	env.Go("producer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			q.Put(p, i) // third Put must block until consumer runs
+		}
+		putDone = env.Now()
+	})
+	env.Go("consumer", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		if v, ok := q.Get(p); !ok || v != 0 {
+			t.Errorf("Get = %d,%v", v, ok)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if putDone != 5*time.Millisecond {
+		t.Fatalf("third Put completed at %v, want 5ms", putDone)
+	}
+	env.Close()
+}
+
+func TestQueueGetTimeout(t *testing.T) {
+	env := NewEnv(1)
+	q := NewQueue[string](env, 0)
+	var ok1, ok2 bool
+	env.Go("consumer", func(p *Proc) {
+		_, ok1 = q.GetTimeout(p, time.Millisecond)
+		_, ok2 = q.GetTimeout(p, 10*time.Millisecond)
+	})
+	env.Go("producer", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		q.Put(p, "hello")
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ok1 {
+		t.Fatal("first GetTimeout should have timed out")
+	}
+	if !ok2 {
+		t.Fatal("second GetTimeout should have received the item")
+	}
+}
+
+func TestQueueTryOps(t *testing.T) {
+	env := NewEnv(1)
+	q := NewQueue[int](env, 1)
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("TryGet on empty queue succeeded")
+	}
+	if !q.TryPut(7) {
+		t.Fatal("TryPut on empty queue failed")
+	}
+	if q.TryPut(8) {
+		t.Fatal("TryPut on full queue succeeded")
+	}
+	if v, ok := q.Peek(); !ok || v != 7 {
+		t.Fatalf("Peek = %d,%v", v, ok)
+	}
+	if v, ok := q.TryGet(); !ok || v != 7 {
+		t.Fatalf("TryGet = %d,%v", v, ok)
+	}
+}
+
+func TestIdleHook(t *testing.T) {
+	env := NewEnv(1)
+	phases := 0
+	env.SetIdleHook(func() {
+		if phases < 3 {
+			phases++
+			env.Schedule(time.Millisecond, func() {})
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if phases != 3 {
+		t.Fatalf("phases = %d, want 3", phases)
+	}
+	if env.Now() != 3*time.Millisecond {
+		t.Fatalf("Now() = %v", env.Now())
+	}
+}
+
+// TestDeterminism runs a moderately complex mixed workload twice and checks
+// the traces are identical — the core guarantee everything else leans on.
+func TestDeterminism(t *testing.T) {
+	run := func() []string {
+		env := NewEnv(42)
+		var trace []string
+		q := NewQueue[int](env, 4)
+		sig := NewSignal(env)
+		for i := 0; i < 5; i++ {
+			i := i
+			env.Go(fmt.Sprintf("prod%d", i), func(p *Proc) {
+				for j := 0; j < 20; j++ {
+					p.Sleep(time.Duration(env.Rand().Intn(1000)) * time.Microsecond)
+					q.Put(p, i*100+j)
+				}
+			})
+		}
+		env.Go("cons", func(p *Proc) {
+			for n := 0; n < 100; n++ {
+				v, _ := q.Get(p)
+				trace = append(trace, fmt.Sprintf("%v:%d", env.Now(), v))
+				if n == 50 {
+					sig.Broadcast()
+				}
+			}
+		})
+		env.Go("waiter", func(p *Proc) {
+			sig.Wait(p)
+			trace = append(trace, fmt.Sprintf("woke@%v", env.Now()))
+		})
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any sequence of Put values, Get returns exactly that
+// sequence (FIFO preservation through arbitrary blocking interleavings).
+func TestQueueFIFOProperty(t *testing.T) {
+	f := func(values []int16, capSeed uint8) bool {
+		env := NewEnv(7)
+		capacity := int(capSeed % 8) // 0..7, 0 = unbounded
+		q := NewQueue[int16](env, capacity)
+		var got []int16
+		env.Go("p", func(p *Proc) {
+			for _, v := range values {
+				q.Put(p, v)
+			}
+			q.Close()
+		})
+		env.Go("c", func(p *Proc) {
+			for {
+				v, ok := q.Get(p)
+				if !ok {
+					return
+				}
+				got = append(got, v)
+			}
+		})
+		if err := env.Run(); err != nil {
+			return false
+		}
+		if len(got) != len(values) {
+			return false
+		}
+		for i := range values {
+			if got[i] != values[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: N processes sleeping random durations always finish with the
+// clock at the max duration, and Live() drains to zero.
+func TestSleepMaxProperty(t *testing.T) {
+	f := func(ds []uint16) bool {
+		env := NewEnv(3)
+		var max time.Duration
+		for i, d := range ds {
+			dur := time.Duration(d) * time.Microsecond
+			if dur > max {
+				max = dur
+			}
+			env.Go(fmt.Sprintf("s%d", i), func(p *Proc) { p.Sleep(dur) })
+		}
+		if err := env.Run(); err != nil {
+			return false
+		}
+		return env.Now() == max && env.Live() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

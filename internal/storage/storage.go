@@ -1,0 +1,322 @@
+// Package storage models the physical storage layer of a host: an SSD-like
+// block device with FIFO service, and the LRU page caches that sit above it
+// (one inside each guest kernel, one in the host kernel serving the vRead
+// daemon's loop-mounted reads).
+//
+// The cache-level split is what produces the paper's read vs re-read shapes:
+// vanilla HDFS re-reads hit the *datanode guest's* page cache (bounded by
+// the VM's small RAM), while vRead re-reads hit the *host's* page cache.
+package storage
+
+import (
+	"fmt"
+	"time"
+
+	"vread/internal/sim"
+)
+
+// DiskConfig describes a device. Zero values select an SSD similar to the
+// paper's testbed drives.
+type DiskConfig struct {
+	// ReadLatency is the fixed per-request service latency. Default 100µs.
+	ReadLatency time.Duration
+	// WriteLatency is the fixed per-request latency (write-back cache on
+	// the device). Default 60µs.
+	WriteLatency time.Duration
+	// ReadBandwidth in bytes/second. Default 500 MB/s.
+	ReadBandwidth int64
+	// WriteBandwidth in bytes/second. Default 400 MB/s.
+	WriteBandwidth int64
+}
+
+func (c DiskConfig) withDefaults() DiskConfig {
+	if c.ReadLatency == 0 {
+		c.ReadLatency = 100 * time.Microsecond
+	}
+	if c.WriteLatency == 0 {
+		c.WriteLatency = 60 * time.Microsecond
+	}
+	if c.ReadBandwidth == 0 {
+		c.ReadBandwidth = 500_000_000
+	}
+	if c.WriteBandwidth == 0 {
+		c.WriteBandwidth = 400_000_000
+	}
+	return c
+}
+
+// DiskStats counts device activity.
+type DiskStats struct {
+	Reads        int64
+	Writes       int64
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// Disk is one physical device with FIFO request service.
+type Disk struct {
+	env       *sim.Env
+	cfg       DiskConfig
+	name      string
+	busyUntil time.Duration
+	stats     DiskStats
+}
+
+// NewDisk creates a device.
+func NewDisk(env *sim.Env, name string, cfg DiskConfig) *Disk {
+	return &Disk{env: env, cfg: cfg.withDefaults(), name: name}
+}
+
+// Name returns the device name.
+func (d *Disk) Name() string { return d.name }
+
+// Stats returns a copy of the activity counters.
+func (d *Disk) Stats() DiskStats { return d.stats }
+
+// ResetStats zeroes the activity counters.
+func (d *Disk) ResetStats() { d.stats = DiskStats{} }
+
+// ReadAsync submits a read of n bytes; onDone fires when the device
+// completes it (FIFO behind earlier requests).
+func (d *Disk) ReadAsync(n int64, onDone func()) {
+	d.submit(n, d.cfg.ReadLatency, d.cfg.ReadBandwidth, onDone)
+	d.stats.Reads++
+	d.stats.BytesRead += n
+}
+
+// WriteAsync submits a write of n bytes; onDone fires on completion.
+func (d *Disk) WriteAsync(n int64, onDone func()) {
+	d.submit(n, d.cfg.WriteLatency, d.cfg.WriteBandwidth, onDone)
+	d.stats.Writes++
+	d.stats.BytesWritten += n
+}
+
+// Read blocks p for the duration of a read of n bytes.
+func (d *Disk) Read(p *sim.Proc, n int64) {
+	d.wait(p, func(onDone func()) { d.ReadAsync(n, onDone) })
+}
+
+// Write blocks p for the duration of a write of n bytes.
+func (d *Disk) Write(p *sim.Proc, n int64) {
+	d.wait(p, func(onDone func()) { d.WriteAsync(n, onDone) })
+}
+
+func (d *Disk) wait(p *sim.Proc, submit func(func())) {
+	sig := sim.NewSignal(d.env)
+	done := false
+	submit(func() {
+		done = true
+		sig.Broadcast()
+	})
+	for !done {
+		sig.Wait(p)
+	}
+}
+
+func (d *Disk) submit(n int64, lat time.Duration, bw int64, onDone func()) {
+	if n < 0 {
+		panic(fmt.Sprintf("storage: negative I/O size %d", n))
+	}
+	start := d.env.Now()
+	if d.busyUntil > start {
+		start = d.busyUntil
+	}
+	transfer := time.Duration(float64(n) / float64(bw) * float64(time.Second))
+	finish := start + lat + transfer
+	d.busyUntil = finish
+	d.env.Schedule(finish-d.env.Now(), func() {
+		if onDone != nil {
+			onDone()
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Page cache.
+
+// CacheKey identifies one cached chunk of an object.
+type CacheKey struct {
+	Object int64
+	Chunk  int64
+}
+
+// CacheStats counts cache activity in bytes.
+type CacheStats struct {
+	HitBytes  int64
+	MissBytes int64
+}
+
+// PageCache is an LRU cache over (object, chunk) pairs. Chunk granularity is
+// configurable (default 64 KiB) — coarser than a real 4 KiB page cache but
+// equivalent for sequential HDFS-block I/O, and much cheaper to simulate.
+type PageCache struct {
+	name      string
+	chunkSize int64
+	capacity  int // max chunks
+	entries   map[CacheKey]*lruNode
+	head      *lruNode // most recent
+	tail      *lruNode // least recent
+	stats     CacheStats
+}
+
+type lruNode struct {
+	key        CacheKey
+	prev, next *lruNode
+}
+
+// NewPageCache creates a cache holding capacityBytes with the given chunk
+// size (0 = 64 KiB).
+func NewPageCache(name string, capacityBytes, chunkSize int64) *PageCache {
+	if chunkSize == 0 {
+		chunkSize = 64 << 10
+	}
+	capChunks := int(capacityBytes / chunkSize)
+	if capChunks < 1 {
+		capChunks = 1
+	}
+	return &PageCache{
+		name:      name,
+		chunkSize: chunkSize,
+		capacity:  capChunks,
+		entries:   make(map[CacheKey]*lruNode),
+	}
+}
+
+// Name returns the cache name.
+func (c *PageCache) Name() string { return c.name }
+
+// ChunkSize returns the cache granularity in bytes.
+func (c *PageCache) ChunkSize() int64 { return c.chunkSize }
+
+// Len returns the number of cached chunks.
+func (c *PageCache) Len() int { return len(c.entries) }
+
+// Stats returns a copy of the byte counters.
+func (c *PageCache) Stats() CacheStats { return c.stats }
+
+// ResetStats zeroes the byte counters.
+func (c *PageCache) ResetStats() { c.stats = CacheStats{} }
+
+// Lookup classifies the byte range [off, off+n) of object into cached and
+// uncached bytes, promoting hits in LRU order. It does not insert.
+func (c *PageCache) Lookup(object, off, n int64) (hit, miss int64) {
+	c.forEachChunk(off, n, func(chunk, bytes int64) {
+		if node, ok := c.entries[CacheKey{object, chunk}]; ok {
+			c.promote(node)
+			hit += bytes
+		} else {
+			miss += bytes
+		}
+	})
+	c.stats.HitBytes += hit
+	c.stats.MissBytes += miss
+	return hit, miss
+}
+
+// Insert marks the byte range [off, off+n) of object cached, evicting LRU
+// chunks as needed.
+func (c *PageCache) Insert(object, off, n int64) {
+	c.forEachChunk(off, n, func(chunk, bytes int64) {
+		key := CacheKey{object, chunk}
+		if node, ok := c.entries[key]; ok {
+			c.promote(node)
+			return
+		}
+		node := &lruNode{key: key}
+		c.entries[key] = node
+		c.pushFront(node)
+		for len(c.entries) > c.capacity {
+			c.evictLRU()
+		}
+	})
+}
+
+// Contains reports whether the full range is cached, without promoting or
+// counting stats.
+func (c *PageCache) Contains(object, off, n int64) bool {
+	all := true
+	c.forEachChunk(off, n, func(chunk, bytes int64) {
+		if _, ok := c.entries[CacheKey{object, chunk}]; !ok {
+			all = false
+		}
+	})
+	return all
+}
+
+// InvalidateObject drops every cached chunk of object.
+func (c *PageCache) InvalidateObject(object int64) {
+	for key, node := range c.entries {
+		if key.Object == object {
+			c.unlink(node)
+			delete(c.entries, key)
+		}
+	}
+}
+
+// DropAll empties the cache (echo 3 > /proc/sys/vm/drop_caches).
+func (c *PageCache) DropAll() {
+	c.entries = make(map[CacheKey]*lruNode)
+	c.head, c.tail = nil, nil
+}
+
+func (c *PageCache) forEachChunk(off, n int64, fn func(chunk, bytes int64)) {
+	if n <= 0 {
+		return
+	}
+	first := off / c.chunkSize
+	last := (off + n - 1) / c.chunkSize
+	for chunk := first; chunk <= last; chunk++ {
+		lo := chunk * c.chunkSize
+		hi := lo + c.chunkSize
+		if lo < off {
+			lo = off
+		}
+		if hi > off+n {
+			hi = off + n
+		}
+		fn(chunk, hi-lo)
+	}
+}
+
+func (c *PageCache) promote(n *lruNode) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}
+
+func (c *PageCache) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *PageCache) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else if c.head == n {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else if c.tail == n {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *PageCache) evictLRU() {
+	if c.tail == nil {
+		return
+	}
+	victim := c.tail
+	c.unlink(victim)
+	delete(c.entries, victim.key)
+}

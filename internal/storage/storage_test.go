@@ -1,0 +1,193 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"vread/internal/sim"
+)
+
+func TestDiskReadTiming(t *testing.T) {
+	env := sim.NewEnv(1)
+	d := NewDisk(env, "ssd", DiskConfig{})
+	var done time.Duration
+	env.Go("p", func(p *sim.Proc) {
+		d.Read(p, 500_000_000) // 500MB at 500MB/s = 1s + 100µs latency
+		done = env.Now()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := time.Second + 100*time.Microsecond
+	if diff := done - want; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Fatalf("read finished at %v, want ~%v", done, want)
+	}
+	if s := d.Stats(); s.Reads != 1 || s.BytesRead != 500_000_000 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDiskFIFOSerialization(t *testing.T) {
+	env := sim.NewEnv(1)
+	d := NewDisk(env, "ssd", DiskConfig{ReadLatency: time.Millisecond, ReadBandwidth: 1_000_000_000})
+	var first, second time.Duration
+	env.Go("a", func(p *sim.Proc) {
+		d.Read(p, 0)
+		first = env.Now()
+	})
+	env.Go("b", func(p *sim.Proc) {
+		d.Read(p, 0)
+		second = env.Now()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if first != time.Millisecond || second != 2*time.Millisecond {
+		t.Fatalf("completions at %v, %v; want 1ms, 2ms (FIFO)", first, second)
+	}
+}
+
+func TestDiskWrite(t *testing.T) {
+	env := sim.NewEnv(1)
+	d := NewDisk(env, "ssd", DiskConfig{})
+	env.Go("p", func(p *sim.Proc) {
+		d.Write(p, 1_000_000)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s := d.Stats(); s.Writes != 1 || s.BytesWritten != 1_000_000 {
+		t.Fatalf("stats = %+v", s)
+	}
+	d.ResetStats()
+	if s := d.Stats(); s.Writes != 0 {
+		t.Fatalf("stats after reset = %+v", s)
+	}
+}
+
+func TestCacheMissThenHit(t *testing.T) {
+	c := NewPageCache("guest", 1<<20, 0) // 1 MiB = 16 chunks of 64 KiB
+	hit, miss := c.Lookup(1, 0, 128<<10)
+	if hit != 0 || miss != 128<<10 {
+		t.Fatalf("cold lookup hit=%d miss=%d", hit, miss)
+	}
+	c.Insert(1, 0, 128<<10)
+	hit, miss = c.Lookup(1, 0, 128<<10)
+	if hit != 128<<10 || miss != 0 {
+		t.Fatalf("warm lookup hit=%d miss=%d", hit, miss)
+	}
+	// Different object misses.
+	hit, miss = c.Lookup(2, 0, 64<<10)
+	if hit != 0 || miss != 64<<10 {
+		t.Fatalf("other-object lookup hit=%d miss=%d", hit, miss)
+	}
+}
+
+func TestCachePartialHit(t *testing.T) {
+	c := NewPageCache("guest", 1<<20, 0)
+	c.Insert(1, 0, 64<<10) // exactly chunk 0
+	hit, miss := c.Lookup(1, 0, 128<<10)
+	if hit != 64<<10 || miss != 64<<10 {
+		t.Fatalf("partial lookup hit=%d miss=%d", hit, miss)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewPageCache("guest", 4*64<<10, 0) // 4 chunks
+	for i := int64(0); i < 4; i++ {
+		c.Insert(1, i*64<<10, 64<<10)
+	}
+	// Touch chunk 0 so chunk 1 is LRU.
+	c.Lookup(1, 0, 64<<10)
+	// Insert a 5th chunk; chunk 1 must be evicted.
+	c.Insert(1, 4*64<<10, 64<<10)
+	if !c.Contains(1, 0, 64<<10) {
+		t.Fatal("recently-used chunk 0 evicted")
+	}
+	if c.Contains(1, 64<<10, 64<<10) {
+		t.Fatal("LRU chunk 1 survived eviction")
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", c.Len())
+	}
+}
+
+func TestCacheInvalidateObject(t *testing.T) {
+	c := NewPageCache("host", 1<<20, 0)
+	c.Insert(1, 0, 128<<10)
+	c.Insert(2, 0, 64<<10)
+	c.InvalidateObject(1)
+	if c.Contains(1, 0, 64<<10) {
+		t.Fatal("invalidated object still cached")
+	}
+	if !c.Contains(2, 0, 64<<10) {
+		t.Fatal("other object dropped by InvalidateObject")
+	}
+	c.DropAll()
+	if c.Len() != 0 {
+		t.Fatalf("Len after DropAll = %d", c.Len())
+	}
+}
+
+func TestCacheStatsAccumulate(t *testing.T) {
+	c := NewPageCache("g", 1<<20, 0)
+	c.Lookup(1, 0, 100)
+	c.Insert(1, 0, 100)
+	c.Lookup(1, 0, 100)
+	s := c.Stats()
+	if s.MissBytes != 100 || s.HitBytes != 100 {
+		t.Fatalf("stats = %+v", s)
+	}
+	c.ResetStats()
+	if s := c.Stats(); s.HitBytes != 0 || s.MissBytes != 0 {
+		t.Fatalf("stats after reset = %+v", s)
+	}
+}
+
+func TestCacheUnalignedRanges(t *testing.T) {
+	c := NewPageCache("g", 1<<20, 0)
+	// Insert an unaligned range; the chunks it touches become cached whole.
+	c.Insert(1, 1000, 100)
+	hit, miss := c.Lookup(1, 0, 64<<10)
+	if hit != 64<<10 || miss != 0 {
+		t.Fatalf("chunk-0 lookup after unaligned insert hit=%d miss=%d", hit, miss)
+	}
+}
+
+// Property: hit+miss always equals the requested length, and Lookup after
+// Insert of the same range is a full hit, for arbitrary ranges.
+func TestCacheLookupInsertProperty(t *testing.T) {
+	f := func(offRaw, nRaw uint32) bool {
+		off := int64(offRaw % (1 << 20))
+		n := int64(nRaw%(1<<18)) + 1
+		c := NewPageCache("g", 1<<30, 0) // big enough to avoid eviction
+		hit, miss := c.Lookup(9, off, n)
+		if hit != 0 || hit+miss != n {
+			return false
+		}
+		c.Insert(9, off, n)
+		hit, miss = c.Lookup(9, off, n)
+		return hit == n && miss == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the cache never holds more than its capacity in chunks.
+func TestCacheCapacityProperty(t *testing.T) {
+	f := func(inserts []uint16) bool {
+		c := NewPageCache("g", 8*64<<10, 0) // 8 chunks
+		for _, ins := range inserts {
+			c.Insert(int64(ins%4), int64(ins)*13, 64<<10)
+			if c.Len() > 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,409 @@
+// Package virtio models KVM's para-virtual devices: virtio-net backed by a
+// per-VM vhost-net kernel thread, and virtio-blk backed by a per-VM QEMU
+// iothread (vhost-blk stays disabled, as in the paper's setup).
+//
+// Every boundary crossing the paper's Figure 1 counts is explicit here:
+// guest→host kicks (VM exits), per-frame vhost processing, the data copies
+// through the virtqueues, the direct inter-VM copy between co-located VMs,
+// and interrupt injection back into the guest. Each copy charges cycles on
+// the thread that performs it, so the stacked CPU bars of Figures 6–8 and
+// the scheduling interference of Figure 3 both emerge from the same model.
+package virtio
+
+import (
+	"fmt"
+
+	"vread/internal/cpusched"
+	"vread/internal/metrics"
+	"vread/internal/netsim"
+	"vread/internal/sim"
+	"vread/internal/storage"
+)
+
+// Config holds device-model parameters. Zero values select defaults
+// calibrated for the paper's era of hardware.
+type Config struct {
+	// CopyCyclesPerKB is the cost of moving one KiB across a protection
+	// boundary. Default 256 (0.25 cycles/byte).
+	CopyCyclesPerKB int64
+	// VhostFrameCycles is vhost-net per-frame processing (descriptor
+	// handling, skb setup). Default 3000.
+	VhostFrameCycles int64
+	// KickCycles is the guest-side VM-exit cost of notifying the host.
+	// Default 5000.
+	KickCycles int64
+	// IRQInjectCycles is the host-side cost of injecting a virtual
+	// interrupt. Default 3000.
+	IRQInjectCycles int64
+	// GuestIRQCycles is the guest-side interrupt handling cost. Default 2500.
+	GuestIRQCycles int64
+	// NetRingFrames is the virtio-net ring depth. Default 256.
+	NetRingFrames int
+	// SegmentBytes is the TSO/GRO segment size riding one ring slot.
+	// Default 64 KiB.
+	SegmentBytes int64
+	// BlkRingReqs is the virtio-blk ring depth. Default 128.
+	BlkRingReqs int
+	// BlkReqBytes is the largest single block request. Default 512 KiB.
+	BlkReqBytes int64
+	// BlkReqCycles is host-side per-request processing for virtio-blk.
+	// Default 8000.
+	BlkReqCycles int64
+	// SharedMemNet models the §2.2 inter-VM shared-memory alternative
+	// (XenSocket/ZIVM-style): co-located transfers skip exactly the one
+	// inter-VM copy, but the datanode VM and both I/O threads stay on the
+	// data path. Default false.
+	SharedMemNet bool
+	// SRIOV models §6's modern-hardware interplay: the guest owns a NIC
+	// virtual function, so frames DMA straight to the wire with no vhost
+	// thread and no host-side copies. Co-located traffic hairpins through
+	// the NIC's internal switch. The datanode VM stays on the data path —
+	// which is the paper's point about SR-IOV being orthogonal to vRead.
+	SRIOV bool
+	// SRIOVTxCycles is the guest's per-frame cost of driving the VF
+	// directly. Default 2500.
+	SRIOVTxCycles int64
+}
+
+// WithDefaults fills zero fields with defaults.
+func (c Config) WithDefaults() Config {
+	if c.CopyCyclesPerKB == 0 {
+		c.CopyCyclesPerKB = 256
+	}
+	if c.VhostFrameCycles == 0 {
+		c.VhostFrameCycles = 3000
+	}
+	if c.KickCycles == 0 {
+		c.KickCycles = 5000
+	}
+	if c.IRQInjectCycles == 0 {
+		c.IRQInjectCycles = 3000
+	}
+	if c.GuestIRQCycles == 0 {
+		c.GuestIRQCycles = 2500
+	}
+	if c.NetRingFrames == 0 {
+		c.NetRingFrames = 256
+	}
+	if c.SegmentBytes == 0 {
+		c.SegmentBytes = 64 << 10
+	}
+	if c.BlkRingReqs == 0 {
+		c.BlkRingReqs = 128
+	}
+	if c.BlkReqBytes == 0 {
+		c.BlkReqBytes = 512 << 10
+	}
+	if c.BlkReqCycles == 0 {
+		c.BlkReqCycles = 8000
+	}
+	if c.SRIOVTxCycles == 0 {
+		c.SRIOVTxCycles = 2500
+	}
+	return c
+}
+
+// CopyCycles returns the cycle cost of copying n bytes.
+func (c Config) CopyCycles(n int64) int64 {
+	return n * c.CopyCyclesPerKB / 1024
+}
+
+// ---------------------------------------------------------------------------
+// virtio-net + vhost-net.
+
+// NetDev is one VM's para-virtual NIC with its vhost-net thread.
+type NetDev struct {
+	env     *sim.Env
+	cfg     Config
+	vmName  string
+	host    string
+	vcpu    *cpusched.Thread
+	vhost   *cpusched.Thread
+	nic     *netsim.NIC
+	fabric  *netsim.Fabric
+	tx      *sim.Queue[netsim.Frame]
+	deliver func(fr netsim.Frame) // guest kernel rx hook
+	started bool
+
+	sriovInflight int
+	sriovSig      *sim.Signal
+}
+
+// NewNetDev creates the device. vcpu is the VM's vCPU thread (guest IRQ
+// work), vhost the VM's vhost-net thread, nic the host port.
+func NewNetDev(env *sim.Env, cfg Config, vmName, host string,
+	vcpu, vhost *cpusched.Thread, nic *netsim.NIC, fabric *netsim.Fabric) *NetDev {
+	cfg = cfg.WithDefaults()
+	d := &NetDev{
+		env: env, cfg: cfg, vmName: vmName, host: host,
+		vcpu: vcpu, vhost: vhost, nic: nic, fabric: fabric,
+		tx:       sim.NewQueue[netsim.Frame](env, cfg.NetRingFrames),
+		sriovSig: sim.NewSignal(env),
+	}
+	fabric.RegisterVM(vmName, host, d)
+	return d
+}
+
+// VMName returns the owning VM.
+func (d *NetDev) VMName() string { return d.vmName }
+
+// SetDeliver installs the guest kernel's frame handler. It runs in event
+// context after the guest IRQ cost; the handler posts further guest work.
+func (d *NetDev) SetDeliver(fn func(fr netsim.Frame)) { d.deliver = fn }
+
+// Start launches the vhost-net service loop.
+func (d *NetDev) Start() {
+	if d.started {
+		return
+	}
+	d.started = true
+	d.env.Go("vhost-net:"+d.vmName, d.vhostLoop)
+}
+
+// Transmit hands a frame to the device: the caller pays the kick (VM exit)
+// on the vCPU and blocks while the tx ring is full.
+func (d *NetDev) Transmit(p *sim.Proc, fr netsim.Frame) {
+	if fr.Payload.Len() > d.cfg.SegmentBytes {
+		panic(fmt.Sprintf("virtio: frame %d exceeds segment size %d", fr.Payload.Len(), d.cfg.SegmentBytes))
+	}
+	if d.cfg.SRIOV {
+		d.transmitSRIOV(p, fr)
+		return
+	}
+	d.vcpu.Run(p, d.cfg.KickCycles, metrics.TagOthers)
+	d.tx.Put(p, fr)
+}
+
+// transmitSRIOV drives the VF directly: no VM exit, no vhost, no host-side
+// copies — the device DMAs from guest memory through the NIC (hairpinning
+// locally for co-located peers) into the peer guest's buffers. Descriptors
+// post asynchronously, bounded by the VF's ring depth.
+func (d *NetDev) transmitSRIOV(p *sim.Proc, fr netsim.Frame) {
+	d.vcpu.Run(p, d.cfg.SRIOVTxCycles, metrics.TagOthers)
+	ep, ok := d.fabric.EndpointOf(fr.DstVM)
+	if !ok {
+		panic(fmt.Sprintf("virtio: unknown destination VM %q", fr.DstVM))
+	}
+	peer := ep.(*NetDev)
+	dstHost, _ := d.fabric.HostOf(fr.DstVM)
+	fr.DstHost = dstHost
+	for d.sriovInflight >= d.cfg.NetRingFrames {
+		d.sriovSig.Wait(p)
+	}
+	d.sriovInflight++
+	d.nic.SendDMA(fr, func() {
+		d.sriovInflight--
+		d.sriovSig.Broadcast()
+	}, peer.injectRx)
+}
+
+// vhostLoop drains the tx ring: per-frame processing, the guest→host copy,
+// then either the direct inter-VM copy (co-located destination) or the
+// physical NIC.
+func (d *NetDev) vhostLoop(p *sim.Proc) {
+	for {
+		fr, ok := d.tx.Get(p)
+		if !ok {
+			return
+		}
+		n := fr.Payload.Len()
+		d.vhost.Run(p, d.cfg.VhostFrameCycles, metrics.TagVhostNet)
+		d.vhost.Run(p, d.cfg.CopyCycles(n), metrics.TagCopyVirtio)
+		dstHost, ok := d.fabric.HostOf(fr.DstVM)
+		if !ok {
+			panic(fmt.Sprintf("virtio: unknown destination VM %q", fr.DstVM))
+		}
+		if dstHost == d.host {
+			// Co-located: the sender's vhost writes straight into the peer
+			// VM's receive ring — the paper's "1 inter-VM data copy".
+			// Shared-memory networking (§2.2) elides exactly this copy.
+			if !d.cfg.SharedMemNet {
+				d.vhost.Run(p, d.cfg.CopyCycles(n), metrics.TagCopyVirtio)
+			}
+			ep, _ := d.fabric.EndpointOf(fr.DstVM)
+			peer := ep.(*NetDev)
+			d.vhost.Run(p, d.cfg.IRQInjectCycles, metrics.TagVhostNet)
+			peer.injectRx(fr)
+			continue
+		}
+		// Remote: pace into the physical NIC; wait for transmit-complete so
+		// the vhost thread applies backpressure like a bounded device queue.
+		sent := sim.NewSignal(d.env)
+		done := false
+		d.nic.SendToVM(fr, func() {
+			done = true
+			sent.Broadcast()
+		})
+		for !done {
+			sent.Wait(p)
+		}
+	}
+}
+
+// DeliverFromWire implements netsim.Endpoint: a frame arriving from the
+// physical NIC is copied into the guest ring by this VM's vhost thread, then
+// injected.
+func (d *NetDev) DeliverFromWire(fr netsim.Frame) {
+	n := fr.Payload.Len()
+	d.vhost.Post(d.cfg.VhostFrameCycles, metrics.TagVhostNet, nil)
+	d.vhost.Post(d.cfg.CopyCycles(n), metrics.TagCopyVirtio, nil)
+	d.vhost.Post(d.cfg.IRQInjectCycles, metrics.TagVhostNet, func() {
+		d.injectRx(fr)
+	})
+}
+
+// injectRx charges the guest interrupt on the vCPU, then hands the frame to
+// the guest kernel.
+func (d *NetDev) injectRx(fr netsim.Frame) {
+	d.vcpu.Post(d.cfg.GuestIRQCycles, metrics.TagOthers, func() {
+		if d.deliver == nil {
+			panic(fmt.Sprintf("virtio: no deliver hook on %s", d.vmName))
+		}
+		d.deliver(fr)
+	})
+}
+
+// Stop closes the tx ring, terminating the vhost loop once drained.
+func (d *NetDev) Stop() { d.tx.Close() }
+
+// ---------------------------------------------------------------------------
+// virtio-blk + QEMU iothread.
+
+// BlkDev is one VM's para-virtual disk, served by a QEMU iothread with
+// cache=none (the paper disables the hypervisor disk cache for the virtio
+// path; the host page cache only serves the vRead daemon's loop mounts).
+type BlkDev struct {
+	env      *sim.Env
+	cfg      Config
+	vmName   string
+	vcpu     *cpusched.Thread
+	iothread *cpusched.Thread
+	disk     *storage.Disk
+	reqs     *sim.Queue[blkReq]
+	started  bool
+}
+
+type blkReq struct {
+	bytes  int64
+	write  bool
+	onDone func()
+}
+
+// NewBlkDev creates the device on the given physical disk.
+func NewBlkDev(env *sim.Env, cfg Config, vmName string,
+	vcpu, iothread *cpusched.Thread, disk *storage.Disk) *BlkDev {
+	cfg = cfg.WithDefaults()
+	return &BlkDev{
+		env: env, cfg: cfg, vmName: vmName,
+		vcpu: vcpu, iothread: iothread, disk: disk,
+		reqs: sim.NewQueue[blkReq](env, cfg.BlkRingReqs),
+	}
+}
+
+// Start launches the iothread service loop.
+func (b *BlkDev) Start() {
+	if b.started {
+		return
+	}
+	b.started = true
+	b.env.Go("iothread:"+b.vmName, b.ioLoop)
+}
+
+// Read performs a guest block read of n bytes, blocking p until the data is
+// in guest memory. Large reads split into BlkReqBytes requests that pipeline
+// through the ring.
+func (b *BlkDev) Read(p *sim.Proc, n int64) {
+	b.transfer(p, n, false)
+}
+
+// Write performs a guest block write of n bytes. It blocks until the device
+// acknowledges (writeback caching happens above, in the guest page cache).
+func (b *BlkDev) Write(p *sim.Proc, n int64) {
+	b.transfer(p, n, true)
+}
+
+// MaxRequestBytes returns the largest single block request.
+func (b *BlkDev) MaxRequestBytes() int64 { return b.cfg.BlkReqBytes }
+
+// TryReadAsync submits one read request without blocking (the guest
+// kernel's readahead path). n must not exceed MaxRequestBytes. It reports
+// false when the ring is full; the caller simply skips the readahead.
+// onDone runs in guest (vCPU) context when the data is in guest memory.
+func (b *BlkDev) TryReadAsync(n int64, onDone func()) bool {
+	if n <= 0 || n > b.cfg.BlkReqBytes {
+		return false
+	}
+	if !b.reqs.TryPut(blkReq{bytes: n, onDone: onDone}) {
+		return false
+	}
+	b.vcpu.Post(b.cfg.KickCycles, metrics.TagOthers, nil)
+	return true
+}
+
+// WriteAsync submits a write without waiting for completion (guest
+// writeback flusher behavior). It still blocks while the ring is full,
+// which is the dirty-page throttling bound.
+func (b *BlkDev) WriteAsync(p *sim.Proc, n int64) {
+	for n > 0 {
+		req := n
+		if req > b.cfg.BlkReqBytes {
+			req = b.cfg.BlkReqBytes
+		}
+		n -= req
+		b.vcpu.Run(p, b.cfg.KickCycles, metrics.TagOthers)
+		b.reqs.Put(p, blkReq{bytes: req, write: true})
+	}
+}
+
+func (b *BlkDev) transfer(p *sim.Proc, n int64, write bool) {
+	if n <= 0 {
+		return
+	}
+	remaining := 0
+	done := sim.NewSignal(b.env)
+	for n > 0 {
+		req := n
+		if req > b.cfg.BlkReqBytes {
+			req = b.cfg.BlkReqBytes
+		}
+		n -= req
+		remaining++
+		b.vcpu.Run(p, b.cfg.KickCycles, metrics.TagOthers)
+		b.reqs.Put(p, blkReq{bytes: req, write: write, onDone: func() {
+			remaining--
+			done.Broadcast()
+		}})
+	}
+	for remaining > 0 {
+		done.Wait(p)
+	}
+}
+
+// ioLoop services block requests: host-side request processing, the device
+// transfer, the virtqueue copy, and completion interrupt.
+func (b *BlkDev) ioLoop(p *sim.Proc) {
+	for {
+		req, ok := b.reqs.Get(p)
+		if !ok {
+			return
+		}
+		b.iothread.Run(p, b.cfg.BlkReqCycles, metrics.TagDiskRead)
+		if req.write {
+			b.iothread.Run(p, b.cfg.CopyCycles(req.bytes), metrics.TagCopyVirtio)
+			b.disk.Write(p, req.bytes)
+		} else {
+			b.disk.Read(p, req.bytes)
+			b.iothread.Run(p, b.cfg.CopyCycles(req.bytes), metrics.TagCopyVirtio)
+		}
+		b.iothread.Run(p, b.cfg.IRQInjectCycles, metrics.TagOthers)
+		onDone := req.onDone
+		b.vcpu.Post(b.cfg.GuestIRQCycles, metrics.TagOthers, func() {
+			if onDone != nil {
+				onDone()
+			}
+		})
+	}
+}
+
+// Stop closes the request ring, terminating the iothread loop once drained.
+func (b *BlkDev) Stop() { b.reqs.Close() }

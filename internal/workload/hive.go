@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"vread/internal/data"
+	"vread/internal/hdfs"
+	"vread/internal/mapred"
+	"vread/internal/metrics"
+	"vread/internal/sim"
+)
+
+// HiveConfig parameterizes the Hive study (Table 3, column 2): a table of
+// user records in HDFS and a `select * from test where id >= x and id <= y`
+// full scan, run as a MapReduce job (one map per table file).
+type HiveConfig struct {
+	// Rows in the table. The paper loads 30 million. Default 1M.
+	Rows int64
+	// RowBytes per record (id, name, birthday, ...). Default 350.
+	RowBytes int64
+	// Files the table is stored as. Default 4.
+	Files int
+	// FilterCyclesPerRow is deserialization + predicate evaluation.
+	// Default 400.
+	FilterCyclesPerRow int64
+	// Dir is the HDFS directory.
+	Dir string
+	// Seed varies content.
+	Seed uint64
+}
+
+// WithDefaults fills zero fields.
+func (c HiveConfig) WithDefaults() HiveConfig {
+	if c.Rows == 0 {
+		c.Rows = 1_000_000
+	}
+	if c.RowBytes == 0 {
+		c.RowBytes = 350
+	}
+	if c.Files == 0 {
+		c.Files = 4
+	}
+	if c.FilterCyclesPerRow == 0 {
+		c.FilterCyclesPerRow = 400
+	}
+	if c.Dir == "" {
+		c.Dir = "/user/hive/warehouse/test"
+	}
+	return c
+}
+
+func (c HiveConfig) filePath(f int) string { return fmt.Sprintf("%s/part-%05d", c.Dir, f) }
+
+// SetupHiveTable loads the table into HDFS.
+func SetupHiveTable(p *sim.Proc, client *hdfs.Client, cfg HiveConfig) error {
+	cfg = cfg.WithDefaults()
+	perFile := (cfg.Rows + int64(cfg.Files) - 1) / int64(cfg.Files)
+	remaining := cfg.Rows
+	for f := 0; f < cfg.Files && remaining > 0; f++ {
+		rows := perFile
+		if rows > remaining {
+			rows = remaining
+		}
+		content := data.Pattern{Seed: cfg.Seed + uint64(f), Size: rows * cfg.RowBytes}
+		if err := client.WriteFile(p, cfg.filePath(f), content); err != nil {
+			return err
+		}
+		remaining -= rows
+	}
+	return nil
+}
+
+// HiveResult is one query's outcome.
+type HiveResult struct {
+	Rows    int64
+	Bytes   int64
+	Elapsed time.Duration
+}
+
+// RunHiveSelect executes the range-select scan as a MapReduce job and
+// returns the query completion time (Table 3's metric).
+func RunHiveSelect(p *sim.Proc, e *mapred.Engine, cfg HiveConfig) (HiveResult, error) {
+	cfg = cfg.WithDefaults()
+	env := p.Env()
+	start := env.Now()
+	tasks := make([]mapred.Task, cfg.Files)
+	for f := range tasks {
+		f := f
+		tasks[f] = mapred.Task{ID: f, Fn: func(tp *sim.Proc, tr *mapred.Tracker) (interface{}, error) {
+			r, err := tr.Client.Open(tp, cfg.filePath(f))
+			if err != nil {
+				return nil, err
+			}
+			defer r.Close(tp)
+			var scanned, carry int64
+			for {
+				s, err := r.Read(tp, 128<<10)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return nil, err
+				}
+				carry += s.Len()
+				rows := carry / cfg.RowBytes
+				carry -= rows * cfg.RowBytes
+				tr.Kernel.VCPU().Run(tp, rows*cfg.FilterCyclesPerRow, metrics.TagClientApp)
+				scanned += rows
+			}
+			return scanned, nil
+		}}
+	}
+	job := e.Run(p, "hive-select", tasks)
+	if failed := job.Failed(); len(failed) > 0 {
+		return HiveResult{}, fmt.Errorf("workload: hive: %v", failed[0].Err)
+	}
+	var rows int64
+	for _, tr := range job.Results {
+		rows += tr.Value.(int64)
+	}
+	return HiveResult{Rows: rows, Bytes: rows * cfg.RowBytes, Elapsed: env.Now() - start}, nil
+}

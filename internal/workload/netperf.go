@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"vread/internal/data"
+	"vread/internal/guest"
+	"vread/internal/metrics"
+	"vread/internal/sim"
+)
+
+// NetperfPort is the control+data port of the netperf-style server.
+const NetperfPort = 12865
+
+// netperfAppCycles is the tiny per-transaction application work on each side.
+const netperfAppCycles = 2000
+
+// NetperfResult is one TCP_RR run's outcome.
+type NetperfResult struct {
+	Transactions int64
+	Elapsed      time.Duration
+}
+
+// Rate returns transactions per second (Figure 3's y axis).
+func (r NetperfResult) Rate() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Transactions) / r.Elapsed.Seconds()
+}
+
+// StartNetperfServer runs a request/response echo server in the kernel.
+// Each accepted connection first carries a 16-byte size negotiation
+// (request size, response size), then transactions until close.
+func StartNetperfServer(k *guest.Kernel) {
+	l := k.Listen(NetperfPort)
+	k.Env().Go("netserver:"+k.Name(), func(p *sim.Proc) {
+		for {
+			conn, ok := l.Accept(p)
+			if !ok {
+				return
+			}
+			k.Env().Go(fmt.Sprintf("netserver:%s:conn", k.Name()), func(hp *sim.Proc) {
+				serveNetperfConn(hp, k, conn)
+			})
+		}
+	})
+}
+
+func serveNetperfConn(p *sim.Proc, k *guest.Kernel, conn *guest.Conn) {
+	hdr, ok := conn.RecvFull(p, 16)
+	if !ok {
+		return
+	}
+	b := hdr.Bytes()
+	reqSize := int64(binary.BigEndian.Uint64(b[0:]))
+	respSize := int64(binary.BigEndian.Uint64(b[8:]))
+	resp := data.NewSlice(data.Pattern{Seed: 0xBEEF, Size: respSize})
+	for {
+		if _, ok := conn.RecvFull(p, reqSize); !ok {
+			return
+		}
+		k.VCPU().Run(p, netperfAppCycles, metrics.TagOthers)
+		if err := conn.Send(p, resp); err != nil {
+			return
+		}
+	}
+}
+
+// RunNetperfRR drives TCP_RR transactions of the given request size (1-byte
+// responses, netperf's default) for the duration and returns the measured
+// rate.
+func RunNetperfRR(p *sim.Proc, k *guest.Kernel, serverVM string, reqSize int64, dur time.Duration) (NetperfResult, error) {
+	conn, err := k.Dial(p, serverVM, NetperfPort)
+	if err != nil {
+		return NetperfResult{}, err
+	}
+	defer conn.Close(p)
+	respSize := int64(1)
+	hdr := make([]byte, 16)
+	binary.BigEndian.PutUint64(hdr[0:], uint64(reqSize))
+	binary.BigEndian.PutUint64(hdr[8:], uint64(respSize))
+	if err := conn.Send(p, data.NewSlice(data.Bytes(hdr))); err != nil {
+		return NetperfResult{}, err
+	}
+	req := data.NewSlice(data.Pattern{Seed: 0xFEED, Size: reqSize})
+	env := k.Env()
+	start := env.Now()
+	var n int64
+	for env.Now()-start < dur {
+		k.VCPU().Run(p, netperfAppCycles, metrics.TagOthers)
+		if err := conn.Send(p, req); err != nil {
+			return NetperfResult{}, err
+		}
+		if _, ok := conn.RecvFull(p, respSize); !ok {
+			break
+		}
+		n++
+	}
+	return NetperfResult{Transactions: n, Elapsed: env.Now() - start}, nil
+}

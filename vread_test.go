@@ -1,0 +1,131 @@
+package vread_test
+
+import (
+	"testing"
+	"time"
+
+	"vread"
+	"vread/internal/data"
+	"vread/internal/metrics"
+	"vread/internal/sim"
+)
+
+// TestPublicAPIRoundTrip exercises the facade the way the README's
+// quickstart does: build a testbed, write, read through both paths, verify
+// bytes and the vRead win.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	tb := vread.NewTestbed(vread.Options{Seed: 42, VRead: true, Scale: 0.02})
+	defer tb.Close()
+	tb.Place(vread.Colocated)
+
+	content := data.Pattern{Seed: 7, Size: 16 << 20}
+	var vanilla, withVRead time.Duration
+	err := tb.Run("api-roundtrip", time.Hour, func(p *sim.Proc) error {
+		if err := tb.Client.WriteFile(p, "/t/f", content); err != nil {
+			return err
+		}
+		read := func() (time.Duration, error) {
+			tb.DropAllCaches()
+			start := tb.C.Env.Now()
+			r, err := tb.Client.Open(p, "/t/f")
+			if err != nil {
+				return 0, err
+			}
+			defer r.Close(p)
+			got, err := r.ReadFull(p, content.Size)
+			if err != nil {
+				return 0, err
+			}
+			if !data.Equal(got, data.NewSlice(content)) {
+				t.Error("bytes corrupted")
+			}
+			return tb.C.Env.Now() - start, nil
+		}
+		tb.Client.SetBlockReader(nil)
+		var err error
+		if vanilla, err = read(); err != nil {
+			return err
+		}
+		tb.Client.SetBlockReader(tb.Lib)
+		withVRead, err = read()
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withVRead >= vanilla {
+		t.Fatalf("vRead %v not faster than vanilla %v", withVRead, vanilla)
+	}
+}
+
+// TestPublicAPICustomCluster builds a deployment from primitives (the
+// examples' other entry point): cluster, namenode, datanodes, client,
+// vRead manager.
+func TestPublicAPICustomCluster(t *testing.T) {
+	c := vread.NewCluster(1, vread.ClusterParams{})
+	defer c.Close()
+	h1 := c.AddHost("alpha")
+	h2 := c.AddHost("beta")
+	clientVM := h1.AddVM("app", metrics.TagClientApp)
+	dnVM := h2.AddVM("store", metrics.TagDatanodeApp)
+
+	nn := vread.NewNameNode(c.Env, vread.HDFSConfig{BlockSize: 4 << 20}, c.Fabric)
+	vread.StartDataNode(c.Env, nn, dnVM.Kernel)
+	client := vread.NewDFSClient(c.Env, nn, clientVM.Kernel)
+
+	mgr := vread.NewVReadManager(c, nn, vread.VReadConfig{Transport: vread.TransportTCP})
+	mgr.MountDatanode("store")
+	client.SetBlockReader(mgr.EnableClient("app"))
+
+	content := data.Pattern{Seed: 9, Size: 6 << 20}
+	done := false
+	c.Go("driver", func(p *sim.Proc) {
+		if err := client.WriteFile(p, "/x", content); err != nil {
+			t.Error(err)
+			return
+		}
+		r, err := client.Open(p, "/x")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer r.Close(p)
+		got, err := r.ReadFull(p, content.Size)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !data.Equal(got, data.NewSlice(content)) {
+			t.Error("bytes corrupted through custom cluster")
+		}
+		done = true
+	})
+	if err := c.Env.RunUntil(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("driver did not finish")
+	}
+	// The remote read went daemon-to-daemon over the TCP transport.
+	if st := mgr.Daemon("app").Stats(); st.BytesRemote != content.Size {
+		t.Fatalf("remote bytes = %d, want %d", st.BytesRemote, content.Size)
+	}
+}
+
+// TestSeedDeterminism: the facade promise — identical seeds, identical
+// results.
+func TestSeedDeterminism(t *testing.T) {
+	run := func() []vread.Fig3Row {
+		rows, err := vread.RunFig3(vread.Options{Seed: 5, Scale: 0.02})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
