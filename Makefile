@@ -1,0 +1,27 @@
+# Tier-1 verification: format, vet, build, full test suite, and the race
+# detector on the non-simulation packages (the simulator itself is
+# single-threaded by construction; data, metrics and trace are the pieces
+# shared with real concurrent callers).
+
+GO ?= go
+RACE_PKGS := ./internal/data ./internal/metrics ./internal/trace
+
+.PHONY: tier1 fmt vet build test race
+
+tier1: fmt vet build test race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)

@@ -5,9 +5,16 @@
 //
 //	vread-bench -exp fig2|fig3|fig6|fig7|fig8|fig9|fig11|fig12|fig13|table2|table3|ablations|all
 //	            [-scale 0.05] [-seed 1] [-transport rdma|tcp]
+//	            [-trace out.json] [-trace-every 1]
 //
 // Scale 1.0 runs paper-sized datasets (5 GB TestDFSIO, 5 M HBase rows,
 // 30 M Hive rows); the default 0.05 keeps everything under a few minutes.
+//
+// With -trace, every sampled request's trace is written as Chrome
+// trace_event JSON (open in chrome://tracing or Perfetto) and the per-stage
+// latency percentiles as CSV next to it (<out>.stages.csv). -trace-every N
+// samples every Nth request; trace output is deterministic — same seed and
+// flags give byte-identical files.
 package main
 
 import (
@@ -31,9 +38,17 @@ func run() error {
 	format := flag.String("format", "table", "output format (table|csv)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	transport := flag.String("transport", "rdma", "remote daemon transport (rdma|tcp)")
+	traceFile := flag.String("trace", "", "write request traces as Chrome trace_event JSON to this file (plus <file>.stages.csv)")
+	traceEvery := flag.Int("trace-every", 1, "with -trace, sample every Nth request")
 	flag.Parse()
 
 	opt := vread.Options{Seed: *seed, Scale: *scale}
+	var col *vread.TraceCollector
+	if *traceFile != "" {
+		col = &vread.TraceCollector{}
+		opt.Traces = col
+		opt.TraceEvery = *traceEvery
+	}
 	switch *transport {
 	case "rdma":
 		opt.Transport = vread.TransportRDMA
@@ -113,7 +128,38 @@ func run() error {
 		}
 		fmt.Printf("=== %s (scale %.3g, seed %d) ===\n%s\n", id, opt.Scale, opt.Seed, out)
 	}
+	if col != nil {
+		if err := writeTraces(*traceFile, col); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d traces to %s (+ %s.stages.csv)\n", len(col.Traces), *traceFile, *traceFile)
+	}
 	return nil
+}
+
+// writeTraces dumps the collected traces as Chrome trace_event JSON plus the
+// per-stage latency percentile CSV.
+func writeTraces(path string, col *vread.TraceCollector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := vread.WriteChromeTrace(f, col.Traces); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	sf, err := os.Create(path + ".stages.csv")
+	if err != nil {
+		return err
+	}
+	if err := vread.WriteTraceStagesCSV(sf, vread.TraceStages(col.Traces)); err != nil {
+		sf.Close()
+		return err
+	}
+	return sf.Close()
 }
 
 func breakdownRunner(title string, run func(vread.Options) ([]vread.BreakdownRow, error), csvOut bool) func(vread.Options) (string, error) {

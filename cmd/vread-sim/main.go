@@ -51,7 +51,7 @@ func run() error {
 		}
 		opt, place, err = vread.ParseOptions(raw)
 		if err != nil {
-			return err
+			return fmt.Errorf("config %s: %w", *configPath, err)
 		}
 		*useVRead = opt.VRead
 	} else {

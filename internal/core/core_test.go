@@ -390,12 +390,12 @@ func TestVFDSeekRead(t *testing.T) {
 	content := data.Pattern{Seed: 91, Size: 2 << 20}
 	fx.write(t, "/f", content)
 	fx.run(t, 2*time.Minute, "seeker", func(p *sim.Proc) {
-		vfd, ok := fx.lib.OpenPath(p, "dn1", hdfs.BlockPath(1), "blk_1")
+		vfd, ok := fx.lib.OpenPath(p, nil, "dn1", hdfs.BlockPath(1), "blk_1")
 		if !ok {
 			t.Error("vRead_open failed")
 			return
 		}
-		defer vfd.Close(p)
+		defer vfd.Close(p, nil)
 		if vfd.Size() != content.Size {
 			t.Errorf("Size = %d", vfd.Size())
 		}

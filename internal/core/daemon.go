@@ -6,15 +6,26 @@ import (
 	"vread/internal/data"
 	"vread/internal/metrics"
 	"vread/internal/sim"
+	"vread/internal/trace"
 )
 
-// DaemonStats counts one daemon's activity.
+// DaemonStats counts one daemon's activity. It is not maintained as parallel
+// bookkeeping: Stats derives it from the daemon's event stream (a
+// trace.Counter fed by the same emit calls that mark request traces).
 type DaemonStats struct {
 	Opens       int64
 	OpenMisses  int64 // stale dentry / unknown datanode → vanilla fallback
 	BytesLocal  int64 // served from a local mount
 	BytesRemote int64 // served daemon-to-daemon
 }
+
+// Daemon event names (the reduced stream DaemonStats is derived from).
+const (
+	evOpen        = "open"
+	evOpenMiss    = "open-miss"
+	evBytesLocal  = "bytes-local"
+	evBytesRemote = "bytes-remote"
+)
 
 // Daemon is the per-VM hypervisor daemon (§3.2): it owns the shared-memory
 // ring of one client VM and serves its vRead requests from mounted datanode
@@ -27,7 +38,7 @@ type Daemon struct {
 	thread *cpusched.Thread
 	ring   *ring
 	hr     *hostReader
-	stats  DaemonStats
+	events *trace.Counter
 }
 
 func newDaemon(mgr *Manager, vm *cluster.VM) *Daemon {
@@ -40,9 +51,17 @@ func newDaemon(mgr *Manager, vm *cluster.VM) *Daemon {
 		thread: thread,
 		ring:   newRing(mgr.env, mgr.cfg),
 		hr:     newHostReader(mgr.cfg, vm.Host, thread),
+		events: trace.NewCounter(),
 	}
 	mgr.env.Go("vread-daemon:"+vm.Name, d.loop)
 	return d
+}
+
+// emit records one daemon event in the always-on counter and, when the
+// request is sampled, as an instantaneous mark on its trace.
+func (d *Daemon) emit(tr *trace.Trace, name string, n int64) {
+	d.events.Add(name, n)
+	tr.Event(trace.LayerDaemon, name, n)
 }
 
 // hostReader is the shared "read a mounted image through the host FS"
@@ -78,25 +97,32 @@ func newHostReader(cfg Config, host *cluster.Host, thread *cpusched.Thread) *hos
 
 // read charges the full host-side cost of reading [off, off+n) of the
 // mounted file identified by (obj, key) with snapshot size fileSize.
-func (h *hostReader) read(p *sim.Proc, obj int64, key string, fileSize, off, n int64) {
+func (h *hostReader) read(p *sim.Proc, tr *trace.Trace, obj int64, key string, fileSize, off, n int64) {
+	sp := tr.Begin(trace.LayerHostFS, "host-read")
 	if h.cfg.DirectDiskBypass {
 		// §6: raw device read — no host cache, triple address translation.
-		h.thread.Run(p, h.cfg.AddrTranslateCycles, metrics.TagOthers)
-		h.thread.Run(p, h.cfg.DiskSubmitCycles, metrics.TagDiskRead)
-		h.host.Disk.Read(p, n)
+		h.thread.RunT(p, h.cfg.AddrTranslateCycles, metrics.TagOthers, tr)
+		h.thread.RunT(p, h.cfg.DiskSubmitCycles, metrics.TagDiskRead, tr)
+		h.host.Disk.ReadT(p, tr, n)
 	} else {
 		_, miss := h.host.Cache.Lookup(obj, off, n)
 		if miss > 0 {
 			h.waitInflight(p, key, off, n)
 			if _, miss = h.host.Cache.Lookup(obj, off, n); miss > 0 {
-				h.thread.Run(p, h.cfg.DiskSubmitCycles, metrics.TagDiskRead)
-				h.host.Disk.Read(p, miss)
+				tr.Event(trace.LayerHostFS, "host-cache-miss", miss)
+				h.thread.RunT(p, h.cfg.DiskSubmitCycles, metrics.TagDiskRead, tr)
+				h.host.Disk.ReadT(p, tr, miss)
 				h.host.Cache.Insert(obj, off, n)
+			} else {
+				tr.Event(trace.LayerHostFS, "host-cache-hit", n)
 			}
+		} else {
+			tr.Event(trace.LayerHostFS, "host-cache-hit", n)
 		}
-		h.readahead(obj, key, fileSize, off, n)
+		h.readahead(tr, obj, key, fileSize, off, n)
 	}
-	h.thread.Run(p, h.cfg.loopReadCycles(n), metrics.TagLoopDevice)
+	h.thread.RunT(p, h.cfg.loopReadCycles(n), metrics.TagLoopDevice, tr)
+	tr.EndSpan(sp, n)
 }
 
 // waitInflight blocks until no unfinished readahead window overlaps the
@@ -120,8 +146,9 @@ func (h *hostReader) waitInflight(p *sim.Proc, key string, off, n int64) {
 }
 
 // readahead asynchronously pulls the next sequential window into the host
-// page cache.
-func (h *hostReader) readahead(obj int64, key string, fileSize, off, n int64) {
+// page cache. The submit and disk time charge to the triggering request's
+// trace: the I/O runs on its behalf even though it completes asynchronously.
+func (h *hostReader) readahead(tr *trace.Trace, obj int64, key string, fileSize, off, n int64) {
 	end := off + n
 	if off != h.raSeq[key] {
 		// New sequential run: re-arm and forget prior issue bookkeeping
@@ -151,10 +178,10 @@ func (h *hostReader) readahead(obj int64, key string, fileSize, off, n int64) {
 		h.raIssued[key] = raEnd
 		return
 	}
-	h.thread.Post(h.cfg.DiskSubmitCycles, metrics.TagDiskRead, nil)
+	h.thread.PostT(h.cfg.DiskSubmitCycles, metrics.TagDiskRead, tr, nil)
 	w := &raWindow{start: raStart, end: raEnd, done: sim.NewSignal(h.env)}
 	h.raFlight[key] = append(h.raFlight[key], w)
-	h.host.Disk.ReadAsync(win, func() {
+	h.host.Disk.ReadAsyncT(tr, win, func() {
 		h.host.Cache.Insert(obj, w.start, win)
 		w.finished = true
 		w.done.Broadcast()
@@ -169,8 +196,15 @@ func (h *hostReader) readahead(obj int64, key string, fileSize, off, n int64) {
 	h.raIssued[key] = raEnd
 }
 
-// Stats returns a copy of the daemon's counters.
-func (d *Daemon) Stats() DaemonStats { return d.stats }
+// Stats derives the daemon's counters from its reduced event stream.
+func (d *Daemon) Stats() DaemonStats {
+	return DaemonStats{
+		Opens:       d.events.Get(evOpen),
+		OpenMisses:  d.events.Get(evOpenMiss),
+		BytesLocal:  d.events.Get(evBytesLocal),
+		BytesRemote: d.events.Get(evBytesRemote),
+	}
+}
 
 // loop services ring requests, one at a time (the ring serializes).
 func (d *Daemon) loop(p *sim.Proc) {
@@ -180,7 +214,7 @@ func (d *Daemon) loop(p *sim.Proc) {
 			return
 		}
 		// Wake from the guest's doorbell.
-		d.thread.Run(p, d.cfg.EventFdCycles, metrics.TagOthers)
+		d.thread.RunT(p, d.cfg.EventFdCycles, metrics.TagOthers, req.tr)
 		switch req.kind {
 		case reqOpen:
 			d.handleOpen(p, req)
@@ -193,8 +227,9 @@ func (d *Daemon) loop(p *sim.Proc) {
 // handleOpen resolves a block file against the mount hash (local) or a peer
 // daemon (remote) and replies through the ring.
 func (d *Daemon) handleOpen(p *sim.Proc, req ringReq) {
-	d.thread.Run(p, d.cfg.OpenCycles, metrics.TagOthers)
-	d.stats.Opens++
+	sp := req.tr.Begin(trace.LayerDaemon, "open")
+	d.thread.RunT(p, d.cfg.OpenCycles, metrics.TagOthers, req.tr)
+	d.emit(req.tr, evOpen, 1)
 	res := openResult{}
 	dnHost, known := d.mgr.fabric().HostOf(req.dn)
 	switch {
@@ -210,8 +245,9 @@ func (d *Daemon) handleOpen(p *sim.Proc, req ringReq) {
 		res = d.mgr.remoteOpen(p, d, dnHost, req)
 	}
 	if !res.ok {
-		d.stats.OpenMisses++
+		d.emit(req.tr, evOpenMiss, 1)
 	}
+	req.tr.EndSpan(sp, 0)
 	req.reply.Put(p, res)
 }
 
@@ -219,7 +255,7 @@ func (d *Daemon) handleOpen(p *sim.Proc, req ringReq) {
 func (d *Daemon) handleRead(p *sim.Proc, req ringReq) {
 	dnHost, known := d.mgr.fabric().HostOf(req.dn)
 	if !known {
-		d.pushError(p)
+		d.pushError(p, req.tr)
 		return
 	}
 	if dnHost == d.host.Name {
@@ -234,14 +270,15 @@ func (d *Daemon) handleRead(p *sim.Proc, req ringReq) {
 func (d *Daemon) readLocal(p *sim.Proc, req ringReq) {
 	m := d.mgr.mount(d.host.Name, req.dn)
 	if m == nil {
-		d.pushError(p)
+		d.pushError(p, req.tr)
 		return
 	}
 	e, ok := m.Lookup(req.path)
 	if !ok {
-		d.pushError(p)
+		d.pushError(p, req.tr)
 		return
 	}
+	sp := req.tr.Begin(trace.LayerDaemon, "read-local")
 	dnVM := d.mgr.cl.VM(req.dn)
 	obj := dnVM.HostCacheObject(e.Node.Ino())
 	key := req.dn + ":" + req.path
@@ -251,18 +288,19 @@ func (d *Daemon) readLocal(p *sim.Proc, req ringReq) {
 		if want > batch {
 			want = batch
 		}
-		d.hr.read(p, obj, key, e.Size, off, want)
+		d.hr.read(p, req.tr, obj, key, e.Size, off, want)
 		s, err := m.ReadAt(req.path, off, want)
 		if err != nil {
-			d.pushError(p)
+			d.pushError(p, req.tr)
 			return
 		}
 		last := off+want == req.off+req.n
-		d.fillSlots(p, s, last)
-		d.doorbell(p)
-		d.stats.BytesLocal += want
+		d.fillSlots(p, req.tr, s, last)
+		d.doorbell(p, req.tr)
+		d.events.Add(evBytesLocal, want)
 		off += want
 	}
+	req.tr.EndSpan(sp, req.n)
 }
 
 // readRemote pulls windows of the range from the peer daemon and relays the
@@ -270,35 +308,38 @@ func (d *Daemon) readLocal(p *sim.Proc, req ringReq) {
 // directly (no local per-byte cost); with TCP the local daemon pays a
 // per-segment user-level receive cost (charged by the transport).
 func (d *Daemon) readRemote(p *sim.Proc, dnHost string, req ringReq) {
+	sp := req.tr.Begin(trace.LayerDaemon, "read-remote")
+	req.tr.Annotate(sp, "peer", dnHost)
 	for off := req.off; off < req.off+req.n; {
 		win := req.off + req.n - off
 		if win > d.cfg.RemoteWindowBytes {
 			win = d.cfg.RemoteWindowBytes
 		}
-		chunks := d.mgr.remoteRead(p, d, dnHost, req.dn, req.path, off, win)
+		chunks := d.mgr.remoteRead(p, req.tr, d, dnHost, req.dn, req.path, off, win)
 		var got int64
 		for got < win {
 			msg, ok := chunks.Get(p)
 			if !ok || msg.err {
-				d.pushError(p)
+				d.pushError(p, req.tr)
 				return
 			}
 			last := off+got+msg.payload.Len() == req.off+req.n
-			d.fillSlots(p, msg.payload, last)
+			d.fillSlots(p, req.tr, msg.payload, last)
 			got += msg.payload.Len()
-			d.stats.BytesRemote += msg.payload.Len()
+			d.events.Add(evBytesRemote, msg.payload.Len())
 		}
-		d.doorbell(p)
+		d.doorbell(p, req.tr)
 		d.mgr.finishRemote(chunks)
 		off += win
 	}
+	req.tr.EndSpan(sp, req.n)
 }
 
 // fillSlots splits a slice across ring slots, paying the per-slot lock cost
 // as one batched charge (the per-byte copy into the ring is part of
 // loopReadCycles locally, and of the transport cost remotely).
-func (d *Daemon) fillSlots(p *sim.Proc, s data.Slice, last bool) {
-	d.thread.Run(p, d.cfg.SlotLockCycles*d.ring.slotsFor(s.Len()), metrics.TagOthers)
+func (d *Daemon) fillSlots(p *sim.Proc, tr *trace.Trace, s data.Slice, last bool) {
+	d.thread.RunT(p, d.cfg.SlotLockCycles*d.ring.slotsFor(s.Len()), metrics.TagOthers, tr)
 	for off := int64(0); off < s.Len(); {
 		n := s.Len() - off
 		if n > d.cfg.SlotBytes {
@@ -313,14 +354,14 @@ func (d *Daemon) fillSlots(p *sim.Proc, s data.Slice, last bool) {
 
 // doorbell signals the guest: eventfd on the daemon side, virtual interrupt
 // on the vCPU.
-func (d *Daemon) doorbell(p *sim.Proc) {
-	d.thread.Run(p, d.cfg.EventFdCycles, metrics.TagOthers)
-	d.vm.VCPU.Post(d.cfg.GuestIRQCycles, metrics.TagOthers, nil)
+func (d *Daemon) doorbell(p *sim.Proc, tr *trace.Trace) {
+	d.thread.RunT(p, d.cfg.EventFdCycles, metrics.TagOthers, tr)
+	d.vm.VCPU.PostT(d.cfg.GuestIRQCycles, metrics.TagOthers, tr, nil)
 }
 
 // pushError aborts the in-flight read on the guest side.
-func (d *Daemon) pushError(p *sim.Proc) {
+func (d *Daemon) pushError(p *sim.Proc, tr *trace.Trace) {
 	d.ring.free.Get(p)
 	d.ring.full.Put(p, ringSlot{err: true, last: true})
-	d.doorbell(p)
+	d.doorbell(p, tr)
 }

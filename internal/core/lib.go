@@ -9,6 +9,7 @@ import (
 	"vread/internal/hdfs"
 	"vread/internal/metrics"
 	"vread/internal/sim"
+	"vread/internal/trace"
 )
 
 // LibStats counts libvread activity in one client VM.
@@ -42,18 +43,18 @@ func (l *Lib) Stats() LibStats { return l.stats }
 // OpenBlock implements hdfs.BlockReader: vRead_open for an HDFS block.
 // ok=false falls back to the vanilla socket read (Algorithm 1's
 // null-descriptor branch).
-func (l *Lib) OpenBlock(p *sim.Proc, client *guest.Kernel, info hdfs.BlockInfo, dn string) (hdfs.BlockHandle, bool) {
+func (l *Lib) OpenBlock(p *sim.Proc, tr *trace.Trace, client *guest.Kernel, info hdfs.BlockInfo, dn string) (hdfs.BlockHandle, bool) {
 	if client.Name() != l.vm.Name {
 		return nil, false // library belongs to a different VM
 	}
-	return l.OpenPath(p, dn, hdfs.BlockPathByName(info.BlockName()), info.BlockName())
+	return l.OpenPath(p, tr, dn, hdfs.BlockPathByName(info.BlockName()), info.BlockName())
 }
 
 // OpenPath is the generic vRead_open underneath OpenBlock: open any file on
 // a datanode VM's image by path. This is the §3 generalization hook — other
 // distributed file systems (QFS, GFS) plug their own chunk layouts in here.
 // key names the descriptor in the library's hash.
-func (l *Lib) OpenPath(p *sim.Proc, dn, path, key string) (*VFD, bool) {
+func (l *Lib) OpenPath(p *sim.Proc, tr *trace.Trace, dn, path, key string) (*VFD, bool) {
 	if vfd, ok := l.vfds[key]; ok {
 		vfd.refs++
 		return vfd, true
@@ -61,16 +62,19 @@ func (l *Lib) OpenPath(p *sim.Proc, dn, path, key string) (*VFD, bool) {
 	l.stats.Opens++
 	vcpu := l.vm.VCPU
 	cfg := l.mgr.cfg
-	vcpu.Run(p, cfg.LibCallCycles, metrics.TagClientApp)
+	sp := tr.Begin(trace.LayerLib, "vread-open")
+	vcpu.RunT(p, cfg.LibCallCycles, metrics.TagClientApp, tr)
 
 	l.daemon.ring.reqMu.Lock(p)
-	vcpu.Run(p, cfg.EventFdCycles, metrics.TagOthers)
+	vcpu.RunT(p, cfg.EventFdCycles, metrics.TagOthers, tr)
 	reply := sim.NewQueue[openResult](l.mgr.env, 0)
-	l.daemon.ring.reqs.Put(p, ringReq{kind: reqOpen, dn: dn, path: path, reply: reply})
+	l.daemon.ring.reqs.Put(p, ringReq{kind: reqOpen, dn: dn, path: path, reply: reply, tr: tr})
 	res, _ := reply.Get(p)
 	l.daemon.ring.reqMu.Unlock()
+	tr.EndSpan(sp, 0)
 
 	if !res.ok {
+		tr.Event(trace.LayerLib, "open-fallback", 0)
 		l.stats.OpenFallbacks++
 		return nil, false
 	}
@@ -112,7 +116,7 @@ func (v *VFD) Read(p *sim.Proc, n int64) (data.Slice, error) {
 	if remaining := v.size - v.pos; n > remaining {
 		n = remaining
 	}
-	s, err := v.ReadAt(p, v.pos, n)
+	s, err := v.ReadAt(p, nil, v.pos, n)
 	if err == nil {
 		v.pos += n
 	}
@@ -121,7 +125,7 @@ func (v *VFD) Read(p *sim.Proc, n int64) (data.Slice, error) {
 
 // ReadAt is vRead_read: write the request descriptor to the ring, doorbell
 // the daemon, then drain slots into the application buffer.
-func (v *VFD) ReadAt(p *sim.Proc, off, n int64) (data.Slice, error) {
+func (v *VFD) ReadAt(p *sim.Proc, tr *trace.Trace, off, n int64) (data.Slice, error) {
 	if off < 0 || n < 0 || off+n > v.size {
 		return data.Slice{}, fmt.Errorf("core: vRead_read [%d,%d) outside block %s of %d", off, off+n, v.blockName, v.size)
 	}
@@ -132,14 +136,16 @@ func (v *VFD) ReadAt(p *sim.Proc, off, n int64) (data.Slice, error) {
 	cfg := l.mgr.cfg
 	vcpu := l.vm.VCPU
 	l.stats.Reads++
-	vcpu.Run(p, cfg.LibCallCycles, metrics.TagClientApp)
+	sp := tr.Begin(trace.LayerLib, "vread-read")
+	vcpu.RunT(p, cfg.LibCallCycles, metrics.TagClientApp, tr)
 
 	ring := l.daemon.ring
 	ring.reqMu.Lock(p)
 	defer ring.reqMu.Unlock()
-	vcpu.Run(p, cfg.EventFdCycles, metrics.TagOthers)
-	ring.reqs.Put(p, ringReq{kind: reqRead, dn: v.dn, path: v.path, off: off, n: n})
+	vcpu.RunT(p, cfg.EventFdCycles, metrics.TagOthers, tr)
+	ring.reqs.Put(p, ringReq{kind: reqRead, dn: v.dn, path: v.path, off: off, n: n, tr: tr})
 
+	rsp := tr.Begin(trace.LayerRing, "ring-drain")
 	var parts data.Concat
 	var got int64
 	// Spinlocks and slot→application copies are charged in doorbell-batch
@@ -147,7 +153,7 @@ func (v *VFD) ReadAt(p *sim.Proc, off, n int64) (data.Slice, error) {
 	var accSlots, accBytes int64
 	flush := func() {
 		if accSlots > 0 {
-			vcpu.Run(p, cfg.SlotLockCycles*accSlots+cfg.guestCopyCycles(accBytes), metrics.TagCopyVRead)
+			vcpu.RunT(p, cfg.SlotLockCycles*accSlots+cfg.guestCopyCycles(accBytes), metrics.TagCopyVRead, tr)
 			accSlots, accBytes = 0, 0
 		}
 	}
@@ -173,6 +179,8 @@ func (v *VFD) ReadAt(p *sim.Proc, off, n int64) (data.Slice, error) {
 		}
 	}
 	flush()
+	tr.EndSpan(rsp, got)
+	tr.EndSpan(sp, got)
 	if got != n {
 		return data.Slice{}, fmt.Errorf("core: short vRead of %s: %d of %d", v.blockName, got, n)
 	}
@@ -181,9 +189,9 @@ func (v *VFD) ReadAt(p *sim.Proc, off, n int64) (data.Slice, error) {
 }
 
 // Close is vRead_close: drop the descriptor once the last reference goes.
-func (v *VFD) Close(p *sim.Proc) {
+func (v *VFD) Close(p *sim.Proc, tr *trace.Trace) {
 	l := v.lib
-	l.vm.VCPU.Run(p, l.mgr.cfg.LibCallCycles, metrics.TagClientApp)
+	l.vm.VCPU.RunT(p, l.mgr.cfg.LibCallCycles, metrics.TagClientApp, tr)
 	v.refs--
 	if v.refs <= 0 {
 		delete(l.vfds, v.blockName)

@@ -134,6 +134,25 @@ func (m *Manager) EnableClient(vmName string) *Lib {
 // Daemon returns a client VM's daemon (nil if not enabled).
 func (m *Manager) Daemon(vmName string) *Daemon { return m.daemons[vmName] }
 
+// DaemonStats returns the daemon counters for a client VM, derived from the
+// daemon's event stream. The zero value is returned when vRead is not
+// enabled for the VM.
+func (m *Manager) DaemonStats(vmName string) DaemonStats {
+	if d := m.daemons[vmName]; d != nil {
+		return d.Stats()
+	}
+	return DaemonStats{}
+}
+
+// LibStats returns the libvread counters for a client VM (zero value when
+// vRead is not enabled there).
+func (m *Manager) LibStats(vmName string) LibStats {
+	if l := m.libs[vmName]; l != nil {
+		return l.Stats()
+	}
+	return LibStats{}
+}
+
 // Lib returns a client VM's libvread (nil if not enabled).
 func (m *Manager) Lib(vmName string) *Lib { return m.libs[vmName] }
 

@@ -10,12 +10,14 @@ import (
 	"vread/internal/metrics"
 	"vread/internal/netsim"
 	"vread/internal/sim"
+	"vread/internal/trace"
 )
 
 // VReadPort is the host-terminated port of the daemons' TCP transport.
 const VReadPort = 51000
 
-// remoteReq asks a peer host's daemon to open or read a block file.
+// remoteReq asks a peer host's daemon to open or read a block file. tr rides
+// along so the serving host charges its work to the originating request.
 type remoteReq struct {
 	reqID    int64
 	fromHost string
@@ -24,6 +26,7 @@ type remoteReq struct {
 	off      int64
 	n        int64
 	open     bool
+	tr       *trace.Trace
 }
 
 // remoteChunk is one response unit (data chunk or open reply).
@@ -82,7 +85,8 @@ func (s *hostServer) loop(p *sim.Proc) {
 
 // handleOpen checks the local mount table and replies with a header chunk.
 func (s *hostServer) handleOpen(p *sim.Proc, req remoteReq) {
-	s.thread.Run(p, s.mgr.cfg.OpenCycles, metrics.TagOthers)
+	sp := req.tr.Begin(trace.LayerRemote, "serve-open")
+	s.thread.RunT(p, s.mgr.cfg.OpenCycles, metrics.TagOthers, req.tr)
 	reply := remoteChunk{reqID: req.reqID}
 	if m := s.mgr.mount(s.host.Name, req.dn); m != nil {
 		if e, ok := m.Lookup(req.path); ok {
@@ -90,7 +94,8 @@ func (s *hostServer) handleOpen(p *sim.Proc, req remoteReq) {
 			reply.size = e.Size
 		}
 	}
-	s.send(p, req.fromHost, data.Slice{C: data.Zero(0)}, reply)
+	req.tr.EndSpan(sp, 0)
+	s.send(p, req.tr, req.fromHost, data.Slice{C: data.Zero(0)}, reply)
 }
 
 // handleRead reads the requested window from the local mount (host page
@@ -99,14 +104,15 @@ func (s *hostServer) handleOpen(p *sim.Proc, req remoteReq) {
 func (s *hostServer) handleRead(p *sim.Proc, req remoteReq) {
 	m := s.mgr.mount(s.host.Name, req.dn)
 	if m == nil {
-		s.send(p, req.fromHost, data.Slice{C: data.Zero(0)}, remoteChunk{reqID: req.reqID, err: true})
+		s.send(p, req.tr, req.fromHost, data.Slice{C: data.Zero(0)}, remoteChunk{reqID: req.reqID, err: true})
 		return
 	}
 	e, ok := m.Lookup(req.path)
 	if !ok {
-		s.send(p, req.fromHost, data.Slice{C: data.Zero(0)}, remoteChunk{reqID: req.reqID, err: true})
+		s.send(p, req.tr, req.fromHost, data.Slice{C: data.Zero(0)}, remoteChunk{reqID: req.reqID, err: true})
 		return
 	}
+	sp := req.tr.Begin(trace.LayerRemote, "serve-read")
 	dnVM := s.mgr.cl.VM(req.dn)
 	obj := dnVM.HostCacheObject(e.Node.Ino())
 	key := req.dn + ":" + req.path
@@ -116,20 +122,21 @@ func (s *hostServer) handleRead(p *sim.Proc, req remoteReq) {
 		if chunk > cfg.RemoteChunkBytes {
 			chunk = cfg.RemoteChunkBytes
 		}
-		s.hr.read(p, obj, key, e.Size, off, chunk)
+		s.hr.read(p, req.tr, obj, key, e.Size, off, chunk)
 		payload, err := m.ReadAt(req.path, off, chunk)
 		if err != nil {
-			s.send(p, req.fromHost, data.Slice{C: data.Zero(0)}, remoteChunk{reqID: req.reqID, err: true})
+			s.send(p, req.tr, req.fromHost, data.Slice{C: data.Zero(0)}, remoteChunk{reqID: req.reqID, err: true})
 			return
 		}
-		s.send(p, req.fromHost, payload, remoteChunk{reqID: req.reqID})
+		s.send(p, req.tr, req.fromHost, payload, remoteChunk{reqID: req.reqID})
 		off += chunk
 	}
+	req.tr.EndSpan(sp, req.n)
 }
 
 // send pushes one frame to a peer host over the configured transport.
-func (s *hostServer) send(p *sim.Proc, dstHost string, payload data.Slice, meta remoteChunk) {
-	s.mgr.sendFrame(p, s.host.Name, s.thread, dstHost, netsim.Frame{Payload: payload, Meta: meta})
+func (s *hostServer) send(p *sim.Proc, tr *trace.Trace, dstHost string, payload data.Slice, meta remoteChunk) {
+	s.mgr.sendFrame(p, s.host.Name, s.thread, dstHost, netsim.Frame{Payload: payload, Meta: meta, Trace: tr})
 }
 
 // ---------------------------------------------------------------------------
@@ -152,7 +159,7 @@ func (m *Manager) sendFrame(p *sim.Proc, srcHost string, srcThread *cpusched.Thr
 	case TransportTCP:
 		// User-level TCP: per-segment syscall + copy cost on the sending
 		// daemon, then the host kernel path.
-		srcThread.Run(p, m.cfg.TCPSegCycles, metrics.TagVReadNet)
+		srcThread.RunT(p, m.cfg.TCPSegCycles, metrics.TagVReadNet, fr.Trace)
 		nic := m.fabric().NIC(srcHost)
 		sent := sim.NewSignal(m.env)
 		done := false
@@ -217,7 +224,7 @@ func (m *Manager) onFrame(host string, fr netsim.Frame) {
 func (m *Manager) onTCPFrame(host string) netsim.HostHandler {
 	return func(fr netsim.Frame) {
 		srv := m.servers[host]
-		srv.thread.Post(m.cfg.TCPSegCycles, metrics.TagVReadNet, func() {
+		srv.thread.PostT(m.cfg.TCPSegCycles, metrics.TagVReadNet, fr.Trace, func() {
 			m.onFrame(host, fr)
 		})
 	}
@@ -232,7 +239,8 @@ func (m *Manager) remoteOpen(p *sim.Proc, d *Daemon, dnHost string, req ringReq)
 	defer delete(m.pending, id)
 	m.sendFrame(p, d.host.Name, d.thread, dnHost, netsim.Frame{
 		Payload: data.NewSlice(data.Zero(64)),
-		Meta:    remoteReq{reqID: id, fromHost: d.host.Name, dn: req.dn, path: req.path, open: true},
+		Meta:    remoteReq{reqID: id, fromHost: d.host.Name, dn: req.dn, path: req.path, open: true, tr: req.tr},
+		Trace:   req.tr,
 	})
 	msg, ok := pend.GetTimeout(p, m.cfg.OpenTimeout)
 	if !ok || msg.err {
@@ -243,7 +251,7 @@ func (m *Manager) remoteOpen(p *sim.Proc, d *Daemon, dnHost string, req ringReq)
 
 // remoteRead sends a read request for one window and returns the queue its
 // chunks will arrive on. The caller must call finishRemote when done.
-func (m *Manager) remoteRead(p *sim.Proc, d *Daemon, dnHost, dn, path string, off, n int64) *sim.Queue[chunkMsg] {
+func (m *Manager) remoteRead(p *sim.Proc, tr *trace.Trace, d *Daemon, dnHost, dn, path string, off, n int64) *sim.Queue[chunkMsg] {
 	m.nextReq++
 	id := m.nextReq
 	pend := sim.NewQueue[chunkMsg](m.env, 0)
@@ -251,7 +259,8 @@ func (m *Manager) remoteRead(p *sim.Proc, d *Daemon, dnHost, dn, path string, of
 	m.pendingIDs[pend] = id
 	m.sendFrame(p, d.host.Name, d.thread, dnHost, netsim.Frame{
 		Payload: data.NewSlice(data.Zero(64)),
-		Meta:    remoteReq{reqID: id, fromHost: d.host.Name, dn: dn, path: path, off: off, n: n},
+		Meta:    remoteReq{reqID: id, fromHost: d.host.Name, dn: dn, path: path, off: off, n: n, tr: tr},
+		Trace:   tr,
 	})
 	return pend
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"vread/internal/data"
 	"vread/internal/sim"
+	"vread/internal/trace"
 )
 
 // ring is the guest↔daemon shared-memory channel (§3.3): a POSIX SHM object
@@ -29,7 +30,9 @@ const (
 	reqRead
 )
 
-// ringReq is one descriptor written by libvread.
+// ringReq is one descriptor written by libvread. tr is the request trace the
+// descriptor belongs to (nil when untraced); the daemon charges its work to
+// it.
 type ringReq struct {
 	kind  ringReqKind
 	dn    string // datanode ID
@@ -37,6 +40,7 @@ type ringReq struct {
 	off   int64
 	n     int64
 	reply *sim.Queue[openResult] // open only
+	tr    *trace.Trace
 }
 
 type openResult struct {

@@ -31,6 +31,7 @@ import (
 
 	"vread/internal/metrics"
 	"vread/internal/sim"
+	"vread/internal/trace"
 )
 
 // Config holds the scheduler's tunables. Zero values select defaults that
@@ -149,6 +150,8 @@ type Thread struct {
 type workItem struct {
 	remaining int64
 	tag       string
+	tr        *trace.Trace // request the cycles are performed for (may be nil)
+	sched     bool         // scheduler-injected (context switch, cache refill)
 	onDone    func()
 }
 
@@ -215,6 +218,12 @@ func (t *Thread) Pending() int64 { return t.pending }
 // Post submits cycles of work tagged tag; onDone (may be nil) runs when the
 // work completes. Post never blocks and may be called from event context.
 func (t *Thread) Post(cycles int64, tag string, onDone func()) {
+	t.PostT(cycles, tag, nil, onDone)
+}
+
+// PostT is Post with the cycles attributed to a request trace (nil is the
+// untraced fast path, identical to Post).
+func (t *Thread) PostT(cycles int64, tag string, tr *trace.Trace, onDone func()) {
 	if cycles < 0 {
 		panic(fmt.Sprintf("cpusched: negative work %d on %s", cycles, t.name))
 	}
@@ -224,7 +233,7 @@ func (t *Thread) Post(cycles int64, tag string, onDone func()) {
 		}
 		return
 	}
-	t.work = append(t.work, &workItem{remaining: cycles, tag: tag, onDone: onDone})
+	t.work = append(t.work, &workItem{remaining: cycles, tag: tag, tr: tr, onDone: onDone})
 	t.pending += cycles
 	if t.state == StateIdle {
 		t.cpu.wake(t)
@@ -234,12 +243,18 @@ func (t *Thread) Post(cycles int64, tag string, onDone func()) {
 // Run submits cycles of work and blocks p until the work completes. This is
 // how simulated processes "execute on" a thread.
 func (t *Thread) Run(p *sim.Proc, cycles int64, tag string) {
+	t.RunT(p, cycles, tag, nil)
+}
+
+// RunT is Run with the cycles attributed to a request trace (nil is the
+// untraced fast path, identical to Run).
+func (t *Thread) RunT(p *sim.Proc, cycles int64, tag string, tr *trace.Trace) {
 	if cycles <= 0 {
 		return
 	}
 	sig := sim.NewSignal(t.cpu.env)
 	done := false
-	t.Post(cycles, tag, func() {
+	t.PostT(cycles, tag, tr, func() {
 		done = true
 		sig.Broadcast()
 	})
@@ -333,7 +348,7 @@ func (c *CPU) dispatch(co *core, t *Thread, delay time.Duration) {
 func (co *core) chargeCold(t *Thread) {
 	c := co.cpu
 	if c.cfg.CacheColdCycles > 0 && co.last != t {
-		t.work = append([]*workItem{{remaining: c.cfg.CacheColdCycles, tag: metrics.TagOthers}}, t.work...)
+		t.work = append([]*workItem{{remaining: c.cfg.CacheColdCycles, tag: metrics.TagOthers, sched: true}}, t.work...)
 		t.pending += c.cfg.CacheColdCycles
 	}
 	co.last = t
@@ -482,7 +497,7 @@ func (co *core) pickNext() {
 	co.chargeCold(next)
 	// Context-switch cost charged as leading work on the incoming thread.
 	if c.cfg.CtxSwitchCycles > 0 {
-		next.work = append([]*workItem{{remaining: c.cfg.CtxSwitchCycles, tag: metrics.TagOthers}}, next.work...)
+		next.work = append([]*workItem{{remaining: c.cfg.CtxSwitchCycles, tag: metrics.TagOthers, sched: true}}, next.work...)
 		next.pending += c.cfg.CtxSwitchCycles
 	}
 	c.env.Schedule(0, co.startSlice)
@@ -524,6 +539,10 @@ func (c *CPU) consume(t *Thread, cycles int64) {
 		t.consumed += use
 		cycles -= use
 		c.reg.AddCycles(t.entity, it.tag, use)
+		it.tr.AddCycles(t.entity, it.tag, use) // nil-safe
+		if it.sched {
+			c.reg.AddSchedCycles(t.entity, use)
+		}
 		if it.remaining == 0 {
 			t.work = t.work[1:]
 			if it.onDone != nil {

@@ -9,6 +9,7 @@ import (
 	"vread/internal/data"
 	"vread/internal/metrics"
 	"vread/internal/sim"
+	"vread/internal/trace"
 )
 
 // BreakdownRow is one stacked bar of Figures 6, 7 or 8: the per-tag CPU
@@ -32,27 +33,45 @@ func (r BreakdownRow) Total() float64 {
 // RunFig6 reproduces Figure 6: CPU utilization of a co-located 1 GB read
 // with 1 MB requests, vanilla vs vRead, broken down by the paper's tags.
 func RunFig6(opt Options) ([]BreakdownRow, error) {
-	return runBreakdown(opt, "fig6", Colocated, core.TransportRDMA)
+	rows, _, err := runBreakdown(opt, "fig6", Colocated, core.TransportRDMA)
+	return rows, err
 }
 
 // RunFig7 reproduces Figure 7: the remote read with RDMA daemons.
 func RunFig7(opt Options) ([]BreakdownRow, error) {
-	return runBreakdown(opt, "fig7", Remote, core.TransportRDMA)
+	rows, _, err := runBreakdown(opt, "fig7", Remote, core.TransportRDMA)
+	return rows, err
 }
 
 // RunFig8 reproduces Figure 8: the remote read with TCP daemons.
 func RunFig8(opt Options) ([]BreakdownRow, error) {
-	return runBreakdown(opt, "fig8", Remote, core.TransportTCP)
+	rows, _, err := runBreakdown(opt, "fig8", Remote, core.TransportTCP)
+	return rows, err
 }
 
-func runBreakdown(opt Options, figure string, scenario Scenario, tr core.Transport) ([]BreakdownRow, error) {
+// runBreakdown runs the figure's workload and returns two row sets computed
+// from independent ledgers: rows is derived from per-request trace charges
+// (every request traced), regRows from the metrics.Registry's cycle counters.
+// The registry is the ground truth the trace pipeline is cross-checked
+// against; TestBreakdownSpanRegistryAgreement asserts they match per tag.
+func runBreakdown(opt Options, figure string, scenario Scenario, tr core.Transport) (rows, regRows []BreakdownRow, err error) {
 	opt = opt.withDefaults()
 	opt.ExtraVMs = false
 	opt.Transport = tr
-	var rows []BreakdownRow
 	for _, vread := range []bool{true, false} {
 		o := opt
 		o.VRead = vread
+		// Breakdown bars need every request's charges, whatever sampling the
+		// caller asked for. Reuse the caller's collector when one was passed
+		// (so -trace exports see these requests too), but reduce only the
+		// traces this testbed appends.
+		col := o.Traces
+		if col == nil {
+			col = &trace.Collector{}
+		}
+		o.Traces = col
+		o.TraceEvery = 1
+		base := len(col.Traces)
 		tb := NewTestbed(o)
 		tb.Place(scenario)
 		fileSize := o.scaled(1<<30, 64<<20)
@@ -61,11 +80,18 @@ func runBreakdown(opt Options, figure string, scenario Scenario, tr core.Transpo
 			return tb.Client.WriteFile(p, path, data.Pattern{Seed: 6, Size: fileSize})
 		}); err != nil {
 			tb.Close()
-			return nil, err
+			return nil, nil, err
 		}
+		var mark time.Duration
 		if err := tb.Run(figure+"-read", time.Hour, func(p *sim.Proc) error {
+			// Let the guests' asynchronous writeback from the setup phase
+			// drain before the window opens: those cycles belong to no read
+			// request, so they would show up in the registry but not in any
+			// trace.
+			p.Sleep(5 * time.Second)
 			tb.DropAllCaches()
-			tb.C.Reg.MarkWindow(tb.C.Env.Now())
+			mark = tb.C.Env.Now()
+			tb.C.Reg.MarkWindow(mark)
 			r, err := tb.Client.Open(p, path)
 			if err != nil {
 				return err
@@ -80,36 +106,71 @@ func runBreakdown(opt Options, figure string, scenario Scenario, tr core.Transpo
 			}
 		}); err != nil {
 			tb.Close()
-			return nil, err
+			return nil, nil, err
 		}
 
 		now := tb.C.Env.Now()
 		freq := tb.Opt.FreqHz
-		clientBD := tb.C.Reg.Breakdown("client", now, freq)
-		var dnBD map[string]float64
-		if vread {
-			if scenario == Remote {
-				// Client side also includes its host's daemon (request +
-				// completion work); datanode side is the remote daemon.
-				merge(clientBD, tb.C.Reg.Breakdown(core.DaemonEntity("host1"), now, freq))
-				dnBD = tb.C.Reg.Breakdown(core.DaemonEntity("host2"), now, freq)
-			} else {
-				dnBD = tb.C.Reg.Breakdown(core.DaemonEntity("host1"), now, freq)
-			}
-		} else {
-			dn := "dn1"
-			if scenario == Remote {
-				dn = "dn2"
-			}
-			dnBD = tb.C.Reg.Breakdown(dn, now, freq)
+		spanCyc := trace.BreakdownCycles(col.Traces[base:])
+		spanBD := func(entity string) map[string]float64 {
+			return spanBreakdown(tb.C.Reg, spanCyc, entity, now-mark, freq)
 		}
-		rows = append(rows,
-			BreakdownRow{Figure: figure, Side: "client", System: sysName(vread), Breakdown: clientBD},
-			BreakdownRow{Figure: figure, Side: "datanode", System: sysName(vread), Breakdown: dnBD},
-		)
+		regBD := func(entity string) map[string]float64 {
+			return tb.C.Reg.Breakdown(entity, now, freq)
+		}
+		rows = append(rows, assembleRows(figure, vread, scenario, spanBD)...)
+		regRows = append(regRows, assembleRows(figure, vread, scenario, regBD)...)
 		tb.Close()
 	}
-	return rows, nil
+	return rows, regRows, nil
+}
+
+// assembleRows maps per-entity breakdowns onto the figure's two bars. Under
+// vRead the daemons' host-side work joins the side they serve: the client's
+// host daemon handles requests/completions, the remote host's daemon does
+// the datanode's reading.
+func assembleRows(figure string, vread bool, scenario Scenario, bd func(entity string) map[string]float64) []BreakdownRow {
+	clientBD := bd("client")
+	var dnBD map[string]float64
+	if vread {
+		if scenario == Remote {
+			merge(clientBD, bd(core.DaemonEntity("host1")))
+			dnBD = bd(core.DaemonEntity("host2"))
+		} else {
+			dnBD = bd(core.DaemonEntity("host1"))
+		}
+	} else {
+		dn := "dn1"
+		if scenario == Remote {
+			dn = "dn2"
+		}
+		dnBD = bd(dn)
+	}
+	return []BreakdownRow{
+		{Figure: figure, Side: "client", System: sysName(vread), Breakdown: clientBD},
+		{Figure: figure, Side: "datanode", System: sysName(vread), Breakdown: dnBD},
+	}
+}
+
+// spanBreakdown converts one entity's trace-derived cycle charges into the
+// same per-tag utilization map Registry.Breakdown produces, folding the
+// scheduler-injected cycles (request-unattributable by construction, see
+// Registry.AddSchedCycles) back into "others".
+func spanBreakdown(reg *metrics.Registry, cyc map[string]map[string]int64, entity string, elapsed time.Duration, freqHz int64) map[string]float64 {
+	out := make(map[string]float64)
+	if elapsed <= 0 {
+		return out
+	}
+	denom := float64(freqHz) * elapsed.Seconds()
+	for tag, n := range cyc[entity] {
+		if n > 0 {
+			out[tag] += float64(n) / denom
+		}
+	}
+	if s := reg.WindowSchedCycles(entity); s > 0 {
+		out[metrics.TagOthers] += float64(s) / denom
+	}
+	return out
 }
 
 func merge(dst, src map[string]float64) {

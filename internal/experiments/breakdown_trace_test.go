@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"vread/internal/core"
+	"vread/internal/trace"
+)
+
+// TestBreakdownSpanRegistryAgreement is the cross-check the trace pipeline
+// is built on: the Figure 6 bars derived from per-request span charges must
+// agree with the metrics.Registry cycle counters (the ground truth every
+// CPU.consume call feeds directly) within 1% per tag.
+func TestBreakdownSpanRegistryAgreement(t *testing.T) {
+	rows, regRows, err := runBreakdown(tiny(), "fig6", Colocated, core.TransportRDMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(regRows) {
+		t.Fatalf("row counts differ: %d vs %d", len(rows), len(regRows))
+	}
+	for i := range rows {
+		span, reg := rows[i], regRows[i]
+		if span.Side != reg.Side || span.System != reg.System {
+			t.Fatalf("row %d mismatched: %+v vs %+v", i, span, reg)
+		}
+		total := reg.Total()
+		if total == 0 {
+			t.Fatalf("%s/%s: empty registry bar", reg.Side, reg.System)
+		}
+		tags := map[string]bool{}
+		for tag := range span.Breakdown {
+			tags[tag] = true
+		}
+		for tag := range reg.Breakdown {
+			tags[tag] = true
+		}
+		for tag := range tags {
+			s, r := span.Breakdown[tag], reg.Breakdown[tag]
+			// Within 1% of the tag's own value, with an absolute floor of
+			// 1% of the bar for tags too small for a relative bound.
+			tol := 0.01*r + 0.01*total
+			if diff := math.Abs(s - r); diff > tol {
+				t.Errorf("%s/%s tag %q: span %.4f vs registry %.4f (diff %.4f > tol %.4f)",
+					span.Side, span.System, tag, s, r, diff, tol)
+			}
+		}
+		t.Logf("%s/%-8s span total %.4f, registry total %.4f", span.Side, span.System, span.Total(), total)
+	}
+}
+
+// TestBreakdownTraceDeterminism: two same-seed breakdown runs must produce
+// byte-identical Chrome trace JSON — the -trace flag's contract.
+func TestBreakdownTraceDeterminism(t *testing.T) {
+	export := func() []byte {
+		opt := tiny()
+		opt.Traces = &trace.Collector{}
+		if _, _, err := runBreakdown(opt, "fig6", Colocated, core.TransportRDMA); err != nil {
+			t.Fatal(err)
+		}
+		if len(opt.Traces.Traces) == 0 {
+			t.Fatal("no traces collected")
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteChrome(&buf, opt.Traces.Traces); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := export()
+	b := export()
+	if !bytes.Equal(a, b) {
+		t.Fatal("Chrome trace JSON differs between identical seeded runs")
+	}
+	t.Logf("deterministic trace export: %d bytes", len(a))
+}
+
+// TestDelayStages exercises the per-stage percentile reducer end to end on
+// the Figure 9 workload.
+func TestDelayStages(t *testing.T) {
+	stats, err := RunDelayStages(tiny(), 1<<20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) == 0 {
+		t.Fatal("no stages")
+	}
+	found := map[string]bool{}
+	for _, s := range stats {
+		t.Logf("stage %-7s %-16s n=%-5d p50=%-12v p95=%-12v p99=%v", s.Layer, s.Name, s.Count, s.P50, s.P95, s.P99)
+		found[s.Layer.String()+"/"+s.Name] = true
+		if s.Count <= 0 {
+			t.Errorf("stage %s/%s has no samples", s.Layer, s.Name)
+		}
+		if s.P50 > s.P95 || s.P95 > s.P99 || s.P99 > s.Max {
+			t.Errorf("stage %s/%s percentiles not monotonic: %+v", s.Layer, s.Name, s)
+		}
+	}
+	// The vRead read path's stages must be present.
+	for _, want := range []string{"client/read1", "lib/vread-read", "ring/ring-drain", "daemon/read-local", "hostfs/host-read"} {
+		if !found[want] {
+			t.Errorf("stage %s missing (got %v)", want, found)
+		}
+	}
+}

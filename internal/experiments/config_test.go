@@ -67,3 +67,23 @@ func TestParseOptionsRejectsBadEnums(t *testing.T) {
 		t.Fatal("bad scenario accepted")
 	}
 }
+
+func TestParseOptionsMalformedJSON(t *testing.T) {
+	for _, raw := range []string{
+		``,                  // empty file
+		`{`,                 // truncated
+		`{"seed": }`,        // syntax error
+		`{"seed": "nine"}`,  // wrong type
+		`[1, 2, 3]`,         // wrong shape
+		`{"freq_ghz": 2.0,`, // unterminated object
+	} {
+		_, _, err := ParseOptions([]byte(raw))
+		if err == nil {
+			t.Errorf("ParseOptions(%q) accepted malformed input", raw)
+			continue
+		}
+		if !strings.Contains(err.Error(), "bad scenario config") {
+			t.Errorf("ParseOptions(%q) error %q lacks context", raw, err)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"vread/internal/mapred"
 	"vread/internal/metrics"
 	"vread/internal/sim"
+	"vread/internal/trace"
 	"vread/internal/workload"
 )
 
@@ -74,6 +75,13 @@ type Options struct {
 	BlockSize int64
 	// VReadConfig overrides vRead parameters (ring ablations).
 	VReadConfig *core.Config
+	// Traces, when non-nil, installs a request tracer on the testbed's
+	// clients; sampled request traces accumulate here (shared across the
+	// testbeds an experiment builds).
+	Traces *trace.Collector
+	// TraceEvery samples every Nth request (<= 1 traces all). Only
+	// meaningful with Traces set.
+	TraceEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -110,6 +118,7 @@ type Testbed struct {
 	Tracker *mapred.Tracker
 	Mgr     *core.Manager // nil without vRead
 	Lib     *core.Lib
+	Tracer  *trace.Tracer // nil unless Options.Traces was set
 }
 
 // NewTestbed builds the two-host testbed: client(+namenode) VM and dn1 on
@@ -146,6 +155,10 @@ func NewTestbed(opt Options) *Testbed {
 	tb := &Testbed{
 		Opt: opt, C: c, NN: nn, DN1: dn1, DN2: dn2,
 		Client: client, Engine: engine, Tracker: tracker,
+	}
+	if opt.Traces != nil {
+		tb.Tracer = trace.NewTracerInto(c.Env, opt.TraceEvery, opt.Traces)
+		client.SetTracer(tb.Tracer)
 	}
 	if opt.VRead {
 		vcfg := core.Config{Transport: opt.Transport, DirectDiskBypass: opt.DirectDiskBypass}

@@ -23,6 +23,7 @@ import (
 	"vread/internal/netsim"
 	"vread/internal/sim"
 	"vread/internal/storage"
+	"vread/internal/trace"
 	"vread/internal/virtio"
 )
 
@@ -218,6 +219,7 @@ type segMeta struct {
 type connEnd struct {
 	kernel       *Kernel
 	peerVM       string
+	tr           *trace.Trace // request currently attributed to this end
 	peer         *connEnd
 	key          int64 // id<<1 | role; role 0 = dialer, 1 = acceptor
 	recvQ        []data.Slice
@@ -237,6 +239,17 @@ type Conn struct{ end *connEnd }
 
 // PeerVM returns the VM name of the other end.
 func (c *Conn) PeerVM() string { return c.end.peerVM }
+
+// SetTrace attributes subsequent socket work on this end to the request
+// trace (nil detaches). The passive end of a connection needs no SetTrace
+// calls: it adopts the trace of each arriving segment, which is how a
+// datanode's service cycles are charged to the requesting client's trace
+// without the server code knowing about tracing at all.
+func (c *Conn) SetTrace(tr *trace.Trace) { c.end.tr = tr }
+
+// Trace returns the request currently attributed to this end (the trace of
+// the most recent arriving segment, unless SetTrace overrode it).
+func (c *Conn) Trace() *trace.Trace { return c.end.tr }
 
 // Listen binds a port and returns the accept queue.
 func (k *Kernel) Listen(port int) *Listener {
@@ -269,23 +282,31 @@ func (l *Listener) Close() {
 // Dial opens a stream to dstVM:port, paying a full SYN/SYN-ACK exchange
 // through the virtualized network path.
 func (k *Kernel) Dial(p *sim.Proc, dstVM string, port int) (*Conn, error) {
+	return k.DialT(p, nil, dstVM, port)
+}
+
+// DialT is Dial with the handshake attributed to a request trace; the new
+// connection's active end starts attributed to it.
+func (k *Kernel) DialT(p *sim.Proc, tr *trace.Trace, dstVM string, port int) (*Conn, error) {
 	if k.netw.Kernel(dstVM) == nil {
 		return nil, fmt.Errorf("%w: unknown VM %s", ErrRefused, dstVM)
 	}
 	k.netw.nextConn++
 	id := k.netw.nextConn
 	end := &connEnd{
-		kernel: k, peerVM: dstVM, key: id << 1,
+		kernel: k, peerVM: dstVM, tr: tr, key: id << 1,
 		recvSig:   sim.NewSignal(k.env),
 		windowSig: sim.NewSignal(k.env),
 		synSig:    sim.NewSignal(k.env),
 	}
 	k.conns[end.key] = end
+	sp := tr.Begin(trace.LayerGuest, "dial")
 	// The SYN targets the not-yet-existing acceptor end (key id<<1|1).
-	k.sendSegment(p, dstVM, data.NewSlice(data.Zero(64)), segMeta{kind: segSYN, connID: end.key | 1, port: port, srcVM: k.name})
+	k.sendSegment(p, tr, dstVM, data.NewSlice(data.Zero(64)), segMeta{kind: segSYN, connID: end.key | 1, port: port, srcVM: k.name})
 	for !end.synDone {
 		end.synSig.Wait(p)
 	}
+	tr.EndSpan(sp, 0)
 	if !end.synOK {
 		delete(k.conns, end.key)
 		return nil, fmt.Errorf("%w: %s:%d", ErrRefused, dstVM, port)
@@ -314,17 +335,19 @@ func (c *Conn) Send(p *sim.Proc, s data.Slice) error {
 			return ErrClosed // peer went away; stop streaming
 		}
 		end.inflight += seg
-		k.sendSegment(p, end.peerVM, s.Sub(off, seg), segMeta{kind: segData, connID: end.key ^ 1})
+		k.sendSegment(p, end.tr, end.peerVM, s.Sub(off, seg), segMeta{kind: segData, connID: end.key ^ 1})
 		off += seg
 	}
 	return nil
 }
 
 // sendSegment pays the guest transmit path and hands the frame to virtio.
-func (k *Kernel) sendSegment(p *sim.Proc, dstVM string, payload data.Slice, meta segMeta) {
-	k.vcpu.Run(p, k.cfg.SyscallCycles+k.cfg.copyCycles(payload.Len()), k.appTag)
-	k.vcpu.Run(p, k.cfg.TCPTxSegCycles, metrics.TagOthers)
-	k.net.Transmit(p, netsim.Frame{DstVM: dstVM, Payload: payload, Meta: meta})
+// The frame carries the request trace so every downstream hop (vhost, wire,
+// the receiving guest) charges against it.
+func (k *Kernel) sendSegment(p *sim.Proc, tr *trace.Trace, dstVM string, payload data.Slice, meta segMeta) {
+	k.vcpu.RunT(p, k.cfg.SyscallCycles+k.cfg.copyCycles(payload.Len()), k.appTag, tr)
+	k.vcpu.RunT(p, k.cfg.TCPTxSegCycles, metrics.TagOthers, tr)
+	k.net.Transmit(p, netsim.Frame{DstVM: dstVM, Payload: payload, Meta: meta, Trace: tr})
 }
 
 // Recv returns up to max bytes, blocking until data or EOF. ok is false at
@@ -359,7 +382,7 @@ func (c *Conn) Recv(p *sim.Proc, max int64) (data.Slice, bool) {
 		end.peer.inflight -= got
 		end.peer.windowSig.Broadcast()
 	}
-	k.vcpu.Run(p, k.cfg.SyscallCycles+k.cfg.copyCycles(got), k.appTag)
+	k.vcpu.RunT(p, k.cfg.SyscallCycles+k.cfg.copyCycles(got), k.appTag, end.tr)
 	return data.Slice{C: parts, N: got}, true
 }
 
@@ -393,7 +416,7 @@ func (c *Conn) Close(p *sim.Proc) {
 		return
 	}
 	end.localClosed = true
-	end.kernel.sendSegment(p, end.peerVM, data.Slice{C: data.Zero(0)}, segMeta{kind: segFIN, connID: end.key ^ 1})
+	end.kernel.sendSegment(p, end.tr, end.peerVM, data.Slice{C: data.Zero(0)}, segMeta{kind: segFIN, connID: end.key ^ 1})
 }
 
 // handleFrame is the virtio deliver hook: runs in event context after the
@@ -403,7 +426,7 @@ func (k *Kernel) handleFrame(fr netsim.Frame) {
 	if !ok {
 		panic(fmt.Sprintf("guest: %s received non-segment frame", k.name))
 	}
-	k.vcpu.Post(k.cfg.TCPRxSegCycles, metrics.TagOthers, func() {
+	k.vcpu.PostT(k.cfg.TCPRxSegCycles, metrics.TagOthers, fr.Trace, func() {
 		k.processSegment(fr, meta)
 	})
 }
@@ -430,6 +453,9 @@ func (k *Kernel) processSegment(fr netsim.Frame, meta segMeta) {
 		if end == nil {
 			return // data after close; drop
 		}
+		// Adopt the arriving segment's trace: the app work this data causes
+		// (Recv copies, the reply it triggers) belongs to that request.
+		end.tr = fr.Trace
 		end.recvQ = append(end.recvQ, fr.Payload)
 		end.recvBytes += fr.Payload.Len()
 		end.recvSig.Broadcast()
@@ -450,12 +476,12 @@ func (k *Kernel) acceptSYN(fr netsim.Frame, meta segMeta) {
 	q, ok := k.listeners[meta.port]
 	if !ok {
 		k.env.Go(fmt.Sprintf("%s:rst", k.name), func(p *sim.Proc) {
-			k.sendSegment(p, meta.srcVM, data.Slice{C: data.Zero(0)}, segMeta{kind: segRST, connID: meta.connID ^ 1})
+			k.sendSegment(p, fr.Trace, meta.srcVM, data.Slice{C: data.Zero(0)}, segMeta{kind: segRST, connID: meta.connID ^ 1})
 		})
 		return
 	}
 	end := &connEnd{
-		kernel: k, peerVM: meta.srcVM, key: meta.connID, // SYN targeted this key
+		kernel: k, peerVM: meta.srcVM, tr: fr.Trace, key: meta.connID, // SYN targeted this key
 		recvSig:   sim.NewSignal(k.env),
 		windowSig: sim.NewSignal(k.env),
 		synSig:    sim.NewSignal(k.env),
@@ -465,7 +491,7 @@ func (k *Kernel) acceptSYN(fr netsim.Frame, meta segMeta) {
 	end.peer = peerK.conns[meta.connID^1]
 	k.conns[end.key] = end
 	k.env.Go(fmt.Sprintf("%s:synack", k.name), func(p *sim.Proc) {
-		k.sendSegment(p, meta.srcVM, data.NewSlice(data.Zero(64)), segMeta{kind: segSYNACK, connID: meta.connID ^ 1})
+		k.sendSegment(p, fr.Trace, meta.srcVM, data.NewSlice(data.Zero(64)), segMeta{kind: segSYNACK, connID: meta.connID ^ 1})
 	})
 	q.TryPut(&Conn{end: end})
 }
@@ -477,25 +503,40 @@ func (k *Kernel) acceptSYN(fr netsim.Frame, meta segMeta) {
 // page cache; misses go to virtio-blk. This is the paper's "local read"
 // baseline: 2 copies (device→kernel via the virtqueue, kernel→user here).
 func (k *Kernel) ReadFileAt(p *sim.Proc, path string, off, n int64) (data.Slice, error) {
-	k.vcpu.Run(p, k.cfg.SyscallCycles, k.appTag)
+	return k.ReadFileAtT(p, nil, path, off, n)
+}
+
+// ReadFileAtT is ReadFileAt attributed to a request trace: the read becomes
+// one guest-layer span, page-cache hits and misses become events, and the
+// virtio-blk round trip charges against the request.
+func (k *Kernel) ReadFileAtT(p *sim.Proc, tr *trace.Trace, path string, off, n int64) (data.Slice, error) {
+	sp := tr.Begin(trace.LayerGuest, "file-read")
+	k.vcpu.RunT(p, k.cfg.SyscallCycles, k.appTag, tr)
 	node, err := k.fs.Stat(path)
 	if err != nil {
+		tr.EndSpan(sp, 0)
 		return data.Slice{}, err
 	}
 	obj := int64(node.Ino())
-	_, miss := k.cache.Lookup(obj, off, n)
+	hit, miss := k.cache.Lookup(obj, off, n)
+	if hit > 0 {
+		tr.Event(trace.LayerGuest, "page-cache-hit", hit)
+	}
 	if miss > 0 {
+		tr.Event(trace.LayerGuest, "page-cache-miss", miss)
 		// Wait for any overlapping in-flight readahead before touching the
 		// device ourselves — the kernel's lock_page-on-readahead behavior.
 		k.waitInflightRA(p, node.Ino(), off, n)
 		if _, miss = k.cache.Lookup(obj, off, n); miss > 0 {
-			k.blk.Read(p, miss)
+			k.blk.ReadT(p, tr, miss)
 			k.cache.Insert(obj, off, n)
 		}
 	}
-	k.readahead(node, off, n)
-	k.vcpu.Run(p, k.cfg.copyCycles(n), k.appTag)
-	return k.fs.ReadAt(path, off, n)
+	k.readahead(tr, node, off, n)
+	k.vcpu.RunT(p, k.cfg.copyCycles(n), k.appTag, tr)
+	s, err := k.fs.ReadAt(path, off, n)
+	tr.EndSpan(sp, n)
+	return s, err
 }
 
 // waitInflightRA blocks until no unfinished readahead window overlaps the
@@ -521,7 +562,7 @@ func (k *Kernel) waitInflightRA(p *sim.Proc, ino fsim.Ino, off, n int64) {
 // readahead issues an asynchronous block read of the next window when the
 // access pattern is sequential (the guest kernel's readahead machinery, the
 // reason streaming block files keeps the device busy ahead of the reader).
-func (k *Kernel) readahead(node *fsim.Inode, off, n int64) {
+func (k *Kernel) readahead(tr *trace.Trace, node *fsim.Inode, off, n int64) {
 	ino := node.Ino()
 	end := off + n
 	if off != k.raSeq[ino] {
@@ -555,7 +596,7 @@ func (k *Kernel) readahead(node *fsim.Inode, off, n int64) {
 		return
 	}
 	w := &raWindow{start: raStart, end: raEnd, done: sim.NewSignal(k.env)}
-	if k.blk.TryReadAsync(raEnd-raStart, func() {
+	if k.blk.TryReadAsyncT(tr, raEnd-raStart, func() {
 		if !w.canceled {
 			k.cache.Insert(obj, w.start, w.end-w.start)
 		}

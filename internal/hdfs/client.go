@@ -8,15 +8,16 @@ import (
 	"vread/internal/guest"
 	"vread/internal/metrics"
 	"vread/internal/sim"
+	"vread/internal/trace"
 )
 
 // BlockHandle is an open vRead descriptor (Table 1's vfd) from the client's
-// perspective.
+// perspective. Every method carries the request trace (nil when untraced).
 type BlockHandle interface {
 	// ReadAt reads [off, off+n) of the block.
-	ReadAt(p *sim.Proc, off, n int64) (data.Slice, error)
+	ReadAt(p *sim.Proc, tr *trace.Trace, off, n int64) (data.Slice, error)
 	// Close releases the descriptor.
-	Close(p *sim.Proc)
+	Close(p *sim.Proc, tr *trace.Trace)
 }
 
 // BlockReader is the pluggable read shortcut. internal/core installs the
@@ -25,7 +26,7 @@ type BlockReader interface {
 	// OpenBlock attempts to open a block stored on the named datanode.
 	// ok=false means "fall back to the original socket read path"
 	// (Algorithm 1's vfd == null branch).
-	OpenBlock(p *sim.Proc, client *guest.Kernel, info BlockInfo, datanode string) (BlockHandle, bool)
+	OpenBlock(p *sim.Proc, tr *trace.Trace, client *guest.Kernel, info BlockInfo, datanode string) (BlockHandle, bool)
 }
 
 // Client is the DFSClient: the paper modifies exactly this layer
@@ -36,6 +37,7 @@ type Client struct {
 	nn     *NameNode
 	kernel *guest.Kernel
 	reader BlockReader
+	tracer *trace.Tracer
 
 	// Positional reads keep one connection per datanode (DataXceiver
 	// sessions are reusable); preadMu serializes request/response pairs.
@@ -54,6 +56,13 @@ func NewClient(env *sim.Env, nn *NameNode, kernel *guest.Kernel) *Client {
 
 // SetBlockReader installs (or removes, with nil) the vRead shortcut.
 func (c *Client) SetBlockReader(r BlockReader) { c.reader = r }
+
+// SetTracer installs (or removes, with nil) the request tracer. Each Open,
+// Read (read1) and ReadAt (read2) call becomes a sampling candidate.
+func (c *Client) SetTracer(t *trace.Tracer) { c.tracer = t }
+
+// Tracer returns the installed request tracer (nil when untraced).
+func (c *Client) Tracer() *trace.Tracer { return c.tracer }
 
 // Kernel returns the client's VM kernel.
 func (c *Client) Kernel() *guest.Kernel { return c.kernel }
@@ -144,7 +153,9 @@ type FileReader struct {
 
 // Open fetches block locations and returns a reader positioned at 0.
 func (c *Client) Open(p *sim.Proc, path string) (*FileReader, error) {
-	blocks, err := c.nn.GetBlockLocations(p, c.kernel, path)
+	tr := c.tracer.Request("open")
+	blocks, err := c.nn.getBlockLocations(p, c.kernel, tr, path)
+	tr.Finish(0)
 	if err != nil {
 		return nil, err
 	}
@@ -192,6 +203,13 @@ func (r *FileReader) blockAt(pos int64) (BlockInfo, bool) {
 // descriptor first and socket fallback otherwise. It returns io.EOF at end
 // of file.
 func (r *FileReader) Read(p *sim.Proc, n int64) (data.Slice, error) {
+	tr := r.c.tracer.Request("read1")
+	s, err := r.read(p, tr, n)
+	tr.Finish(s.Len())
+	return s, err
+}
+
+func (r *FileReader) read(p *sim.Proc, tr *trace.Trace, n int64) (data.Slice, error) {
 	if r.pos >= r.size {
 		return data.Slice{}, io.EOF
 	}
@@ -204,14 +222,14 @@ func (r *FileReader) Read(p *sim.Proc, n int64) (data.Slice, error) {
 		n = max
 	}
 
-	s, err := r.readFromBlock(p, blk, inBlk, n, true)
+	s, err := r.readFromBlock(p, tr, blk, inBlk, n, true)
 	if err != nil {
 		return data.Slice{}, err
 	}
 	r.pos += n
 	// Algorithm 1 lines 24–28: close the descriptor at block end.
 	if r.pos == blk.FileOffset+blk.Size {
-		r.closeHandle(p, blk)
+		r.closeHandle(p, tr, blk)
 		r.dropStream(p)
 	}
 	return s, nil
@@ -220,6 +238,13 @@ func (r *FileReader) Read(p *sim.Proc, n int64) (data.Slice, error) {
 // ReadAt is the paper's read2: positional, possibly spanning blocks
 // (Algorithm 2).
 func (r *FileReader) ReadAt(p *sim.Proc, position, n int64) (data.Slice, error) {
+	tr := r.c.tracer.Request("read2")
+	s, err := r.readAt(p, tr, position, n)
+	tr.Finish(s.Len())
+	return s, err
+}
+
+func (r *FileReader) readAt(p *sim.Proc, tr *trace.Trace, position, n int64) (data.Slice, error) {
 	if position < 0 || position+n > r.size {
 		return data.Slice{}, fmt.Errorf("hdfs: pread [%d,%d) outside file of %d", position, position+n, r.size)
 	}
@@ -235,7 +260,7 @@ func (r *FileReader) ReadAt(p *sim.Proc, position, n int64) (data.Slice, error) 
 		if bytesToRead > remaining {
 			bytesToRead = remaining
 		}
-		s, err := r.readFromBlock(p, blk, start, bytesToRead, false)
+		s, err := r.readFromBlock(p, tr, blk, start, bytesToRead, false)
 		if err != nil {
 			return data.Slice{}, err
 		}
@@ -250,13 +275,13 @@ func (r *FileReader) ReadAt(p *sim.Proc, position, n int64) (data.Slice, error) 
 // descriptor, or socket (streaming for read1, one-shot for read2). A
 // failing replica is skipped and the next location tried (HDFS's dead-node
 // failover).
-func (r *FileReader) readFromBlock(p *sim.Proc, blk BlockInfo, off, n int64, sequential bool) (data.Slice, error) {
+func (r *FileReader) readFromBlock(p *sim.Proc, tr *trace.Trace, blk BlockInfo, off, n int64, sequential bool) (data.Slice, error) {
 	if len(blk.Locations) == 0 {
 		return data.Slice{}, ErrNoDatanode
 	}
 	var lastErr error
 	for _, dn := range blk.Locations {
-		s, err := r.readFromReplica(p, blk, dn, off, n, sequential)
+		s, err := r.readFromReplica(p, tr, blk, dn, off, n, sequential)
 		if err == nil {
 			return s, nil
 		}
@@ -266,38 +291,42 @@ func (r *FileReader) readFromBlock(p *sim.Proc, blk BlockInfo, off, n int64, seq
 		len(blk.Locations), blk.BlockName(), lastErr)
 }
 
-// readFromReplica reads one in-block range from one datanode.
-func (r *FileReader) readFromReplica(p *sim.Proc, blk BlockInfo, dn string, off, n int64, sequential bool) (data.Slice, error) {
+// readFromReplica reads one in-block range from one datanode. The trace
+// records which of the three paths served the range.
+func (r *FileReader) readFromReplica(p *sim.Proc, tr *trace.Trace, blk BlockInfo, dn string, off, n int64, sequential bool) (data.Slice, error) {
 	// HDFS-2246 short-circuit: client and datanode share the VM.
 	if r.c.cfg.ShortCircuit && dn == r.c.kernel.Name() {
-		return r.c.kernel.ReadFileAt(p, blockPath(blk.ID), off, n)
+		tr.Event(trace.LayerClient, "path:short-circuit", n)
+		return r.c.kernel.ReadFileAtT(p, tr, blockPath(blk.ID), off, n)
 	}
 
 	// vRead path (Algorithm 1 lines 10–19).
 	if r.c.reader != nil {
 		h, ok := r.handles[blk.BlockName()]
 		if !ok {
-			if vfd, opened := r.c.reader.OpenBlock(p, r.c.kernel, blk, dn); opened {
+			if vfd, opened := r.c.reader.OpenBlock(p, tr, r.c.kernel, blk, dn); opened {
 				r.handles[blk.BlockName()] = vfd
 				h = vfd
 			}
 		}
 		if h != nil {
-			s, err := h.ReadAt(p, off, n)
+			tr.Event(trace.LayerClient, "path:vread", n)
+			s, err := h.ReadAt(p, tr, off, n)
 			if err == nil {
 				return s, nil
 			}
 			// Broken descriptor: drop it and fall through to the socket.
-			h.Close(p)
+			h.Close(p, tr)
 			delete(r.handles, blk.BlockName())
 		}
 	}
 
 	// Original socket path (read_buffer / fetchBlocks).
+	tr.Event(trace.LayerClient, "path:socket", n)
 	if sequential {
-		return r.streamRead(p, blk, dn, off, n)
+		return r.streamRead(p, tr, blk, dn, off, n)
 	}
-	return r.oneShotRead(p, blk, dn, off, n)
+	return r.oneShotRead(p, tr, blk, dn, off, n)
 }
 
 // blockStream is an open sequential socket read of one block's tail.
@@ -309,11 +338,11 @@ type blockStream struct {
 }
 
 // streamRead keeps one streaming request open per block and pulls n bytes.
-func (r *FileReader) streamRead(p *sim.Proc, blk BlockInfo, dn string, off, n int64) (data.Slice, error) {
+func (r *FileReader) streamRead(p *sim.Proc, tr *trace.Trace, blk BlockInfo, dn string, off, n int64) (data.Slice, error) {
 	st := r.stream
 	if st == nil || st.blockID != blk.ID || st.nextOff != off {
 		r.dropStream(p)
-		conn, err := r.c.kernel.Dial(p, dn, DataPort)
+		conn, err := r.c.kernel.DialT(p, tr, dn, DataPort)
 		if err != nil {
 			return data.Slice{}, fmt.Errorf("hdfs: connect %s: %w", dn, err)
 		}
@@ -332,12 +361,17 @@ func (r *FileReader) streamRead(p *sim.Proc, blk BlockInfo, dn string, off, n in
 		st = &blockStream{conn: conn, blockID: blk.ID, nextOff: off, remaining: want}
 		r.stream = st
 	}
+	// Reused streams adopted earlier requests' traces from arriving data;
+	// point the receive side back at this request before pulling.
+	st.conn.SetTrace(tr)
+	sp := tr.Begin(trace.LayerClient, "socket-stream")
 	s, ok := st.conn.RecvFull(p, n)
 	if !ok {
 		r.dropStream(p)
 		return data.Slice{}, fmt.Errorf("hdfs: stream of %s ended early", blk.BlockName())
 	}
-	r.c.kernel.VCPU().Run(p, r.c.cfg.clientRecvCycles(n), r.c.appTag())
+	r.c.kernel.VCPU().RunT(p, r.c.cfg.clientRecvCycles(n), r.c.appTag(), tr)
+	tr.EndSpan(sp, n)
 	st.nextOff += n
 	st.remaining -= n
 	if st.remaining == 0 {
@@ -348,7 +382,7 @@ func (r *FileReader) streamRead(p *sim.Proc, blk BlockInfo, dn string, off, n in
 
 // oneShotRead performs a single positional request (read2's fetchBlocks)
 // over the client's cached per-datanode connection.
-func (r *FileReader) oneShotRead(p *sim.Proc, blk BlockInfo, dn string, off, n int64) (data.Slice, error) {
+func (r *FileReader) oneShotRead(p *sim.Proc, tr *trace.Trace, blk BlockInfo, dn string, off, n int64) (data.Slice, error) {
 	mu := r.c.preadMu[dn]
 	if mu == nil {
 		mu = sim.NewMutex(r.c.env)
@@ -360,12 +394,15 @@ func (r *FileReader) oneShotRead(p *sim.Proc, blk BlockInfo, dn string, off, n i
 	conn := r.c.preadConns[dn]
 	if conn == nil {
 		var err error
-		conn, err = r.c.kernel.Dial(p, dn, DataPort)
+		conn, err = r.c.kernel.DialT(p, tr, dn, DataPort)
 		if err != nil {
 			return data.Slice{}, fmt.Errorf("hdfs: connect %s: %w", dn, err)
 		}
 		r.c.preadConns[dn] = conn
 	}
+	// Cached connections still carry the previous request's trace.
+	conn.SetTrace(tr)
+	sp := tr.Begin(trace.LayerClient, "socket-pread")
 	drop := func() {
 		conn.Close(p)
 		delete(r.c.preadConns, dn)
@@ -388,13 +425,14 @@ func (r *FileReader) oneShotRead(p *sim.Proc, blk BlockInfo, dn string, off, n i
 		drop()
 		return data.Slice{}, fmt.Errorf("hdfs: stream of %s ended early", blk.BlockName())
 	}
-	r.c.kernel.VCPU().Run(p, r.c.cfg.clientRecvCycles(n), r.c.appTag())
+	r.c.kernel.VCPU().RunT(p, r.c.cfg.clientRecvCycles(n), r.c.appTag(), tr)
+	tr.EndSpan(sp, n)
 	return s, nil
 }
 
-func (r *FileReader) closeHandle(p *sim.Proc, blk BlockInfo) {
+func (r *FileReader) closeHandle(p *sim.Proc, tr *trace.Trace, blk BlockInfo) {
 	if h, ok := r.handles[blk.BlockName()]; ok {
-		h.Close(p)
+		h.Close(p, tr)
 		delete(r.handles, blk.BlockName())
 	}
 }
@@ -409,7 +447,7 @@ func (r *FileReader) dropStream(p *sim.Proc) {
 // Close releases descriptors and streams.
 func (r *FileReader) Close(p *sim.Proc) {
 	for name, h := range r.handles {
-		h.Close(p)
+		h.Close(p, nil)
 		delete(r.handles, name)
 	}
 	r.dropStream(p)

@@ -6,6 +6,7 @@ import (
 	"vread/internal/guest"
 	"vread/internal/metrics"
 	"vread/internal/sim"
+	"vread/internal/trace"
 )
 
 // DataNode serves block reads and pipeline writes from inside its VM. Blocks
@@ -114,13 +115,17 @@ func (dn *DataNode) handle(p *sim.Proc, conn *guest.Conn) {
 // checksum generation, and socket send. It reports whether the connection
 // is still usable for further requests.
 func (dn *DataNode) handleRead(p *sim.Proc, conn *guest.Conn, req readReq) bool {
-	dn.kernel.VCPU().Run(p, dn.cfg.RequestCycles, metrics.TagDatanodeApp)
+	// The connection adopted the client request's trace when the request
+	// segment arrived, so server-side work attributes to that request.
+	tr := conn.Trace()
+	dn.kernel.VCPU().RunT(p, dn.cfg.RequestCycles, metrics.TagDatanodeApp, tr)
 	path := blockPath(req.id)
 	if _, err := dn.kernel.FS().Stat(path); err != nil {
 		_ = conn.Send(p, encodeResp(statusErr, 0))
 		conn.Close(p)
 		return false
 	}
+	sp := tr.Begin(trace.LayerServer, "dn-read")
 	if err := conn.Send(p, encodeResp(statusOK, req.n)); err != nil {
 		return false
 	}
@@ -130,19 +135,20 @@ func (dn *DataNode) handleRead(p *sim.Proc, conn *guest.Conn, req readReq) bool 
 		if pkt > dn.cfg.PacketBytes {
 			pkt = dn.cfg.PacketBytes
 		}
-		s, err := dn.kernel.ReadFileAt(p, path, req.off+sent, pkt)
+		s, err := dn.kernel.ReadFileAtT(p, tr, path, req.off+sent, pkt)
 		if err != nil {
 			// Header already promised n bytes; this is a stream-level
 			// failure (client sees premature EOF).
 			conn.Close(p)
 			return false
 		}
-		dn.kernel.VCPU().Run(p, dn.cfg.dnSendCycles(pkt), metrics.TagDatanodeApp)
+		dn.kernel.VCPU().RunT(p, dn.cfg.dnSendCycles(pkt), metrics.TagDatanodeApp, tr)
 		if err := conn.Send(p, s); err != nil {
 			return false
 		}
 		sent += pkt
 	}
+	tr.EndSpan(sp, sent)
 	dn.served += sent
 	return true
 }

@@ -18,6 +18,7 @@ import (
 	"vread/internal/guest"
 	"vread/internal/metrics"
 	"vread/internal/sim"
+	"vread/internal/trace"
 )
 
 // Errors returned by HDFS operations.
@@ -259,14 +260,25 @@ func (nn *NameNode) orderLocations(clientVM string, locs []string) []string {
 
 // rpc charges one namenode round trip to the calling client.
 func (nn *NameNode) rpc(p *sim.Proc, k *guest.Kernel) {
-	k.VCPU().Run(p, nn.cfg.RPCCycles, metrics.TagOthers)
+	nn.rpcT(p, k, nil)
+}
+
+// rpcT is rpc attributing the round trip to a request trace.
+func (nn *NameNode) rpcT(p *sim.Proc, k *guest.Kernel, tr *trace.Trace) {
+	sp := tr.Begin(trace.LayerClient, "namenode-rpc")
+	k.VCPU().RunT(p, nn.cfg.RPCCycles, metrics.TagOthers, tr)
 	p.Sleep(nn.cfg.RPCLatency)
+	tr.EndSpan(sp, 0)
 }
 
 // GetBlockLocations returns the block list of a complete file, replica
 // lists ordered for this client.
 func (nn *NameNode) GetBlockLocations(p *sim.Proc, k *guest.Kernel, path string) ([]BlockInfo, error) {
-	nn.rpc(p, k)
+	return nn.getBlockLocations(p, k, nil, path)
+}
+
+func (nn *NameNode) getBlockLocations(p *sim.Proc, k *guest.Kernel, tr *trace.Trace, path string) ([]BlockInfo, error) {
+	nn.rpcT(p, k, tr)
 	meta, ok := nn.files[path]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)

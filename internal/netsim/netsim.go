@@ -16,6 +16,7 @@ import (
 	"vread/internal/data"
 	"vread/internal/metrics"
 	"vread/internal/sim"
+	"vread/internal/trace"
 )
 
 // Config holds network parameters. Zero values select the paper's testbed:
@@ -68,6 +69,11 @@ type Frame struct {
 	DstVM   string // "" for host-terminated traffic (daemon TCP, RDMA)
 	Payload data.Slice
 	Meta    interface{}
+	// Trace is the request this frame is carried for (nil when untraced).
+	// Every hop — NIC pacing, softirq, vhost, RDMA completion — charges its
+	// cycles against it, so a request's journey across hosts stays one
+	// stream.
+	Trace *trace.Trace
 }
 
 // Endpoint receives frames addressed to a VM on a host. virtio.NetDev
@@ -195,7 +201,7 @@ func (n *NIC) SendToVM(fr Frame, onSent func()) {
 	fr.DstHost = reg.host
 	n.transmit(fr, onSent, func(arrived Frame) {
 		dst := n.fabric.nics[reg.host]
-		dst.softirq.Post(n.fabric.cfg.SoftirqFrameCycles, metrics.TagVhostNet, func() {
+		dst.softirq.PostT(n.fabric.cfg.SoftirqFrameCycles, metrics.TagVhostNet, arrived.Trace, func() {
 			reg.ep.DeliverFromWire(arrived)
 		})
 	})
@@ -213,7 +219,7 @@ func (n *NIC) SendToHost(dstHost string, port int, fr Frame, onSent func()) {
 	fr.DstHost = dstHost
 	n.transmit(fr, onSent, func(arrived Frame) {
 		dst := n.fabric.nics[dstHost]
-		dst.softirq.Post(n.fabric.cfg.SoftirqFrameCycles, metrics.TagVReadNet, func() {
+		dst.softirq.PostT(n.fabric.cfg.SoftirqFrameCycles, metrics.TagVReadNet, arrived.Trace, func() {
 			h(arrived)
 		})
 	})
@@ -244,7 +250,11 @@ func (n *NIC) transmit(fr Frame, onSent func(), deliver func(Frame)) {
 	if onSent != nil {
 		n.fabric.env.Schedule(done-now, onSent)
 	}
-	n.fabric.env.Schedule(done-now+cfg.Latency, func() { deliver(fr) })
+	sp := fr.Trace.Begin(trace.LayerNet, "wire")
+	n.fabric.env.Schedule(done-now+cfg.Latency, func() {
+		fr.Trace.EndSpan(sp, fr.Payload.Len())
+		deliver(fr)
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -306,7 +316,8 @@ func (q *QP) PostFrom(host string, fr Frame, onSent func()) {
 	fr.SrcHost = host
 	fr.DstHost = dstHost
 	nic := q.fabric.nics[host]
-	postTh.Post(cfg.RDMAPostCycles, metrics.TagRDMA, func() {
+	sp := fr.Trace.Begin(trace.LayerNet, "rdma")
+	postTh.PostT(cfg.RDMAPostCycles, metrics.TagRDMA, fr.Trace, func() {
 		now := q.fabric.env.Now()
 		start := now
 		if nic.busyUntil > start {
@@ -321,7 +332,8 @@ func (q *QP) PostFrom(host string, fr Frame, onSent func()) {
 			q.fabric.env.Schedule(done-now, onSent)
 		}
 		q.fabric.env.Schedule(done-now+cfg.RDMALatency, func() {
-			complTh.Post(cfg.RDMACompleteCycles, metrics.TagRDMA, func() {
+			complTh.PostT(cfg.RDMACompleteCycles, metrics.TagRDMA, fr.Trace, func() {
+				fr.Trace.EndSpan(sp, fr.Payload.Len())
 				recv(fr)
 			})
 		})

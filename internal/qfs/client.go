@@ -7,27 +7,28 @@ import (
 	"vread/internal/guest"
 	"vread/internal/metrics"
 	"vread/internal/sim"
+	"vread/internal/trace"
 )
 
 // Handle is an open read descriptor for one chunk (core.VFD satisfies it).
 type Handle interface {
-	ReadAt(p *sim.Proc, off, n int64) (data.Slice, error)
-	Close(p *sim.Proc)
+	ReadAt(p *sim.Proc, tr *trace.Trace, off, n int64) (data.Slice, error)
+	Close(p *sim.Proc, tr *trace.Trace)
 }
 
 // PathReader is the vRead generalization hook: open a file by path on a
 // chunk server VM's disk image. A thin adapter over core.Lib.OpenPath
 // implements it (see UseVReadFunc in the tests and examples).
 type PathReader interface {
-	OpenPath(p *sim.Proc, server, path, key string) (Handle, bool)
+	OpenPath(p *sim.Proc, tr *trace.Trace, server, path, key string) (Handle, bool)
 }
 
 // PathReaderFunc adapts a function to PathReader.
-type PathReaderFunc func(p *sim.Proc, server, path, key string) (Handle, bool)
+type PathReaderFunc func(p *sim.Proc, tr *trace.Trace, server, path, key string) (Handle, bool)
 
 // OpenPath implements PathReader.
-func (f PathReaderFunc) OpenPath(p *sim.Proc, server, path, key string) (Handle, bool) {
-	return f(p, server, path, key)
+func (f PathReaderFunc) OpenPath(p *sim.Proc, tr *trace.Trace, server, path, key string) (Handle, bool) {
+	return f(p, tr, server, path, key)
 }
 
 // Client is the QFS client: chunk-striped writes and reads with the
@@ -38,6 +39,7 @@ type Client struct {
 	ms     *MetaServer
 	kernel *guest.Kernel
 	reader PathReader
+	tracer *trace.Tracer
 }
 
 // NewClient creates a client inside the VM kernel.
@@ -47,6 +49,13 @@ func NewClient(env *sim.Env, ms *MetaServer, kernel *guest.Kernel) *Client {
 
 // SetPathReader installs (or removes, with nil) the vRead shortcut.
 func (c *Client) SetPathReader(r PathReader) { c.reader = r }
+
+// SetTracer installs (or removes, with nil) the request tracer. Each
+// ReadFile and ReadAt call becomes a sampling candidate.
+func (c *Client) SetTracer(t *trace.Tracer) { c.tracer = t }
+
+// Tracer returns the installed request tracer (nil when untraced).
+func (c *Client) Tracer() *trace.Tracer { return c.tracer }
 
 // Kernel returns the client's VM kernel.
 func (c *Client) Kernel() *guest.Kernel { return c.kernel }
@@ -107,14 +116,21 @@ func (c *Client) writeChunk(p *sim.Proc, info ChunkInfo, s data.Slice) error {
 // ReadFile reads the whole file, chunk by chunk, preferring vRead
 // descriptors and falling back to chunk-server sockets.
 func (c *Client) ReadFile(p *sim.Proc, path string) (data.Slice, error) {
-	chunks, err := c.ms.GetChunks(p, c.kernel, path)
+	tr := c.tracer.Request("qfs-read")
+	s, err := c.readFile(p, tr, path)
+	tr.Finish(s.Len())
+	return s, err
+}
+
+func (c *Client) readFile(p *sim.Proc, tr *trace.Trace, path string) (data.Slice, error) {
+	chunks, err := c.ms.getChunks(p, c.kernel, tr, path)
 	if err != nil {
 		return data.Slice{}, err
 	}
 	var parts data.Concat
 	var total int64
 	for _, ch := range chunks {
-		s, err := c.readChunk(p, ch, 0, ch.Size)
+		s, err := c.readChunk(p, tr, ch, 0, ch.Size)
 		if err != nil {
 			return data.Slice{}, err
 		}
@@ -126,7 +142,14 @@ func (c *Client) ReadFile(p *sim.Proc, path string) (data.Slice, error) {
 
 // ReadAt reads [off, off+n) of a file.
 func (c *Client) ReadAt(p *sim.Proc, path string, off, n int64) (data.Slice, error) {
-	chunks, err := c.ms.GetChunks(p, c.kernel, path)
+	tr := c.tracer.Request("qfs-pread")
+	s, err := c.readAt(p, tr, path, off, n)
+	tr.Finish(s.Len())
+	return s, err
+}
+
+func (c *Client) readAt(p *sim.Proc, tr *trace.Trace, path string, off, n int64) (data.Slice, error) {
+	chunks, err := c.ms.getChunks(p, c.kernel, tr, path)
 	if err != nil {
 		return data.Slice{}, err
 	}
@@ -144,7 +167,7 @@ func (c *Client) ReadAt(p *sim.Proc, path string, off, n int64) (data.Slice, err
 		if end > ch.Size {
 			end = ch.Size
 		}
-		s, err := c.readChunk(p, ch, start, end-start)
+		s, err := c.readChunk(p, tr, ch, start, end-start)
 		if err != nil {
 			return data.Slice{}, err
 		}
@@ -157,22 +180,25 @@ func (c *Client) ReadAt(p *sim.Proc, path string, off, n int64) (data.Slice, err
 	return data.Slice{C: parts, N: got}, nil
 }
 
-func (c *Client) readChunk(p *sim.Proc, ch ChunkInfo, off, n int64) (data.Slice, error) {
+func (c *Client) readChunk(p *sim.Proc, tr *trace.Trace, ch ChunkInfo, off, n int64) (data.Slice, error) {
 	if c.reader != nil {
-		if h, ok := c.reader.OpenPath(p, ch.Server, ch.ID.Path(), fmt.Sprintf("qfs-chunk-%d", ch.ID)); ok {
-			s, err := h.ReadAt(p, off, n)
-			h.Close(p)
+		if h, ok := c.reader.OpenPath(p, tr, ch.Server, ch.ID.Path(), fmt.Sprintf("qfs-chunk-%d", ch.ID)); ok {
+			tr.Event(trace.LayerClient, "path:vread", n)
+			s, err := h.ReadAt(p, tr, off, n)
+			h.Close(p, tr)
 			if err == nil {
 				return s, nil
 			}
 		}
 	}
 	// Vanilla socket path.
-	conn, err := c.kernel.Dial(p, ch.Server, ChunkPort)
+	tr.Event(trace.LayerClient, "path:socket", n)
+	conn, err := c.kernel.DialT(p, tr, ch.Server, ChunkPort)
 	if err != nil {
 		return data.Slice{}, err
 	}
 	defer conn.Close(p)
+	sp := tr.Begin(trace.LayerClient, "socket-chunk")
 	if err := conn.Send(p, encodeHdr(opReadChunk, ch.ID, off, n)); err != nil {
 		return data.Slice{}, err
 	}
@@ -180,6 +206,7 @@ func (c *Client) readChunk(p *sim.Proc, ch ChunkInfo, off, n int64) (data.Slice,
 	if !ok {
 		return data.Slice{}, fmt.Errorf("qfs: chunk %d stream ended early", ch.ID)
 	}
-	c.kernel.VCPU().Run(p, c.cfg.ioCycles(n), metrics.TagClientApp)
+	c.kernel.VCPU().RunT(p, c.cfg.ioCycles(n), metrics.TagClientApp, tr)
+	tr.EndSpan(sp, n)
 	return s, nil
 }

@@ -19,6 +19,7 @@ import (
 	"vread/internal/guest"
 	"vread/internal/metrics"
 	"vread/internal/sim"
+	"vread/internal/trace"
 )
 
 // Errors returned by QFS operations.
@@ -137,8 +138,15 @@ func (ms *MetaServer) AddListener(l FileEventListener) {
 }
 
 func (ms *MetaServer) rpc(p *sim.Proc, k *guest.Kernel) {
-	k.VCPU().Run(p, ms.cfg.RPCCycles, metrics.TagOthers)
+	ms.rpcT(p, k, nil)
+}
+
+// rpcT is rpc attributing the round trip to a request trace.
+func (ms *MetaServer) rpcT(p *sim.Proc, k *guest.Kernel, tr *trace.Trace) {
+	sp := tr.Begin(trace.LayerClient, "metaserver-rpc")
+	k.VCPU().RunT(p, ms.cfg.RPCCycles, metrics.TagOthers, tr)
 	p.Sleep(ms.cfg.RPCLatency)
+	tr.EndSpan(sp, 0)
 }
 
 // allocateChunk assigns the next chunk round-robin across chunk servers.
@@ -178,7 +186,11 @@ func (ms *MetaServer) chunkWritten(server string, id ChunkID, size int64) {
 
 // GetChunks returns the chunk list of a complete file.
 func (ms *MetaServer) GetChunks(p *sim.Proc, k *guest.Kernel, path string) ([]ChunkInfo, error) {
-	ms.rpc(p, k)
+	return ms.getChunks(p, k, nil, path)
+}
+
+func (ms *MetaServer) getChunks(p *sim.Proc, k *guest.Kernel, tr *trace.Trace, path string) ([]ChunkInfo, error) {
+	ms.rpcT(p, k, tr)
 	meta, ok := ms.files[path]
 	if !ok || !meta.complete {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)

@@ -10,6 +10,7 @@ import (
 	"vread/internal/metrics"
 	"vread/internal/qfs"
 	"vread/internal/sim"
+	"vread/internal/trace"
 )
 
 type bed struct {
@@ -43,8 +44,8 @@ func newBed(t *testing.T, vread bool) *bed {
 		b.mgr.MountDatanode("cs2")
 		ms.AddListener(b.mgr) // metaserver drives the dentry refresh
 		b.lib = b.mgr.EnableClient("client")
-		cl.SetPathReader(qfs.PathReaderFunc(func(p *sim.Proc, server, path, key string) (qfs.Handle, bool) {
-			return b.lib.OpenPath(p, server, path, key)
+		cl.SetPathReader(qfs.PathReaderFunc(func(p *sim.Proc, tr *trace.Trace, server, path, key string) (qfs.Handle, bool) {
+			return b.lib.OpenPath(p, tr, server, path, key)
 		}))
 	}
 	return b

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"vread/internal/sim"
+	"vread/internal/trace"
 )
 
 // DiskConfig describes a device. Zero values select an SSD similar to the
@@ -79,7 +80,19 @@ func (d *Disk) ResetStats() { d.stats = DiskStats{} }
 // ReadAsync submits a read of n bytes; onDone fires when the device
 // completes it (FIFO behind earlier requests).
 func (d *Disk) ReadAsync(n int64, onDone func()) {
-	d.submit(n, d.cfg.ReadLatency, d.cfg.ReadBandwidth, onDone)
+	d.ReadAsyncT(nil, n, onDone)
+}
+
+// ReadAsyncT is ReadAsync with a "disk read" span (submit → completion) on
+// the request trace.
+func (d *Disk) ReadAsyncT(tr *trace.Trace, n int64, onDone func()) {
+	sp := tr.Begin(trace.LayerDisk, "read")
+	d.submit(n, d.cfg.ReadLatency, d.cfg.ReadBandwidth, func() {
+		tr.EndSpan(sp, n)
+		if onDone != nil {
+			onDone()
+		}
+	})
 	d.stats.Reads++
 	d.stats.BytesRead += n
 }
@@ -96,9 +109,21 @@ func (d *Disk) Read(p *sim.Proc, n int64) {
 	d.wait(p, func(onDone func()) { d.ReadAsync(n, onDone) })
 }
 
+// ReadT is Read with a "disk read" span on the request trace.
+func (d *Disk) ReadT(p *sim.Proc, tr *trace.Trace, n int64) {
+	d.wait(p, func(onDone func()) { d.ReadAsyncT(tr, n, onDone) })
+}
+
 // Write blocks p for the duration of a write of n bytes.
 func (d *Disk) Write(p *sim.Proc, n int64) {
 	d.wait(p, func(onDone func()) { d.WriteAsync(n, onDone) })
+}
+
+// WriteT is Write with a "disk write" span on the request trace.
+func (d *Disk) WriteT(p *sim.Proc, tr *trace.Trace, n int64) {
+	sp := tr.Begin(trace.LayerDisk, "write")
+	d.wait(p, func(onDone func()) { d.WriteAsync(n, onDone) })
+	tr.EndSpan(sp, n)
 }
 
 func (d *Disk) wait(p *sim.Proc, submit func(func())) {

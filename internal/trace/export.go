@@ -1,0 +1,160 @@
+package trace
+
+// Deterministic exporters: Chrome trace_event JSON for timeline inspection
+// and flat CSVs for scripting. Both iterate slices in event order and format
+// every number from integers, so identical traces serialize to identical
+// bytes.
+
+import (
+	"io"
+	"strconv"
+	"strings"
+)
+
+// usec renders a virtual timestamp as microseconds with fixed millisecond
+// precision ("123.456"), computed from integer nanoseconds so formatting is
+// exact and deterministic.
+func usec(ns int64) string {
+	return strconv.FormatInt(ns/1000, 10) + "." + pad3(ns%1000)
+}
+
+func pad3(n int64) string {
+	s := strconv.FormatInt(n, 10)
+	return "000"[:3-len(s)] + s
+}
+
+// jsonEscape escapes a name for embedding in a JSON string. Names are
+// ASCII identifiers by construction; this covers the general case anyway.
+func jsonEscape(s string) string {
+	if !strings.ContainsAny(s, `"\`) && strings.IndexFunc(s, func(r rune) bool { return r < 0x20 }) < 0 {
+		return s
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r == '"':
+			sb.WriteString(`\"`)
+		case r == '\\':
+			sb.WriteString(`\\`)
+		case r < 0x20:
+			sb.WriteString(`\u00`)
+			const hex = "0123456789abcdef"
+			sb.WriteByte(hex[r>>4])
+			sb.WriteByte(hex[r&0xf])
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// WriteChrome writes the traces as Chrome trace_event JSON (load in
+// chrome://tracing or Perfetto). Each request becomes one "process" (pid =
+// trace ID) whose "threads" are the read-path layers; spans are complete
+// ("ph":"X") events and instantaneous marks are "ph":"i".
+func WriteChrome(w io.Writer, traces []*Trace) error {
+	var sb strings.Builder
+	sb.WriteString("{\"traceEvents\":[")
+	first := true
+	emit := func(line string) {
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		sb.WriteString("\n")
+		sb.WriteString(line)
+	}
+	for _, t := range traces {
+		pid := strconv.FormatInt(t.ID, 10)
+		emit(`{"name":"process_name","ph":"M","pid":` + pid +
+			`,"tid":0,"args":{"name":"` + jsonEscape(t.Name) + ` #` + pid + `"}}`)
+		// One metadata row per layer present, in layer order.
+		var present [layerCount]bool
+		for _, s := range t.Spans {
+			if s.Layer < layerCount {
+				present[s.Layer] = true
+			}
+		}
+		for l := Layer(0); l < layerCount; l++ {
+			if !present[l] {
+				continue
+			}
+			emit(`{"name":"thread_name","ph":"M","pid":` + pid +
+				`,"tid":` + strconv.Itoa(int(l)+1) + `,"args":{"name":"` + layerNames[l] + `"}}`)
+		}
+		// Root request span on tid 0.
+		end := t.End
+		if end < t.Start {
+			end = t.Start
+		}
+		emit(`{"name":"` + jsonEscape(t.Name) + `","cat":"request","ph":"X","pid":` + pid +
+			`,"tid":0,"ts":` + usec(int64(t.Start)) + `,"dur":` + usec(int64(end-t.Start)) +
+			`,"args":{"bytes":` + strconv.FormatInt(t.Bytes, 10) + `}}`)
+		for _, s := range t.Spans {
+			tid := strconv.Itoa(int(s.Layer) + 1)
+			args := `{"bytes":` + strconv.FormatInt(s.Bytes, 10)
+			for _, a := range s.Attrs {
+				args += `,"` + jsonEscape(a.Key) + `":"` + jsonEscape(a.Value) + `"`
+			}
+			args += "}"
+			if s.End <= s.Start {
+				emit(`{"name":"` + jsonEscape(s.Name) + `","cat":"` + layerNames[s.Layer] +
+					`","ph":"i","s":"t","pid":` + pid + `,"tid":` + tid +
+					`,"ts":` + usec(int64(s.Start)) + `,"args":` + args + `}`)
+				continue
+			}
+			emit(`{"name":"` + jsonEscape(s.Name) + `","cat":"` + layerNames[s.Layer] +
+				`","ph":"X","pid":` + pid + `,"tid":` + tid +
+				`,"ts":` + usec(int64(s.Start)) + `,"dur":` + usec(int64(s.End-s.Start)) +
+				`,"args":` + args + `}`)
+		}
+		// Cycle charges as one counter-style metadata blob per trace.
+		for _, c := range t.Charges {
+			emit(`{"name":"cycles:` + jsonEscape(c.Entity) + `/` + jsonEscape(c.Tag) +
+				`","cat":"cycles","ph":"i","s":"p","pid":` + pid + `,"tid":0,"ts":` +
+				usec(int64(end)) + `,"args":{"cycles":` + strconv.FormatInt(c.Cycles, 10) + `}}`)
+		}
+	}
+	sb.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteSpansCSV writes one row per span of every trace:
+// trace_id,request,layer,span,start_us,end_us,bytes.
+func WriteSpansCSV(w io.Writer, traces []*Trace) error {
+	var sb strings.Builder
+	sb.WriteString("trace_id,request,layer,span,start_us,end_us,bytes\n")
+	for _, t := range traces {
+		id := strconv.FormatInt(t.ID, 10)
+		for _, s := range t.Spans {
+			end := s.End
+			if end < s.Start {
+				end = s.Start
+			}
+			sb.WriteString(id)
+			sb.WriteByte(',')
+			sb.WriteString(csvField(t.Name))
+			sb.WriteByte(',')
+			sb.WriteString(s.Layer.String())
+			sb.WriteByte(',')
+			sb.WriteString(csvField(s.Name))
+			sb.WriteByte(',')
+			sb.WriteString(usec(int64(s.Start)))
+			sb.WriteByte(',')
+			sb.WriteString(usec(int64(end)))
+			sb.WriteByte(',')
+			sb.WriteString(strconv.FormatInt(s.Bytes, 10))
+			sb.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func csvField(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

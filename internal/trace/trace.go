@@ -1,0 +1,305 @@
+// Package trace is the per-request observability spine of the simulator: a
+// lightweight, deterministic span/event model carried by every read request
+// from the DFS client entry point down through libvread, the request ring,
+// the daemon, the host file system, the remote transports, the guest kernel,
+// the virtio devices, and the physical disk and network.
+//
+// Design constraints, in order:
+//
+//   - Zero overhead by default. Every method is safe on a nil *Trace and
+//     returns immediately, so untraced requests pay one nil check per
+//     instrumentation point and allocate nothing.
+//   - Deterministic. Timestamps are virtual (sim.Env time), span and charge
+//     order is event order, and the exporters iterate slices — never maps —
+//     so the same seed produces byte-identical output.
+//   - Allocation-conscious. Spans and cycle charges live in small slices
+//     owned by the trace; charges merge in place instead of growing a map.
+//
+// The existing aggregate instrumentation (metrics.Registry cycle counters,
+// core.DaemonStats, the Figure 6–8 breakdowns) is derived from this one
+// stream by the reducers at the bottom of the package.
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"vread/internal/sim"
+)
+
+// Layer identifies which architectural layer of the read path a span or
+// event belongs to. The numeric order is the top-down order of the stack.
+type Layer uint8
+
+// Layers of the read path.
+const (
+	LayerClient Layer = iota // DFS / QFS client request handling
+	LayerLib                 // libvread inside the client VM
+	LayerRing                // shared request/completion ring
+	LayerDaemon              // vread daemon on the host
+	LayerHostFS              // host page cache + loop-mounted image reads
+	LayerRemote              // daemon-to-daemon RDMA/TCP transport
+	LayerGuest               // guest kernel: sockets and page cache
+	LayerServer              // datanode / chunk-server application
+	LayerDisk                // physical device I/O
+	LayerNet                 // fabric hops (NIC pacing, wire, RDMA)
+	layerCount
+)
+
+var layerNames = [layerCount]string{
+	"client", "lib", "ring", "daemon", "hostfs", "remote", "guest",
+	"server", "disk", "net",
+}
+
+// String returns the stable lower-case layer name used in exports.
+func (l Layer) String() string {
+	if int(l) < len(layerNames) {
+		return layerNames[l]
+	}
+	return fmt.Sprintf("layer(%d)", int(l))
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Span is one timed stage of a request. A span with End == Start is an
+// instantaneous event (a cache hit, a path-selection decision).
+type Span struct {
+	Layer Layer
+	Name  string
+	Start time.Duration
+	End   time.Duration
+	Bytes int64
+	Attrs []Attr
+}
+
+// Dur returns the span duration (0 for events and unclosed spans).
+func (s Span) Dur() time.Duration {
+	if s.End <= s.Start {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// CycleCharge accumulates CPU cycles consumed on behalf of the request,
+// keyed the same way as metrics.Registry: accounting entity × legend tag.
+type CycleCharge struct {
+	Entity string
+	Tag    string
+	Cycles int64
+}
+
+// Trace is one request's journey. All methods are nil-safe.
+type Trace struct {
+	ID    int64
+	Name  string
+	Start time.Duration
+	End   time.Duration
+	Bytes int64
+
+	Spans   []Span
+	Charges []CycleCharge
+
+	env *sim.Env
+}
+
+// Begin opens a span and returns its index (-1 on a nil trace). The span
+// stays open until End is called with the index.
+func (t *Trace) Begin(layer Layer, name string) int {
+	if t == nil {
+		return -1
+	}
+	t.Spans = append(t.Spans, Span{Layer: layer, Name: name, Start: t.env.Now(), End: -1})
+	return len(t.Spans) - 1
+}
+
+// EndSpan closes the span opened by Begin, recording the bytes it moved.
+func (t *Trace) EndSpan(idx int, bytes int64) {
+	if t == nil || idx < 0 || idx >= len(t.Spans) {
+		return
+	}
+	s := &t.Spans[idx]
+	s.End = t.env.Now()
+	s.Bytes = bytes
+}
+
+// Annotate attaches a key/value pair to an open or closed span.
+func (t *Trace) Annotate(idx int, key, value string) {
+	if t == nil || idx < 0 || idx >= len(t.Spans) {
+		return
+	}
+	s := &t.Spans[idx]
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+}
+
+// Event records an instantaneous mark (End == Start).
+func (t *Trace) Event(layer Layer, name string, bytes int64) {
+	if t == nil {
+		return
+	}
+	now := t.env.Now()
+	t.Spans = append(t.Spans, Span{Layer: layer, Name: name, Start: now, End: now, Bytes: bytes})
+}
+
+// AddCycles charges CPU cycles consumed for this request, merging into the
+// existing (entity, tag) bucket when one exists. Buckets keep first-seen
+// order, which keeps exports deterministic.
+func (t *Trace) AddCycles(entity, tag string, n int64) {
+	if t == nil || n == 0 {
+		return
+	}
+	for i := range t.Charges {
+		if t.Charges[i].Entity == entity && t.Charges[i].Tag == tag {
+			t.Charges[i].Cycles += n
+			return
+		}
+	}
+	t.Charges = append(t.Charges, CycleCharge{Entity: entity, Tag: tag, Cycles: n})
+}
+
+// TotalCycles sums all cycle charges on the trace.
+func (t *Trace) TotalCycles() int64 {
+	if t == nil {
+		return 0
+	}
+	var sum int64
+	for _, c := range t.Charges {
+		sum += c.Cycles
+	}
+	return sum
+}
+
+// Finish closes the request, recording its total bytes. Late asynchronous
+// charges (readahead completions) may still arrive after Finish; they are
+// accepted, since they were performed on the request's behalf.
+func (t *Trace) Finish(bytes int64) {
+	if t == nil {
+		return
+	}
+	t.End = t.env.Now()
+	t.Bytes = bytes
+}
+
+// Dur returns the request duration (End - Start).
+func (t *Trace) Dur() time.Duration {
+	if t == nil || t.End <= t.Start {
+		return 0
+	}
+	return t.End - t.Start
+}
+
+// ---------------------------------------------------------------------------
+// Tracer: request sampling and collection.
+
+// Collector accumulates finished traces, possibly across several tracers
+// (one experiment builds multiple testbeds that share one collector).
+type Collector struct {
+	Traces []*Trace
+}
+
+// Tracer creates request traces at the client entry points. A nil *Tracer
+// is valid and never samples, which is the zero-overhead default.
+type Tracer struct {
+	env   *sim.Env
+	every int64
+	seen  int64
+	col   *Collector
+}
+
+// NewTracer creates a tracer sampling every Nth request (every <= 1 traces
+// all requests) into its own collector.
+func NewTracer(env *sim.Env, every int) *Tracer {
+	return NewTracerInto(env, every, &Collector{})
+}
+
+// NewTracerInto is NewTracer appending into a shared collector.
+func NewTracerInto(env *sim.Env, every int, col *Collector) *Tracer {
+	if every < 1 {
+		every = 1
+	}
+	if col == nil {
+		col = &Collector{}
+	}
+	return &Tracer{env: env, every: int64(every), col: col}
+}
+
+// Request starts a trace for the next request, or returns nil when the
+// request falls outside the sampling pattern (or the tracer is nil).
+func (tc *Tracer) Request(name string) *Trace {
+	if tc == nil {
+		return nil
+	}
+	tc.seen++
+	if tc.every > 1 && (tc.seen-1)%tc.every != 0 {
+		return nil
+	}
+	t := &Trace{
+		ID:    int64(len(tc.col.Traces) + 1),
+		Name:  name,
+		Start: tc.env.Now(),
+		End:   -1,
+		env:   tc.env,
+		Spans: make([]Span, 0, 16),
+	}
+	tc.col.Traces = append(tc.col.Traces, t)
+	return t
+}
+
+// Seen returns how many requests have passed the tracer (sampled or not).
+func (tc *Tracer) Seen() int64 {
+	if tc == nil {
+		return 0
+	}
+	return tc.seen
+}
+
+// Traces returns the collected traces in creation order.
+func (tc *Tracer) Traces() []*Trace {
+	if tc == nil {
+		return nil
+	}
+	return tc.col.Traces
+}
+
+// Collector returns the underlying collector.
+func (tc *Tracer) Collector() *Collector {
+	if tc == nil {
+		return nil
+	}
+	return tc.col
+}
+
+// ---------------------------------------------------------------------------
+// Counter: an always-on event reducer.
+//
+// Components that need running totals regardless of sampling (DaemonStats)
+// feed their events through a Counter as well as the request trace; the
+// stats struct is then *derived* from the reduced stream instead of being
+// maintained as parallel bookkeeping.
+
+// Counter reduces a named event stream to totals. Names keep first-seen
+// order for deterministic iteration.
+type Counter struct {
+	names []string
+	vals  map[string]int64
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter { return &Counter{vals: make(map[string]int64)} }
+
+// Add accumulates delta under name.
+func (c *Counter) Add(name string, delta int64) {
+	if _, ok := c.vals[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.vals[name] += delta
+}
+
+// Get returns the total for name (0 when never seen).
+func (c *Counter) Get(name string) int64 { return c.vals[name] }
+
+// Names returns the event names in first-seen order.
+func (c *Counter) Names() []string { return c.names }

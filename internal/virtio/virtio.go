@@ -18,6 +18,7 @@ import (
 	"vread/internal/netsim"
 	"vread/internal/sim"
 	"vread/internal/storage"
+	"vread/internal/trace"
 )
 
 // Config holds device-model parameters. Zero values select defaults
@@ -170,7 +171,7 @@ func (d *NetDev) Transmit(p *sim.Proc, fr netsim.Frame) {
 		d.transmitSRIOV(p, fr)
 		return
 	}
-	d.vcpu.Run(p, d.cfg.KickCycles, metrics.TagOthers)
+	d.vcpu.RunT(p, d.cfg.KickCycles, metrics.TagOthers, fr.Trace)
 	d.tx.Put(p, fr)
 }
 
@@ -179,7 +180,7 @@ func (d *NetDev) Transmit(p *sim.Proc, fr netsim.Frame) {
 // locally for co-located peers) into the peer guest's buffers. Descriptors
 // post asynchronously, bounded by the VF's ring depth.
 func (d *NetDev) transmitSRIOV(p *sim.Proc, fr netsim.Frame) {
-	d.vcpu.Run(p, d.cfg.SRIOVTxCycles, metrics.TagOthers)
+	d.vcpu.RunT(p, d.cfg.SRIOVTxCycles, metrics.TagOthers, fr.Trace)
 	ep, ok := d.fabric.EndpointOf(fr.DstVM)
 	if !ok {
 		panic(fmt.Sprintf("virtio: unknown destination VM %q", fr.DstVM))
@@ -207,8 +208,8 @@ func (d *NetDev) vhostLoop(p *sim.Proc) {
 			return
 		}
 		n := fr.Payload.Len()
-		d.vhost.Run(p, d.cfg.VhostFrameCycles, metrics.TagVhostNet)
-		d.vhost.Run(p, d.cfg.CopyCycles(n), metrics.TagCopyVirtio)
+		d.vhost.RunT(p, d.cfg.VhostFrameCycles, metrics.TagVhostNet, fr.Trace)
+		d.vhost.RunT(p, d.cfg.CopyCycles(n), metrics.TagCopyVirtio, fr.Trace)
 		dstHost, ok := d.fabric.HostOf(fr.DstVM)
 		if !ok {
 			panic(fmt.Sprintf("virtio: unknown destination VM %q", fr.DstVM))
@@ -218,11 +219,11 @@ func (d *NetDev) vhostLoop(p *sim.Proc) {
 			// VM's receive ring — the paper's "1 inter-VM data copy".
 			// Shared-memory networking (§2.2) elides exactly this copy.
 			if !d.cfg.SharedMemNet {
-				d.vhost.Run(p, d.cfg.CopyCycles(n), metrics.TagCopyVirtio)
+				d.vhost.RunT(p, d.cfg.CopyCycles(n), metrics.TagCopyVirtio, fr.Trace)
 			}
 			ep, _ := d.fabric.EndpointOf(fr.DstVM)
 			peer := ep.(*NetDev)
-			d.vhost.Run(p, d.cfg.IRQInjectCycles, metrics.TagVhostNet)
+			d.vhost.RunT(p, d.cfg.IRQInjectCycles, metrics.TagVhostNet, fr.Trace)
 			peer.injectRx(fr)
 			continue
 		}
@@ -245,9 +246,9 @@ func (d *NetDev) vhostLoop(p *sim.Proc) {
 // injected.
 func (d *NetDev) DeliverFromWire(fr netsim.Frame) {
 	n := fr.Payload.Len()
-	d.vhost.Post(d.cfg.VhostFrameCycles, metrics.TagVhostNet, nil)
-	d.vhost.Post(d.cfg.CopyCycles(n), metrics.TagCopyVirtio, nil)
-	d.vhost.Post(d.cfg.IRQInjectCycles, metrics.TagVhostNet, func() {
+	d.vhost.PostT(d.cfg.VhostFrameCycles, metrics.TagVhostNet, fr.Trace, nil)
+	d.vhost.PostT(d.cfg.CopyCycles(n), metrics.TagCopyVirtio, fr.Trace, nil)
+	d.vhost.PostT(d.cfg.IRQInjectCycles, metrics.TagVhostNet, fr.Trace, func() {
 		d.injectRx(fr)
 	})
 }
@@ -255,7 +256,7 @@ func (d *NetDev) DeliverFromWire(fr netsim.Frame) {
 // injectRx charges the guest interrupt on the vCPU, then hands the frame to
 // the guest kernel.
 func (d *NetDev) injectRx(fr netsim.Frame) {
-	d.vcpu.Post(d.cfg.GuestIRQCycles, metrics.TagOthers, func() {
+	d.vcpu.PostT(d.cfg.GuestIRQCycles, metrics.TagOthers, fr.Trace, func() {
 		if d.deliver == nil {
 			panic(fmt.Sprintf("virtio: no deliver hook on %s", d.vmName))
 		}
@@ -286,6 +287,7 @@ type BlkDev struct {
 type blkReq struct {
 	bytes  int64
 	write  bool
+	tr     *trace.Trace
 	onDone func()
 }
 
@@ -313,13 +315,18 @@ func (b *BlkDev) Start() {
 // in guest memory. Large reads split into BlkReqBytes requests that pipeline
 // through the ring.
 func (b *BlkDev) Read(p *sim.Proc, n int64) {
-	b.transfer(p, n, false)
+	b.transfer(p, nil, n, false)
+}
+
+// ReadT is Read attributed to a request trace.
+func (b *BlkDev) ReadT(p *sim.Proc, tr *trace.Trace, n int64) {
+	b.transfer(p, tr, n, false)
 }
 
 // Write performs a guest block write of n bytes. It blocks until the device
 // acknowledges (writeback caching happens above, in the guest page cache).
 func (b *BlkDev) Write(p *sim.Proc, n int64) {
-	b.transfer(p, n, true)
+	b.transfer(p, nil, n, true)
 }
 
 // MaxRequestBytes returns the largest single block request.
@@ -330,13 +337,18 @@ func (b *BlkDev) MaxRequestBytes() int64 { return b.cfg.BlkReqBytes }
 // false when the ring is full; the caller simply skips the readahead.
 // onDone runs in guest (vCPU) context when the data is in guest memory.
 func (b *BlkDev) TryReadAsync(n int64, onDone func()) bool {
+	return b.TryReadAsyncT(nil, n, onDone)
+}
+
+// TryReadAsyncT is TryReadAsync attributed to a request trace.
+func (b *BlkDev) TryReadAsyncT(tr *trace.Trace, n int64, onDone func()) bool {
 	if n <= 0 || n > b.cfg.BlkReqBytes {
 		return false
 	}
-	if !b.reqs.TryPut(blkReq{bytes: n, onDone: onDone}) {
+	if !b.reqs.TryPut(blkReq{bytes: n, tr: tr, onDone: onDone}) {
 		return false
 	}
-	b.vcpu.Post(b.cfg.KickCycles, metrics.TagOthers, nil)
+	b.vcpu.PostT(b.cfg.KickCycles, metrics.TagOthers, tr, nil)
 	return true
 }
 
@@ -355,7 +367,7 @@ func (b *BlkDev) WriteAsync(p *sim.Proc, n int64) {
 	}
 }
 
-func (b *BlkDev) transfer(p *sim.Proc, n int64, write bool) {
+func (b *BlkDev) transfer(p *sim.Proc, tr *trace.Trace, n int64, write bool) {
 	if n <= 0 {
 		return
 	}
@@ -368,8 +380,8 @@ func (b *BlkDev) transfer(p *sim.Proc, n int64, write bool) {
 		}
 		n -= req
 		remaining++
-		b.vcpu.Run(p, b.cfg.KickCycles, metrics.TagOthers)
-		b.reqs.Put(p, blkReq{bytes: req, write: write, onDone: func() {
+		b.vcpu.RunT(p, b.cfg.KickCycles, metrics.TagOthers, tr)
+		b.reqs.Put(p, blkReq{bytes: req, write: write, tr: tr, onDone: func() {
 			remaining--
 			done.Broadcast()
 		}})
@@ -387,17 +399,17 @@ func (b *BlkDev) ioLoop(p *sim.Proc) {
 		if !ok {
 			return
 		}
-		b.iothread.Run(p, b.cfg.BlkReqCycles, metrics.TagDiskRead)
+		b.iothread.RunT(p, b.cfg.BlkReqCycles, metrics.TagDiskRead, req.tr)
 		if req.write {
-			b.iothread.Run(p, b.cfg.CopyCycles(req.bytes), metrics.TagCopyVirtio)
-			b.disk.Write(p, req.bytes)
+			b.iothread.RunT(p, b.cfg.CopyCycles(req.bytes), metrics.TagCopyVirtio, req.tr)
+			b.disk.WriteT(p, req.tr, req.bytes)
 		} else {
-			b.disk.Read(p, req.bytes)
-			b.iothread.Run(p, b.cfg.CopyCycles(req.bytes), metrics.TagCopyVirtio)
+			b.disk.ReadT(p, req.tr, req.bytes)
+			b.iothread.RunT(p, b.cfg.CopyCycles(req.bytes), metrics.TagCopyVirtio, req.tr)
 		}
-		b.iothread.Run(p, b.cfg.IRQInjectCycles, metrics.TagOthers)
+		b.iothread.RunT(p, b.cfg.IRQInjectCycles, metrics.TagOthers, req.tr)
 		onDone := req.onDone
-		b.vcpu.Post(b.cfg.GuestIRQCycles, metrics.TagOthers, func() {
+		b.vcpu.PostT(b.cfg.GuestIRQCycles, metrics.TagOthers, req.tr, func() {
 			if onDone != nil {
 				onDone()
 			}

@@ -40,6 +40,7 @@ import (
 	"vread/internal/qfs"
 	"vread/internal/sim"
 	"vread/internal/storage"
+	"vread/internal/trace"
 	"vread/internal/workload"
 )
 
@@ -163,6 +164,62 @@ func NewVReadManager(c *Cluster, nn *NameNode, cfg VReadConfig) *VReadManager {
 // host is charged to.
 func DaemonEntity(host string) string { return core.DaemonEntity(host) }
 
+// DaemonStats holds one vRead daemon's counters, derived from its event
+// stream. Retrieve them with VReadManager.DaemonStats(vmName).
+type DaemonStats = core.DaemonStats
+
+// LibStats holds one libvread instance's counters. Retrieve them with
+// VReadManager.LibStats(vmName).
+type LibStats = core.LibStats
+
+// ---------------------------------------------------------------------------
+// Tracing: the per-request observability spine. Install a Tracer on a
+// DFSClient or QFSClient with SetTracer; every layer of the read path then
+// records spans, events and CPU-cycle charges on sampled requests.
+
+// Trace is one request's journey through the read path.
+type Trace = trace.Trace
+
+// TraceSpan is one timed stage of a request.
+type TraceSpan = trace.Span
+
+// TraceLayer identifies the architectural layer a span belongs to.
+type TraceLayer = trace.Layer
+
+// Tracer samples requests at client entry points into a TraceCollector.
+type Tracer = trace.Tracer
+
+// TraceCollector accumulates finished traces.
+type TraceCollector = trace.Collector
+
+// StageStat summarizes one (layer, span) stage across traces: count, bytes,
+// and latency percentiles.
+type StageStat = trace.StageStat
+
+// NewTracer creates a tracer sampling every Nth request.
+func NewTracer(env *Env, every int) *Tracer { return trace.NewTracer(env, every) }
+
+// NewTracerInto is NewTracer appending into a shared collector.
+func NewTracerInto(env *Env, every int, col *TraceCollector) *Tracer {
+	return trace.NewTracerInto(env, every, col)
+}
+
+// Trace exporters and reducers.
+var (
+	// WriteChromeTrace writes traces as Chrome trace_event JSON
+	// (chrome://tracing, Perfetto).
+	WriteChromeTrace = trace.WriteChrome
+	// WriteTraceSpansCSV writes one CSV row per span.
+	WriteTraceSpansCSV = trace.WriteSpansCSV
+	// TraceStages reduces traces to per-stage latency percentiles.
+	TraceStages = trace.Stages
+	// WriteTraceStagesCSV writes the per-stage statistics as CSV.
+	WriteTraceStagesCSV = trace.WriteStagesCSV
+	// TraceBreakdownCycles sums trace cycle charges into entity → tag →
+	// cycles (the span-derived Figure 6–8 bars).
+	TraceBreakdownCycles = trace.BreakdownCycles
+)
+
 // ---------------------------------------------------------------------------
 // QFS (the §3 generalization: a second DFS served by the same vRead).
 
@@ -195,8 +252,8 @@ func NewQFSClient(env *Env, ms *QFSMetaServer, kernel *Kernel) *QFSClient {
 
 // QFSPathReader adapts a client VM's libvread into QFS's reader hook.
 func QFSPathReader(lib *VReadLib) qfs.PathReader {
-	return qfs.PathReaderFunc(func(p *Proc, server, path, key string) (qfs.Handle, bool) {
-		return lib.OpenPath(p, server, path, key)
+	return qfs.PathReaderFunc(func(p *Proc, tr *trace.Trace, server, path, key string) (qfs.Handle, bool) {
+		return lib.OpenPath(p, tr, server, path, key)
 	})
 }
 
@@ -283,6 +340,13 @@ var (
 	RunFig13      = experiments.RunFig13
 	RunTable2     = experiments.RunTable2
 	RunTable3     = experiments.RunTable3
+)
+
+// Per-stage latency reducers (delay and DFSIO experiments with every
+// request traced, reduced to p50/p95/p99 per stage).
+var (
+	RunDelayStages = experiments.RunDelayStages
+	RunDFSIOStages = experiments.RunDFSIOStages
 )
 
 // Ablation runners for the design choices DESIGN.md calls out.

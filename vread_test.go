@@ -129,3 +129,56 @@ func TestSeedDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestManagerStatsAccessors: the public per-VM stats accessors expose the
+// daemon's and libvread's derived counters, and return zero values (not
+// panics) for unknown VMs.
+func TestManagerStatsAccessors(t *testing.T) {
+	tb := vread.NewTestbed(vread.Options{Seed: 3, VRead: true, Scale: 0.02})
+	defer tb.Close()
+	tb.Place(vread.Colocated)
+
+	content := data.Pattern{Seed: 5, Size: 8 << 20}
+	err := tb.Run("stats-accessors", time.Hour, func(p *sim.Proc) error {
+		if err := tb.Client.WriteFile(p, "/s/f", content); err != nil {
+			return err
+		}
+		tb.DropAllCaches()
+		r, err := tb.Client.Open(p, "/s/f")
+		if err != nil {
+			return err
+		}
+		defer r.Close(p)
+		_, err = r.ReadFull(p, content.Size)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ds := tb.Mgr.DaemonStats("client")
+	if ds.Opens == 0 {
+		t.Error("daemon recorded no opens")
+	}
+	if ds.BytesLocal != content.Size {
+		t.Errorf("BytesLocal = %d, want %d (co-located read is all-local)", ds.BytesLocal, content.Size)
+	}
+	if ds.BytesRemote != 0 {
+		t.Errorf("BytesRemote = %d, want 0", ds.BytesRemote)
+	}
+
+	ls := tb.Mgr.LibStats("client")
+	if ls.Opens == 0 || ls.Reads == 0 {
+		t.Errorf("lib stats empty: %+v", ls)
+	}
+	if ls.BytesRead != content.Size {
+		t.Errorf("lib BytesRead = %d, want %d", ls.BytesRead, content.Size)
+	}
+
+	if got := tb.Mgr.DaemonStats("no-such-vm"); got != (vread.DaemonStats{}) {
+		t.Errorf("unknown VM daemon stats = %+v, want zero", got)
+	}
+	if got := tb.Mgr.LibStats("no-such-vm"); got != (vread.LibStats{}) {
+		t.Errorf("unknown VM lib stats = %+v, want zero", got)
+	}
+}
