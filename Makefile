@@ -1,14 +1,14 @@
-# Tier-1 verification: format, vet, build, full test suite, and the race
-# detector on the non-simulation packages (the simulator itself is
-# single-threaded by construction; data, metrics and trace are the pieces
-# shared with real concurrent callers).
+# Tier-1 verification: format, vet, build, the invariant linter, full test
+# suite, and the race detector on the non-simulation packages (the simulator
+# itself is single-threaded by construction; data, metrics and trace are the
+# pieces shared with real concurrent callers).
 
 GO ?= go
 RACE_PKGS := ./internal/data ./internal/metrics ./internal/trace
 
-.PHONY: tier1 fmt vet build test race
+.PHONY: tier1 fmt vet build lint lint-fix-list test race
 
-tier1: fmt vet build test race
+tier1: fmt vet build lint test race
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -19,6 +19,18 @@ vet:
 
 build:
 	$(GO) build ./...
+
+# lint runs the simulator's invariant analyzers (determinism, simdiscipline,
+# lockpair, tracecharge) over the whole tree. Also usable as a vet tool:
+#   go vet -vettool=$(PWD)/bin/vread-lint ./...
+lint:
+	$(GO) build -o bin/vread-lint ./cmd/vread-lint
+	./bin/vread-lint ./...
+
+# lint-fix-list prints findings as file:line for editor quickfix lists.
+lint-fix-list:
+	$(GO) build -o bin/vread-lint ./cmd/vread-lint
+	./bin/vread-lint -list ./...
 
 test:
 	$(GO) test ./...

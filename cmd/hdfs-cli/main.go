@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -137,7 +138,12 @@ func exec(p *sim.Proc, tb *vread.Testbed, written map[string]data.Pattern, out *
 		fmt.Fprintf(out, "head %s: % x\n", fields[1], s.Bytes())
 	case "ls":
 		fmt.Fprintf(out, "datanodes: %v\n", tb.NN.DataNodes())
+		paths := make([]string, 0, len(written))
 		for path := range written {
+			paths = append(paths, path)
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
 			if size, ok := tb.NN.FileSize(path); ok {
 				fmt.Fprintf(out, "  %-24s %d bytes\n", path, size)
 			}

@@ -1,0 +1,139 @@
+// vread-lint is the multichecker for the simulator's invariant analyzers:
+//
+//	determinism    no wall clock, no unseeded math/rand, no map-order output
+//	simdiscipline  no raw goroutines/channels/sync/timers outside internal/sim
+//	lockpair       every ring spinlock acquire released on all paths
+//	tracecharge    every span ended on all paths; no dropped trace contexts
+//
+// Standalone:
+//
+//	vread-lint ./...                 # lint packages, exit 1 on findings
+//	vread-lint -list ./...           # findings as file:line for editor jumps
+//	vread-lint -run lockpair ./...   # subset of analyzers
+//
+// As a vet tool (the go vet driver handles caching and test packages):
+//
+//	go vet -vettool=$(pwd)/bin/vread-lint ./...
+//
+// Suppress a deliberate violation with a trailing or preceding comment:
+//
+//	//lint:allow determinism(reason the wall clock is safe here)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vread/internal/analysis"
+	"vread/internal/analysis/all"
+)
+
+// version participates in go vet's content-based caching (-V=full).
+const version = "v1"
+
+func main() {
+	flagV := flag.String("V", "", "print version (go vet protocol)")
+	flagFlags := flag.Bool("flags", false, "describe flags as JSON (go vet protocol)")
+	flagList := flag.Bool("list", false, "print findings as file:line only")
+	flagRun := flag.String("run", "", "comma-separated analyzer names to run (default all)")
+	flagJSON := flag.Bool("json", false, "ignored; accepted for vet driver compatibility")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: vread-lint [-list] [-run names] packages...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	_ = *flagJSON
+
+	if *flagV != "" {
+		// go vet invokes `vettool -V=full` to key its cache.
+		fmt.Printf("vread-lint version %s\n", version)
+		return
+	}
+	if *flagFlags {
+		// go vet invokes `vettool -flags` to learn which vet flags the tool
+		// accepts; none of the standard ones apply.
+		fmt.Println("[]")
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*flagRun)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vread-lint:", err)
+		os.Exit(2)
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		// go vet -vettool mode: one package per invocation, described by a
+		// JSON config file.
+		diags, err := analysis.RunVet(args[0], analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vread-lint:", err)
+			os.Exit(1)
+		}
+		report(diags, *flagList)
+		if len(diags) > 0 {
+			os.Exit(2)
+		}
+		return
+	}
+
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vread-lint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(wd, args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vread-lint:", err)
+		os.Exit(2)
+	}
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := analysis.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vread-lint:", err)
+			os.Exit(2)
+		}
+		diags = append(diags, ds...)
+	}
+	report(diags, *flagList)
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(runFlag string) ([]*analysis.Analyzer, error) {
+	suite := all.Analyzers()
+	if runFlag == "" {
+		return suite, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	var picked []*analysis.Analyzer
+	for _, name := range strings.Split(runFlag, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have: determinism, simdiscipline, lockpair, tracecharge)", name)
+		}
+		picked = append(picked, a)
+	}
+	return picked, nil
+}
+
+func report(diags []analysis.Diagnostic, listOnly bool) {
+	for _, d := range diags {
+		if listOnly {
+			fmt.Printf("%s:%d\n", d.Pos.Filename, d.Pos.Line)
+			continue
+		}
+		fmt.Fprintln(os.Stderr, d.String())
+	}
+}

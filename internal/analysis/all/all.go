@@ -1,0 +1,20 @@
+// Package all registers the complete vread-lint analyzer suite.
+package all
+
+import (
+	"vread/internal/analysis"
+	"vread/internal/analysis/determinism"
+	"vread/internal/analysis/lockpair"
+	"vread/internal/analysis/simdiscipline"
+	"vread/internal/analysis/tracecharge"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		simdiscipline.Analyzer,
+		lockpair.Analyzer,
+		tracecharge.Analyzer,
+	}
+}

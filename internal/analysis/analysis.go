@@ -1,0 +1,261 @@
+// Package analysis is a small, dependency-free re-implementation of the
+// go/analysis vocabulary (Analyzer, Pass, Diagnostic) plus the machinery the
+// vread-lint suite shares: a go-list-driven package loader, a //lint:allow
+// suppression index, and helpers for resolving calls against type
+// information.
+//
+// The suite exists because the simulator's core invariants — bit-reproducible
+// runs, all concurrency through sim.Proc, paired ring spinlocks, trace
+// contexts threaded through every layer — live in comments and code review
+// otherwise. Each analyzer turns one of those comments into a build break.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in -run filters and in
+	// //lint:allow directives.
+	Name string
+	// Doc describes the invariant the analyzer enforces.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether pos lies in a _test.go file. The analyzers
+// enforce invariants on simulator code only; tests may consult the wall
+// clock or spin goroutines to exercise the engine from outside.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// ---------------------------------------------------------------------------
+// Running analyzers with suppression.
+
+// allowRx matches //lint:allow <analyzer>(<reason>) directives. The reason
+// is mandatory: a suppression with no recorded justification is itself a
+// finding.
+var allowRx = regexp.MustCompile(`^//\s*lint:allow\s+([A-Za-z0-9_-]+)\s*\(([^)]*)\)`)
+
+// suppressions maps analyzer name -> set of suppressed lines per file.
+type suppressions map[string]map[string]map[int]bool
+
+// buildSuppressions indexes every //lint:allow directive in the files. A
+// directive suppresses findings of the named analyzer on its own line and on
+// the line immediately below (so it works both as a trailing comment and as
+// a standalone comment above the offending statement). Directives with an
+// empty reason are returned as diagnostics instead.
+func buildSuppressions(fset *token.FileSet, files []*ast.File) (suppressions, []Diagnostic) {
+	sup := suppressions{}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if strings.TrimSpace(m[2]) == "" {
+					bad = append(bad, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  fmt.Sprintf("lint:allow %s() needs a reason: write //lint:allow %s(why this is safe)", m[1], m[1]),
+					})
+					continue
+				}
+				byFile := sup[m[1]]
+				if byFile == nil {
+					byFile = map[string]map[int]bool{}
+					sup[m[1]] = byFile
+				}
+				lines := byFile[pos.Filename]
+				if lines == nil {
+					lines = map[int]bool{}
+					byFile[pos.Filename] = lines
+				}
+				lines[pos.Line] = true
+				lines[pos.Line+1] = true
+			}
+		}
+	}
+	return sup, bad
+}
+
+func (s suppressions) suppressed(d Diagnostic) bool {
+	byFile := s[d.Analyzer]
+	if byFile == nil {
+		return false
+	}
+	return byFile[d.Pos.Filename][d.Pos.Line]
+}
+
+// RunAnalyzers applies the analyzers to one type-checked package and returns
+// the surviving findings sorted by position. //lint:allow directives are
+// honored here so every driver (standalone, vettool, analysistest) behaves
+// identically.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	sup, bad := buildSuppressions(pkg.Fset, pkg.Files)
+	diags := bad
+	for _, a := range analyzers {
+		var out []Diagnostic
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			diags:     &out,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+		}
+		for _, d := range out {
+			if !sup.suppressed(d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}
+
+// ---------------------------------------------------------------------------
+// Type-resolution helpers shared by the analyzers.
+
+// PkgFunc resolves a call/selector of the form pkg.Name where pkg is an
+// imported package, returning the package path and function name. ok is
+// false for method calls, locals, and anything else.
+func PkgFunc(info *types.Info, sel *ast.SelectorExpr) (path, name string, ok bool) {
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// Method resolves a method selector to (receiver type package path, receiver
+// type name, method name). ok is false when sel is not a method on a named
+// type.
+func Method(info *types.Info, sel *ast.SelectorExpr) (recvPath, recvType, name string, ok bool) {
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return "", "", "", false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return "", "", "", false
+	}
+	t := sig.Recv().Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", "", "", false
+	}
+	return obj.Pkg().Path(), obj.Name(), fn.Name(), true
+}
+
+// CallMethod is Method applied to a call expression's callee.
+func CallMethod(info *types.Info, call *ast.CallExpr) (recvPath, recvType, name string, sel *ast.SelectorExpr, ok bool) {
+	s, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", "", nil, false
+	}
+	recvPath, recvType, name, ok = Method(info, s)
+	return recvPath, recvType, name, s, ok
+}
+
+// IsMap reports whether the expression has map type.
+func IsMap(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, isMap := t.Underlying().(*types.Map)
+	return isMap
+}
+
+// RootIdent returns the leftmost identifier of a selector/index/call chain
+// (x in x.y[i].z), or nil.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.CallExpr:
+			e = v.Fun
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"vread/internal/analysis/analysistest"
+	"vread/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), determinism.Analyzer,
+		"detfix", "vread/internal/sim")
+}

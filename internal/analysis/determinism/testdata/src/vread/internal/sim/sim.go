@@ -1,0 +1,11 @@
+// Package sim stands in for the engine package: the allowlist exempts it
+// from the determinism invariant wholesale — it owns the virtual clock and
+// the seeded random source everyone else must use.
+package sim
+
+import "time"
+
+// Wall would be a violation anywhere else; here it draws no findings.
+func Wall() time.Time {
+	return time.Now()
+}

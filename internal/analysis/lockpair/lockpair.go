@@ -1,0 +1,129 @@
+// Package lockpair verifies that every simulated spinlock acquire has a
+// release on all paths of the same function — by defer or by an explicit
+// Unlock before every return.
+//
+// The invariant (paper §3.3, internal/core/ring.go): the guest↔daemon ring
+// serializes requests under per-ring spinlocks (sim.Mutex in the
+// reproduction). The engine panics on unlock-of-unlocked, but a *leaked*
+// lock deadlocks the simulated cluster silently at some later virtual time —
+// far from the buggy return path. This analyzer moves that failure to build
+// time.
+package lockpair
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vread/internal/analysis"
+)
+
+// Analyzer is the lock-pairing checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockpair",
+	Doc: "require every sim.Mutex.Lock to be paired with Unlock on all " +
+		"return paths of the same function (ring spinlock invariant)",
+	Run: run,
+}
+
+// skipPkgs: the engine implements the lock itself.
+var skipPkgs = map[string]bool{
+	"vread/internal/sim": true,
+}
+
+const mutexPath = "vread/internal/sim"
+const mutexType = "Mutex"
+
+func run(pass *analysis.Pass) error {
+	if skipPkgs[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, fb := range analysis.FuncBodies(f) {
+			checkFunc(pass, fb)
+		}
+	}
+	return nil
+}
+
+// lockKey identifies a lock by the source text of its receiver expression —
+// two mentions of `d.ring.reqMu` in one function are the same lock.
+type lockKey string
+
+func checkFunc(pass *analysis.Pass, fb analysis.FuncBody) {
+	hooks := analysis.FlowHooks{
+		Classify: func(stmt ast.Stmt, isDefer bool) ([]analysis.Held, []interface{}) {
+			return classify(pass, fb, stmt, isDefer)
+		},
+		AtExit: func(ret *ast.ReturnStmt, held []analysis.Held) {
+			for _, h := range held {
+				pos := h.Pos
+				where := "before falling off the end of " + fb.Name
+				if ret != nil {
+					pos = ret.Pos()
+					where = "on this return path"
+				}
+				pass.Reportf(pos, "ring spinlock %s.Lock (acquired at line %d) is not released %s: the lock-pairing invariant (paper §3.3 per-slot spinlocks) requires Unlock on every path or a defer",
+					h.Key, pass.Fset.Position(h.Pos).Line, where)
+			}
+		},
+	}
+	analysis.WalkPaths(fb.Body, hooks)
+}
+
+// classify finds sim.Mutex Lock/Unlock calls in one statement. Nested
+// function literals are skipped — they are analyzed as their own roots —
+// except under defer, where a deferred closure's Unlocks count as deferred
+// releases of the enclosing function.
+func classify(pass *analysis.Pass, fb analysis.FuncBody, stmt ast.Stmt, isDefer bool) (acq []analysis.Held, rel []interface{}) {
+	inspect := func(n ast.Node, inLit bool) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		recvPath, recvType, method, sel, ok := analysis.CallMethod(pass.TypesInfo, call)
+		if !ok || recvPath != mutexPath || recvType != mutexType {
+			return
+		}
+		key := lockKey(types.ExprString(sel.X))
+		switch method {
+		case "Lock":
+			if !inLit {
+				acq = append(acq, analysis.Held{Key: key, Pos: call.Pos()})
+			}
+		case "Unlock":
+			rel = append(rel, interface{}(key))
+		}
+	}
+	walk(stmt, isDefer, inspect)
+	return acq, rel
+}
+
+// walk visits call expressions in stmt. Calls inside nested function
+// literals are reported with inLit=true when the literal is deferred (its
+// body will run at function exit) and are skipped entirely otherwise.
+func walk(stmt ast.Stmt, isDefer bool, visit func(n ast.Node, inLit bool)) {
+	var lits []*ast.FuncLit
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+			return false
+		}
+		visit(n, false)
+		return true
+	})
+	if !isDefer {
+		return
+	}
+	for _, lit := range lits {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			visit(n, true)
+			return true
+		})
+	}
+}

@@ -1,0 +1,12 @@
+package lockpair_test
+
+import (
+	"testing"
+
+	"vread/internal/analysis/analysistest"
+	"vread/internal/analysis/lockpair"
+)
+
+func TestLockPair(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lockpair.Analyzer, "lockfix")
+}

@@ -1,0 +1,13 @@
+package simdiscipline_test
+
+import (
+	"testing"
+
+	"vread/internal/analysis/analysistest"
+	"vread/internal/analysis/simdiscipline"
+)
+
+func TestSimDiscipline(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), simdiscipline.Analyzer,
+		"simfix", "vread/internal/sim")
+}

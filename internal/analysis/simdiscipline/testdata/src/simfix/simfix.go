@@ -1,0 +1,30 @@
+// Package simfix exercises the sim-discipline analyzer: raw goroutines,
+// bare channels, sync primitives, and real timers outside the engine.
+package simfix
+
+import (
+	"sync"
+	"time"
+)
+
+func Spawn(f func()) {
+	go f() // want `raw go statement outside internal/sim`
+}
+
+func Channels() int {
+	ch := make(chan int, 1) // want `bare channel make outside internal/sim`
+	ch <- 1                 // want `bare channel send outside internal/sim`
+	return <-ch
+}
+
+var mu sync.Mutex // want `sync.Mutex outside internal/sim`
+
+func Timer() *time.Timer {
+	return time.NewTimer(time.Second) // want `time.NewTimer arms a real timer`
+}
+
+// Allowed exercises the escape hatch: the directive suppresses the finding
+// on the next line.
+//
+//lint:allow simdiscipline(fixture exercises the escape hatch)
+var registry sync.Map

@@ -1,0 +1,18 @@
+// Package sim stands in for the engine package: the allowlist exempts it
+// from the sim-discipline invariant wholesale — it implements the Proc
+// handoff protocol on real goroutines and channels.
+package sim
+
+import "sync"
+
+var mu sync.Mutex
+
+// Go would be a violation anywhere else; here it draws no findings.
+func Go(f func()) {
+	done := make(chan struct{})
+	go func() {
+		f()
+		done <- struct{}{}
+	}()
+	<-done
+}

@@ -1,0 +1,12 @@
+package tracecharge_test
+
+import (
+	"testing"
+
+	"vread/internal/analysis/analysistest"
+	"vread/internal/analysis/tracecharge"
+)
+
+func TestTraceCharge(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), tracecharge.Analyzer, "tracefix")
+}

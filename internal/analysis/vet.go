@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+)
+
+// VetConfig is the per-package configuration file cmd/go hands to a
+// -vettool. Only the fields the suite needs are decoded; the rest of the
+// protocol (facts import/export) is honored with empty placeholder files,
+// since these analyzers are package-local.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVet executes the analyzers under the go vet -vettool protocol: read the
+// .cfg file, type-check the one package it describes against the export data
+// cmd/go already built, and report findings. It returns the diagnostics and
+// whether analysis ran (false for VetxOnly invocations, which only need the
+// facts placeholder).
+func RunVet(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	raw, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return nil, fmt.Errorf("%s: %v", cfgPath, err)
+	}
+	// cmd/go caches the (empty) facts file; it must exist even on failure.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, func(path string) (string, bool) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		return f, ok
+	})
+	pkg, err := Check(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return RunAnalyzers(pkg, analyzers)
+}

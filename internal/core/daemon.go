@@ -291,6 +291,7 @@ func (d *Daemon) readLocal(p *sim.Proc, req ringReq) {
 		d.hr.read(p, req.tr, obj, key, e.Size, off, want)
 		s, err := m.ReadAt(req.path, off, want)
 		if err != nil {
+			req.tr.EndSpan(sp, off-req.off)
 			d.pushError(p, req.tr)
 			return
 		}
@@ -320,6 +321,7 @@ func (d *Daemon) readRemote(p *sim.Proc, dnHost string, req ringReq) {
 		for got < win {
 			msg, ok := chunks.Get(p)
 			if !ok || msg.err {
+				req.tr.EndSpan(sp, off-req.off)
 				d.pushError(p, req.tr)
 				return
 			}

@@ -160,10 +160,14 @@ func (v *VFD) ReadAt(p *sim.Proc, tr *trace.Trace, off, n int64) (data.Slice, er
 	for {
 		slot, ok := ring.full.Get(p)
 		if !ok {
+			tr.EndSpan(rsp, got)
+			tr.EndSpan(sp, got)
 			return data.Slice{}, fmt.Errorf("core: ring closed under %s", v.blockName)
 		}
 		if slot.err {
 			ring.free.Put(p, struct{}{})
+			tr.EndSpan(rsp, got)
+			tr.EndSpan(sp, got)
 			return data.Slice{}, fmt.Errorf("core: daemon failed reading %s", v.blockName)
 		}
 		parts = append(parts, slot.s.Content())

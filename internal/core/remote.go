@@ -125,6 +125,7 @@ func (s *hostServer) handleRead(p *sim.Proc, req remoteReq) {
 		s.hr.read(p, req.tr, obj, key, e.Size, off, chunk)
 		payload, err := m.ReadAt(req.path, off, chunk)
 		if err != nil {
+			req.tr.EndSpan(sp, off-req.off)
 			s.send(p, req.tr, req.fromHost, data.Slice{C: data.Zero(0)}, remoteChunk{reqID: req.reqID, err: true})
 			return
 		}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"encoding/csv"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -48,8 +49,13 @@ func CSVFig3(rows []Fig3Row) string {
 func CSVBreakdowns(rows []BreakdownRow) string {
 	var out [][]string
 	for _, r := range rows {
-		for tag, v := range r.Breakdown {
-			out = append(out, []string{r.Figure, r.Side, r.System, tag, f3(v * 100)})
+		tags := make([]string, 0, len(r.Breakdown))
+		for tag := range r.Breakdown {
+			tags = append(tags, tag)
+		}
+		sort.Strings(tags)
+		for _, tag := range tags {
+			out = append(out, []string{r.Figure, r.Side, r.System, tag, f3(r.Breakdown[tag] * 100)})
 		}
 	}
 	return writeCSV([]string{"figure", "side", "system", "tag", "cpu_pct"}, out)

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"vread/internal/trace"
+)
+
+// TestDFSIODeterministicReplay runs one DFSIO point twice with identical
+// options and asserts that the result CSV and both trace exports are
+// byte-identical — the bit-reproducibility invariant the determinism and
+// sim-discipline analyzers exist to protect.
+func TestDFSIODeterministicReplay(t *testing.T) {
+	run := func() (csv, chrome, spans string) {
+		t.Helper()
+		col := &trace.Collector{}
+		opt := Options{Seed: 7, Scale: 0.02, VRead: true, Traces: col, TraceEvery: 1}
+		rows, err := RunDFSIOPoint(opt, Colocated, 2, 0, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var chromeBuf, spansBuf strings.Builder
+		if err := trace.WriteChrome(&chromeBuf, col.Traces); err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.WriteSpansCSV(&spansBuf, col.Traces); err != nil {
+			t.Fatal(err)
+		}
+		return CSVDFSIO(rows), chromeBuf.String(), spansBuf.String()
+	}
+
+	csv1, chrome1, spans1 := run()
+	csv2, chrome2, spans2 := run()
+
+	if len(chrome1) == 0 || len(spans1) == 0 {
+		t.Fatal("trace exports are empty; the runs collected no traces")
+	}
+	if csv1 != csv2 {
+		t.Errorf("DFSIO CSV differs across identical runs:\n--- run 1\n%s\n--- run 2\n%s", csv1, csv2)
+	}
+	if chrome1 != chrome2 {
+		t.Error("Chrome trace export differs across identical runs")
+	}
+	if spans1 != spans2 {
+		t.Error("spans CSV export differs across identical runs")
+	}
+}

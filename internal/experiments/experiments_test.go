@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"testing"
-	"time"
 )
 
 // tiny returns options small enough for unit tests (shapes only).
@@ -200,5 +199,4 @@ func TestDeterministicExperiment(t *testing.T) {
 			t.Fatalf("row %d differs across identical runs: %+v vs %+v", i, a[i], b[i])
 		}
 	}
-	_ = time.Now // keep time imported if assertions change
 }

@@ -367,6 +367,7 @@ func (r *FileReader) streamRead(p *sim.Proc, tr *trace.Trace, blk BlockInfo, dn 
 	sp := tr.Begin(trace.LayerClient, "socket-stream")
 	s, ok := st.conn.RecvFull(p, n)
 	if !ok {
+		tr.EndSpan(sp, 0)
 		r.dropStream(p)
 		return data.Slice{}, fmt.Errorf("hdfs: stream of %s ended early", blk.BlockName())
 	}
@@ -404,6 +405,7 @@ func (r *FileReader) oneShotRead(p *sim.Proc, tr *trace.Trace, blk BlockInfo, dn
 	conn.SetTrace(tr)
 	sp := tr.Begin(trace.LayerClient, "socket-pread")
 	drop := func() {
+		tr.EndSpan(sp, 0)
 		conn.Close(p)
 		delete(r.c.preadConns, dn)
 	}

@@ -127,6 +127,7 @@ func (dn *DataNode) handleRead(p *sim.Proc, conn *guest.Conn, req readReq) bool 
 	}
 	sp := tr.Begin(trace.LayerServer, "dn-read")
 	if err := conn.Send(p, encodeResp(statusOK, req.n)); err != nil {
+		tr.EndSpan(sp, 0)
 		return false
 	}
 	sent := int64(0)
@@ -139,11 +140,13 @@ func (dn *DataNode) handleRead(p *sim.Proc, conn *guest.Conn, req readReq) bool 
 		if err != nil {
 			// Header already promised n bytes; this is a stream-level
 			// failure (client sees premature EOF).
+			tr.EndSpan(sp, sent)
 			conn.Close(p)
 			return false
 		}
 		dn.kernel.VCPU().RunT(p, dn.cfg.dnSendCycles(pkt), metrics.TagDatanodeApp, tr)
 		if err := conn.Send(p, s); err != nil {
+			tr.EndSpan(sp, sent)
 			return false
 		}
 		sent += pkt

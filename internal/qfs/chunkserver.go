@@ -115,11 +115,13 @@ func (cs *ChunkServer) handleRead(p *sim.Proc, conn *guest.Conn, id ChunkID, off
 		}
 		s, err := cs.kernel.ReadFileAtT(p, tr, path, off+sent, pkt)
 		if err != nil {
+			tr.EndSpan(sp, sent)
 			conn.Close(p)
 			return false
 		}
 		cs.kernel.VCPU().RunT(p, cs.cfg.ioCycles(pkt), metrics.TagDatanodeApp, tr)
 		if err := conn.Send(p, s); err != nil {
+			tr.EndSpan(sp, sent)
 			return false
 		}
 		sent += pkt

@@ -200,10 +200,12 @@ func (c *Client) readChunk(p *sim.Proc, tr *trace.Trace, ch ChunkInfo, off, n in
 	defer conn.Close(p)
 	sp := tr.Begin(trace.LayerClient, "socket-chunk")
 	if err := conn.Send(p, encodeHdr(opReadChunk, ch.ID, off, n)); err != nil {
+		tr.EndSpan(sp, 0)
 		return data.Slice{}, err
 	}
 	s, ok := conn.RecvFull(p, n)
 	if !ok {
+		tr.EndSpan(sp, 0)
 		return data.Slice{}, fmt.Errorf("qfs: chunk %d stream ended early", ch.ID)
 	}
 	c.kernel.VCPU().RunT(p, c.cfg.ioCycles(n), metrics.TagClientApp, tr)
