@@ -1,12 +1,13 @@
 # Tier-1 verification: format, vet, build, the invariant linter, full test
 # suite, and the race detector on the non-simulation packages (the simulator
-# itself is single-threaded by construction; data, metrics and trace are the
-# pieces shared with real concurrent callers).
+# itself is single-threaded by construction; data, metrics, trace and the
+# experiment fan-out in par/experiments are the pieces shared with real
+# concurrent callers).
 
 GO ?= go
-RACE_PKGS := ./internal/data ./internal/metrics ./internal/trace
+RACE_PKGS := ./internal/data ./internal/metrics ./internal/trace ./internal/par ./internal/experiments
 
-.PHONY: tier1 fmt vet build lint lint-fix-list test race
+.PHONY: tier1 fmt vet build lint lint-fix-list test race bench bench-smoke
 
 tier1: fmt vet build lint test race
 
@@ -37,3 +38,19 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# bench runs the performance suite (event-engine microbenchmarks plus the
+# Figures 11/12 grid, serial and parallel) and writes the next numbered
+# BENCH_<n>.json so the perf trajectory accumulates across PRs.
+bench:
+	$(GO) build -o bin/vread-bench ./cmd/vread-bench
+	@n=1; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
+		./bin/vread-bench -bench BENCH_$$n.json; \
+		echo "wrote BENCH_$$n.json"; cat BENCH_$$n.json
+
+# bench-smoke is the abbreviated CI variant: same suite at a quarter of the
+# scale, written to a fixed name for artifact upload.
+bench-smoke:
+	$(GO) build -o bin/vread-bench ./cmd/vread-bench
+	./bin/vread-bench -bench bench-smoke.json -bench-short
+	@cat bench-smoke.json

@@ -1,0 +1,215 @@
+// Benchmark mode: vread-bench -bench <out.json> measures the simulator's own
+// performance — event-engine microbenchmarks and experiment-grid wall clock —
+// and writes one JSON snapshot. The Makefile's `make bench` target names the
+// snapshots BENCH_<n>.json so the perf trajectory accumulates across PRs.
+//
+// This file is the one place in the tree allowed to consult the wall clock:
+// it measures the simulator from the outside, it never feeds results back in.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"vread"
+)
+
+// engineBench is one event-engine microbenchmark result.
+type engineBench struct {
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// experimentBench is one experiment-level wall-clock measurement.
+type experimentBench struct {
+	Name            string  `json:"name"`
+	WallMs          float64 `json:"wall_ms"`
+	Rows            int     `json:"rows"`
+	Events          int64   `json:"events,omitempty"`
+	EventsPerSec    float64 `json:"events_per_sec,omitempty"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+}
+
+// benchReport is the BENCH_<n>.json schema.
+type benchReport struct {
+	GoMaxProcs  int               `json:"go_maxprocs"`
+	Scale       float64           `json:"scale"`
+	Short       bool              `json:"short,omitempty"`
+	Engine      []engineBench     `json:"engine"`
+	Experiments []experimentBench `json:"experiments"`
+}
+
+// runBenchSuite runs every benchmark and writes the report to path.
+func runBenchSuite(path string, scale float64, short bool) error {
+	if short {
+		scale = scale / 4
+	}
+	report := benchReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Scale:      scale,
+		Short:      short,
+	}
+
+	report.Engine = append(report.Engine,
+		benchScheduleFire(),
+		benchScheduleCancel(),
+		benchProcSleep(),
+	)
+
+	grid, err := benchFig11Grid(scale)
+	if err != nil {
+		return fmt.Errorf("bench fig11 grid: %w", err)
+	}
+	report.Experiments = append(report.Experiments, grid...)
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&report); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// benchScheduleFire measures the engine hot path: one Schedule plus one fire,
+// amortized over batches so the queue stays realistically sized.
+func benchScheduleFire() engineBench {
+	const batch = 1024
+	fn := func() {}
+	res := testing.Benchmark(func(b *testing.B) {
+		env := vread.NewEnv(1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n += batch {
+			k := batch
+			if rem := b.N - n; rem < k {
+				k = rem
+			}
+			for j := 0; j < k; j++ {
+				env.Schedule(time.Duration(j)*time.Nanosecond, fn)
+			}
+			if err := env.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return toEngineBench("engine/schedule-fire", res)
+}
+
+// benchScheduleCancel measures the cancel-heavy timeout pattern: every
+// second timer is cancelled before it can fire.
+func benchScheduleCancel() engineBench {
+	const batch = 1024
+	fn := func() {}
+	res := testing.Benchmark(func(b *testing.B) {
+		env := vread.NewEnv(1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n += batch {
+			k := batch
+			if rem := b.N - n; rem < k {
+				k = rem
+			}
+			for j := 0; j < k; j++ {
+				tm := env.Schedule(time.Duration(j)*time.Nanosecond, fn)
+				if j%2 == 1 {
+					tm.Cancel()
+				}
+			}
+			if err := env.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return toEngineBench("engine/schedule-cancel", res)
+}
+
+// benchProcSleep measures the coroutine handoff: a process sleeping in a
+// tight loop (two events and two goroutine switches per iteration).
+func benchProcSleep() engineBench {
+	const batch = 256
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n += batch {
+			k := batch
+			if rem := b.N - n; rem < k {
+				k = rem
+			}
+			env := vread.NewEnv(1)
+			env.Go("sleeper", func(p *vread.Proc) {
+				for j := 0; j < k; j++ {
+					p.Sleep(time.Microsecond)
+				}
+			})
+			if err := env.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return toEngineBench("engine/proc-sleep", res)
+}
+
+func toEngineBench(name string, res testing.BenchmarkResult) engineBench {
+	ns := float64(res.NsPerOp())
+	eps := 0.0
+	if ns > 0 {
+		eps = 1e9 / ns
+	}
+	return engineBench{
+		Name:         name,
+		NsPerOp:      ns,
+		AllocsPerOp:  float64(res.AllocsPerOp()),
+		EventsPerSec: eps,
+	}
+}
+
+// benchFig11Grid measures the full Figures 11/12 grid (36 independent cells)
+// twice — serial (Parallel=1) and fanned out over one worker per CPU
+// (Parallel=0) — and reports the wall-clock speedup next to the
+// simulated-events/sec each mode sustains.
+func benchFig11Grid(scale float64) ([]experimentBench, error) {
+	serial, err := benchGridOnce("fig11-grid/serial", scale, 1)
+	if err != nil {
+		return nil, err
+	}
+	parallel, err := benchGridOnce("fig11-grid/parallel", scale, 0)
+	if err != nil {
+		return nil, err
+	}
+	if parallel.WallMs > 0 {
+		parallel.SpeedupVsSerial = serial.WallMs / parallel.WallMs
+	}
+	return []experimentBench{serial, parallel}, nil
+}
+
+func benchGridOnce(name string, scale float64, parallelism int) (experimentBench, error) {
+	stats := &vread.RunStats{}
+	opt := vread.Options{Seed: 1, Scale: scale, Parallel: parallelism, Stats: stats}
+	start := time.Now() //lint:allow determinism(bench harness measures the simulator from outside)
+	rows, err := vread.RunFig11and12(opt)
+	if err != nil {
+		return experimentBench{}, err
+	}
+	wall := time.Since(start) //lint:allow determinism(bench harness measures the simulator from outside)
+	eb := experimentBench{
+		Name:   name,
+		WallMs: float64(wall) / float64(time.Millisecond),
+		Rows:   len(rows),
+		Events: stats.Events(),
+	}
+	if wall > 0 {
+		eb.EventsPerSec = float64(stats.Events()) / wall.Seconds()
+	}
+	return eb, nil
+}

@@ -4,8 +4,9 @@
 // Usage:
 //
 //	vread-bench -exp fig2|fig3|fig6|fig7|fig8|fig9|fig11|fig12|fig13|table2|table3|ablations|all
-//	            [-scale 0.05] [-seed 1] [-transport rdma|tcp]
+//	            [-scale 0.05] [-seed 1] [-transport rdma|tcp] [-parallel 0]
 //	            [-trace out.json] [-trace-every 1]
+//	vread-bench -bench BENCH.json [-bench-scale 0.02] [-bench-short]
 //
 // Scale 1.0 runs paper-sized datasets (5 GB TestDFSIO, 5 M HBase rows,
 // 30 M Hive rows); the default 0.05 keeps everything under a few minutes.
@@ -14,7 +15,12 @@
 // trace_event JSON (open in chrome://tracing or Perfetto) and the per-stage
 // latency percentiles as CSV next to it (<out>.stages.csv). -trace-every N
 // samples every Nth request; trace output is deterministic — same seed and
-// flags give byte-identical files.
+// flags give byte-identical files, including under -parallel (independent
+// grid cells fan out across CPUs but results are collected by cell index).
+//
+// -bench switches to the performance suite: event-engine microbenchmarks
+// plus the Figures 11/12 grid serial vs parallel, written as one JSON
+// report (`make bench` numbers them BENCH_<n>.json).
 package main
 
 import (
@@ -40,9 +46,17 @@ func run() error {
 	transport := flag.String("transport", "rdma", "remote daemon transport (rdma|tcp)")
 	traceFile := flag.String("trace", "", "write request traces as Chrome trace_event JSON to this file (plus <file>.stages.csv)")
 	traceEvery := flag.Int("trace-every", 1, "with -trace, sample every Nth request")
+	parallel := flag.Int("parallel", 0, "experiment cells to run concurrently (0 = one per CPU, 1 = serial); results are byte-identical either way")
+	benchOut := flag.String("bench", "", "run the performance benchmark suite and write its JSON report to this file (ignores -exp)")
+	benchScale := flag.Float64("bench-scale", 0.02, "dataset scale for the -bench experiment measurements")
+	benchShort := flag.Bool("bench-short", false, "with -bench, run the abbreviated CI smoke suite")
 	flag.Parse()
 
-	opt := vread.Options{Seed: *seed, Scale: *scale}
+	if *benchOut != "" {
+		return runBenchSuite(*benchOut, *benchScale, *benchShort)
+	}
+
+	opt := vread.Options{Seed: *seed, Scale: *scale, Parallel: *parallel}
 	var col *vread.TraceCollector
 	if *traceFile != "" {
 		col = &vread.TraceCollector{}

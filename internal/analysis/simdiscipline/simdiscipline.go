@@ -25,9 +25,12 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // allowedPkgs may use real concurrency: the engine implements the Proc
-// handoff protocol on goroutines and channels.
+// handoff protocol on goroutines and channels, and par is the one fan-out
+// shim that runs independent experiment cells (each a whole, isolated Env)
+// on real OS threads — nothing inside a simulation ever touches it.
 var allowedPkgs = map[string]bool{
 	"vread/internal/sim": true,
+	"vread/internal/par": true,
 }
 
 // syncTypes are the sync identifiers whose mere mention marks real

@@ -4,6 +4,7 @@ package simfix
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,6 +19,28 @@ func Channels() int {
 }
 
 var mu sync.Mutex // want `sync.Mutex outside internal/sim`
+
+// FanOut is the internal/par worker-pool pattern verbatim; the allowlist
+// covers that one package, not the pattern, so outside it every piece is
+// still flagged.
+func FanOut(workers, n int, fn func(int)) {
+	var next atomic.Int64 // want `sync/atomic.Int64 outside internal/sim`
+	var wg sync.WaitGroup // want `sync.WaitGroup outside internal/sim`
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() { // want `raw go statement outside internal/sim`
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
 
 func Timer() *time.Timer {
 	return time.NewTimer(time.Second) // want `time.NewTimer arms a real timer`

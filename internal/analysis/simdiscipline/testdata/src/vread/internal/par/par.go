@@ -1,0 +1,30 @@
+// Package par stands in for the fan-out shim: like the engine it is
+// allowlisted wholesale, because it runs independent experiment cells on
+// real OS threads — goroutines, WaitGroups and atomics here draw no
+// findings.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Each would trip every rule the analyzer has if it lived anywhere else.
+func Each(workers, n int, fn func(int)) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -117,7 +117,7 @@ type core struct {
 	cur        *Thread
 	last       *Thread // previous occupant, for the cache-cold penalty
 	minVR      time.Duration
-	sliceTimer *sim.Timer
+	sliceTimer sim.Timer
 	sliceStart time.Duration
 	planned    int64 // cycles planned for the current slice; -1 = reserved
 }
@@ -413,7 +413,7 @@ func (co *core) sliceEnd() {
 	c.consume(t, co.planned)
 	t.vruntime += elapsed
 	co.updateMinVR()
-	co.sliceTimer = nil
+	co.sliceTimer = sim.Timer{}
 	co.planned = -1
 	if t.pending == 0 {
 		co.finishCurrent()
@@ -436,10 +436,8 @@ func (co *core) preemptCurrent() {
 		return
 	}
 	c := co.cpu
-	if co.sliceTimer != nil {
-		co.sliceTimer.Cancel()
-		co.sliceTimer = nil
-	}
+	co.sliceTimer.Cancel()
+	co.sliceTimer = sim.Timer{}
 	if co.planned >= 0 {
 		elapsed := c.env.Now() - co.sliceStart
 		consumed := c.CyclesFor(elapsed)

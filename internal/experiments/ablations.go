@@ -31,23 +31,21 @@ func RunAblationRingSlots(opt Options) ([]AblationRow, error) {
 	geoms := []geom{
 		{1 << 10, 32}, {4 << 10, 1}, {4 << 10, 32}, {4 << 10, 256}, {16 << 10, 32},
 	}
-	var rows []AblationRow
-	for _, g := range geoms {
-		o := opt
+	return runCells(opt, len(geoms), func(i int, o Options) ([]AblationRow, error) {
+		g := geoms[i]
 		o.VRead = true
 		o.VReadConfig = &core.Config{SlotBytes: g.slotBytes, EventBatchSlots: g.batch}
 		thr, err := warmReadThroughput(o, Colocated)
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, AblationRow{
+		return []AblationRow{{
 			Study:  "ring-geometry",
 			Config: fmt.Sprintf("slot=%dB batch=%d", g.slotBytes, g.batch),
 			Value:  thr,
 			Unit:   "MB/s warm read",
-		})
-	}
-	return rows, nil
+		}}, nil
+	})
 }
 
 // RunAblationDirectRead compares the mounted-FS daemon path against §6's
@@ -55,9 +53,8 @@ func RunAblationRingSlots(opt Options) ([]AblationRow, error) {
 // collapse to disk speed.
 func RunAblationDirectRead(opt Options) ([]AblationRow, error) {
 	opt = opt.withDefaults()
-	var rows []AblationRow
-	for _, bypass := range []bool{false, true} {
-		o := opt
+	return runCells(opt, 2, func(i int, o Options) ([]AblationRow, error) {
+		bypass := i == 1
 		o.VRead = true
 		o.DirectDiskBypass = bypass
 		thr, err := warmReadThroughput(o, Colocated)
@@ -68,21 +65,21 @@ func RunAblationDirectRead(opt Options) ([]AblationRow, error) {
 		if bypass {
 			name = "raw-device bypass"
 		}
-		rows = append(rows, AblationRow{Study: "direct-read", Config: name, Value: thr, Unit: "MB/s warm read"})
-	}
-	return rows, nil
+		return []AblationRow{{Study: "direct-read", Config: name, Value: thr, Unit: "MB/s warm read"}}, nil
+	})
 }
 
 // RunAblationTransport compares remote-read throughput and daemon CPU
 // between RDMA and TCP daemons (the §5.1 finding that motivates RoCE).
 func RunAblationTransport(opt Options) ([]AblationRow, error) {
 	opt = opt.withDefaults()
-	var rows []AblationRow
-	for _, tr := range []core.Transport{core.TransportRDMA, core.TransportTCP} {
-		o := opt
+	transports := []core.Transport{core.TransportRDMA, core.TransportTCP}
+	return runCells(opt, len(transports), func(i int, o Options) ([]AblationRow, error) {
+		tr := transports[i]
 		o.VRead = true
 		o.Transport = tr
 		tb := NewTestbed(o)
+		defer tb.Close()
 		tb.Place(Remote)
 		fileSize := o.scaled(1<<30, 64<<20)
 		const path = "/bench/transport"
@@ -100,18 +97,15 @@ func RunAblationTransport(opt Options) ([]AblationRow, error) {
 			elapsed = tb.C.Env.Now() - start
 			return nil
 		}); err != nil {
-			tb.Close()
 			return nil, err
 		}
 		cycles := tb.C.Reg.WindowEntityCycles(core.DaemonEntity("host1")) +
 			tb.C.Reg.WindowEntityCycles(core.DaemonEntity("host2"))
-		rows = append(rows,
-			AblationRow{Study: "remote-transport", Config: tr.String(), Value: metrics.Throughput(fileSize, elapsed), Unit: "MB/s cold read"},
-			AblationRow{Study: "remote-transport", Config: tr.String(), Value: float64(cycles) / 1e6, Unit: "daemon Mcycles"},
-		)
-		tb.Close()
-	}
-	return rows, nil
+		return []AblationRow{
+			{Study: "remote-transport", Config: tr.String(), Value: metrics.Throughput(fileSize, elapsed), Unit: "MB/s cold read"},
+			{Study: "remote-transport", Config: tr.String(), Value: float64(cycles) / 1e6, Unit: "daemon Mcycles"},
+		}, nil
+	})
 }
 
 // RunAblationShortCircuit compares the §2.2 alternatives for a co-located
@@ -119,57 +113,56 @@ func RunAblationTransport(opt Options) ([]AblationRow, error) {
 // VM), shared-memory networking (one copy removed), and vRead.
 func RunAblationShortCircuit(opt Options) ([]AblationRow, error) {
 	opt = opt.withDefaults()
-	var rows []AblationRow
+	variants := []string{"vanilla", "ivshmem-net", "vRead", "short-circuit (same VM)"}
+	return runCells(opt, len(variants), func(i int, o Options) ([]AblationRow, error) {
+		variant := variants[i]
+		mk := func(thr float64) []AblationRow {
+			return []AblationRow{{Study: "alternatives", Config: variant, Value: thr, Unit: "MB/s cold read"}}
+		}
 
-	addRow := func(name string, thr float64) {
-		rows = append(rows, AblationRow{Study: "alternatives", Config: name, Value: thr, Unit: "MB/s cold read"})
-	}
+		// vanilla, shared-memory networking and vRead: standard testbed.
+		if i < 3 {
+			o.VRead = variant == "vRead"
+			o.SharedMemNet = variant == "ivshmem-net"
+			thr, err := coldReadThroughput(o, Colocated)
+			if err != nil {
+				return nil, err
+			}
+			return mk(thr), nil
+		}
 
-	// vanilla and shared-memory networking and vRead: standard testbed.
-	for _, variant := range []string{"vanilla", "ivshmem-net", "vRead"} {
-		o := opt
-		o.VRead = variant == "vRead"
-		o.SharedMemNet = variant == "ivshmem-net"
-		thr, err := coldReadThroughput(o, Colocated)
-		if err != nil {
+		// Short-circuit: the client runs inside the datanode VM (the
+		// placement §2.2 argues against, as it penalizes everything
+		// non-local).
+		o.VRead = false
+		o.ShortCircuit = true
+		tb := NewTestbed(o)
+		defer tb.Close()
+		scClient := hdfs.NewClient(tb.C.Env, tb.NN, tb.C.VM("dn1").Kernel)
+		tb.Place(Colocated)
+		fileSize := o.scaled(1<<30, 64<<20)
+		var elapsed time.Duration
+		if err := tb.Run("ablation-shortcircuit", time.Hour, func(p *sim.Proc) error {
+			if err := scClient.WriteFile(p, "/bench/sc", data.Pattern{Seed: 5, Size: fileSize}); err != nil {
+				return err
+			}
+			tb.DropAllCaches()
+			start := tb.C.Env.Now()
+			r, err := scClient.Open(p, "/bench/sc")
+			if err != nil {
+				return err
+			}
+			defer r.Close(p)
+			if _, err := r.ReadFull(p, fileSize); err != nil {
+				return err
+			}
+			elapsed = tb.C.Env.Now() - start
+			return nil
+		}); err != nil {
 			return nil, err
 		}
-		addRow(variant, thr)
-	}
-
-	// Short-circuit: the client runs inside the datanode VM (the placement
-	// §2.2 argues against, as it penalizes everything non-local).
-	o := opt.withDefaults()
-	o.VRead = false
-	o.ShortCircuit = true
-	tb := NewTestbed(o)
-	scClient := hdfs.NewClient(tb.C.Env, tb.NN, tb.C.VM("dn1").Kernel)
-	tb.Place(Colocated)
-	fileSize := o.scaled(1<<30, 64<<20)
-	var elapsed time.Duration
-	if err := tb.Run("ablation-shortcircuit", time.Hour, func(p *sim.Proc) error {
-		if err := scClient.WriteFile(p, "/bench/sc", data.Pattern{Seed: 5, Size: fileSize}); err != nil {
-			return err
-		}
-		tb.DropAllCaches()
-		start := tb.C.Env.Now()
-		r, err := scClient.Open(p, "/bench/sc")
-		if err != nil {
-			return err
-		}
-		defer r.Close(p)
-		if _, err := r.ReadFull(p, fileSize); err != nil {
-			return err
-		}
-		elapsed = tb.C.Env.Now() - start
-		return nil
-	}); err != nil {
-		tb.Close()
-		return nil, err
-	}
-	addRow("short-circuit (same VM)", metrics.Throughput(fileSize, elapsed))
-	tb.Close()
-	return rows, nil
+		return mk(metrics.Throughput(fileSize, elapsed)), nil
+	})
 }
 
 // RunAblationSRIOV reproduces §6's modern-hardware discussion: SR-IOV
@@ -177,12 +170,16 @@ func RunAblationShortCircuit(opt Options) ([]AblationRow, error) {
 // path, so vRead's advantage persists — and the two compose (vRead+SR-IOV).
 func RunAblationSRIOV(opt Options) ([]AblationRow, error) {
 	opt = opt.withDefaults()
-	var rows []AblationRow
 	type variant struct {
 		name  string
 		vread bool
 		sriov bool
 	}
+	type cell struct {
+		v        variant
+		scenario Scenario
+	}
+	var cells []cell
 	for _, v := range []variant{
 		{"vanilla virtio", false, false},
 		{"vanilla + SR-IOV", false, true},
@@ -190,22 +187,24 @@ func RunAblationSRIOV(opt Options) ([]AblationRow, error) {
 		{"vRead + SR-IOV", true, true},
 	} {
 		for _, scenario := range []Scenario{Colocated, Remote} {
-			o := opt
-			o.VRead = v.vread
-			o.SRIOV = v.sriov
-			thr, err := coldReadThroughput(o, scenario)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, AblationRow{
-				Study:  "sriov-interplay",
-				Config: fmt.Sprintf("%s, %s", v.name, scenario),
-				Value:  thr,
-				Unit:   "MB/s cold read",
-			})
+			cells = append(cells, cell{v, scenario})
 		}
 	}
-	return rows, nil
+	return runCells(opt, len(cells), func(i int, o Options) ([]AblationRow, error) {
+		v, scenario := cells[i].v, cells[i].scenario
+		o.VRead = v.vread
+		o.SRIOV = v.sriov
+		thr, err := coldReadThroughput(o, scenario)
+		if err != nil {
+			return nil, err
+		}
+		return []AblationRow{{
+			Study:  "sriov-interplay",
+			Config: fmt.Sprintf("%s, %s", v.name, scenario),
+			Value:  thr,
+			Unit:   "MB/s cold read",
+		}}, nil
+	})
 }
 
 // readAll streams the file sequentially with the given buffer.

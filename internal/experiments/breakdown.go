@@ -58,11 +58,14 @@ func runBreakdown(opt Options, figure string, scenario Scenario, tr core.Transpo
 	opt = opt.withDefaults()
 	opt.ExtraVMs = false
 	opt.Transport = tr
-	for _, vread := range []bool{true, false} {
-		o := opt
+	type cellResult struct {
+		rows, regRows []BreakdownRow
+	}
+	res, err := runCells(opt, 2, func(i int, o Options) ([]cellResult, error) {
+		vread := i == 0 // row order: vRead first, then vanilla
 		o.VRead = vread
 		// Breakdown bars need every request's charges, whatever sampling the
-		// caller asked for. Reuse the caller's collector when one was passed
+		// caller asked for. Reuse the cell's collector when one was passed
 		// (so -trace exports see these requests too), but reduce only the
 		// traces this testbed appends.
 		col := o.Traces
@@ -73,14 +76,14 @@ func runBreakdown(opt Options, figure string, scenario Scenario, tr core.Transpo
 		o.TraceEvery = 1
 		base := len(col.Traces)
 		tb := NewTestbed(o)
+		defer tb.Close()
 		tb.Place(scenario)
 		fileSize := o.scaled(1<<30, 64<<20)
 		const path = "/bench/breakdown"
 		if err := tb.Run(figure+"-setup", time.Hour, func(p *sim.Proc) error {
 			return tb.Client.WriteFile(p, path, data.Pattern{Seed: 6, Size: fileSize})
 		}); err != nil {
-			tb.Close()
-			return nil, nil, err
+			return nil, err
 		}
 		var mark time.Duration
 		if err := tb.Run(figure+"-read", time.Hour, func(p *sim.Proc) error {
@@ -105,8 +108,7 @@ func runBreakdown(opt Options, figure string, scenario Scenario, tr core.Transpo
 				}
 			}
 		}); err != nil {
-			tb.Close()
-			return nil, nil, err
+			return nil, err
 		}
 
 		now := tb.C.Env.Now()
@@ -118,9 +120,17 @@ func runBreakdown(opt Options, figure string, scenario Scenario, tr core.Transpo
 		regBD := func(entity string) map[string]float64 {
 			return tb.C.Reg.Breakdown(entity, now, freq)
 		}
-		rows = append(rows, assembleRows(figure, vread, scenario, spanBD)...)
-		regRows = append(regRows, assembleRows(figure, vread, scenario, regBD)...)
-		tb.Close()
+		return []cellResult{{
+			rows:    assembleRows(figure, vread, scenario, spanBD),
+			regRows: assembleRows(figure, vread, scenario, regBD),
+		}}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, c := range res {
+		rows = append(rows, c.rows...)
+		regRows = append(regRows, c.regRows...)
 	}
 	return rows, regRows, nil
 }

@@ -88,55 +88,62 @@ func RunFig2(opt Options) ([]Fig2Row, error) {
 	opt = opt.withDefaults()
 	opt.VRead = false
 	opt.ExtraVMs = false
-	tb := NewTestbed(opt)
-	defer tb.Close()
-	tb.Place(Colocated)
-
-	fileSize := opt.scaled(1<<30, 64<<20)
-	content := data.Pattern{Seed: 2, Size: fileSize}
-	const hdfsPath = "/bench/fig2"
-	const localPath = "/local/fig2"
-	if err := tb.Run("fig2-setup", time.Hour, func(p *sim.Proc) error {
-		if err := tb.Client.WriteFile(p, hdfsPath, content); err != nil {
-			return err
-		}
-		clientVM := tb.C.VM("client")
-		if err := clientVM.FS.MkdirAll("/local"); err != nil {
-			return err
-		}
-		return clientVM.FS.WriteFile(localPath, content)
-	}); err != nil {
-		return nil, err
+	type cell struct {
+		cached bool
+		req    int64
 	}
-
-	var rows []Fig2Row
+	var cells []cell
 	for _, cached := range []bool{false, true} {
 		for _, req := range ReqSizes {
-			row := Fig2Row{ReqSize: req, Cached: cached}
-			if err := tb.Run(fmt.Sprintf("fig2-%d-%v", req, cached), time.Hour, func(p *sim.Proc) error {
-				tb.DropAllCaches()
-				if cached {
-					// Warm pass establishes the caches the re-read hits.
-					if _, err := hdfsMeanDelay(p, tb, hdfsPath, req); err != nil {
-						return err
-					}
-					if _, err := localMeanDelay(p, tb.C.VM("client").Kernel, localPath, req); err != nil {
-						return err
-					}
-				}
-				var err error
-				if row.InterVM, err = hdfsMeanDelay(p, tb, hdfsPath, req); err != nil {
-					return err
-				}
-				row.Local, err = localMeanDelay(p, tb.C.VM("client").Kernel, localPath, req)
-				return err
-			}); err != nil {
-				return nil, err
-			}
-			rows = append(rows, row)
+			cells = append(cells, cell{cached, req})
 		}
 	}
-	return rows, nil
+	return runCells(opt, len(cells), func(i int, o Options) ([]Fig2Row, error) {
+		cached, req := cells[i].cached, cells[i].req
+		tb := NewTestbed(o)
+		defer tb.Close()
+		tb.Place(Colocated)
+
+		fileSize := o.scaled(1<<30, 64<<20)
+		content := data.Pattern{Seed: 2, Size: fileSize}
+		const hdfsPath = "/bench/fig2"
+		const localPath = "/local/fig2"
+		if err := tb.Run("fig2-setup", time.Hour, func(p *sim.Proc) error {
+			if err := tb.Client.WriteFile(p, hdfsPath, content); err != nil {
+				return err
+			}
+			clientVM := tb.C.VM("client")
+			if err := clientVM.FS.MkdirAll("/local"); err != nil {
+				return err
+			}
+			return clientVM.FS.WriteFile(localPath, content)
+		}); err != nil {
+			return nil, err
+		}
+
+		row := Fig2Row{ReqSize: req, Cached: cached}
+		if err := tb.Run(fmt.Sprintf("fig2-%d-%v", req, cached), time.Hour, func(p *sim.Proc) error {
+			tb.DropAllCaches()
+			if cached {
+				// Warm pass establishes the caches the re-read hits.
+				if _, err := hdfsMeanDelay(p, tb, hdfsPath, req); err != nil {
+					return err
+				}
+				if _, err := localMeanDelay(p, tb.C.VM("client").Kernel, localPath, req); err != nil {
+					return err
+				}
+			}
+			var err error
+			if row.InterVM, err = hdfsMeanDelay(p, tb, hdfsPath, req); err != nil {
+				return err
+			}
+			row.Local, err = localMeanDelay(p, tb.C.VM("client").Kernel, localPath, req)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		return []Fig2Row{row}, nil
+	})
 }
 
 // Fig9Row is one bar group of Figure 9: vanilla vs vRead co-located read
@@ -152,61 +159,66 @@ type Fig9Row struct {
 }
 
 // RunFig9 reproduces Figure 9: the data-access-delay reduction. One vRead
-// testbed per VM count; the vanilla numbers come from the same testbed with
-// the block reader uninstalled, so both read the same blocks.
+// testbed per cell; the vanilla numbers come from the same testbed with the
+// block reader uninstalled, so both read the same blocks.
 func RunFig9(opt Options) ([]Fig9Row, error) {
 	opt = opt.withDefaults()
-	var rows []Fig9Row
+	type cell struct {
+		vms    int
+		cached bool
+		req    int64
+	}
+	var cells []cell
 	for _, vms := range []int{2, 4} {
-		o := opt
+		for _, cached := range []bool{false, true} {
+			for _, req := range ReqSizes {
+				cells = append(cells, cell{vms, cached, req})
+			}
+		}
+	}
+	return runCells(opt, len(cells), func(i int, o Options) ([]Fig9Row, error) {
+		vms, cached, req := cells[i].vms, cells[i].cached, cells[i].req
 		o.VRead = true
 		o.ExtraVMs = vms == 4
 		tb := NewTestbed(o)
+		defer tb.Close()
 		tb.Place(Colocated)
 		fileSize := o.scaled(1<<30, 64<<20)
 		const path = "/bench/fig9"
 		if err := tb.Run("fig9-setup", time.Hour, func(p *sim.Proc) error {
 			return tb.Client.WriteFile(p, path, data.Pattern{Seed: 9, Size: fileSize})
 		}); err != nil {
-			tb.Close()
 			return nil, err
 		}
-		for _, cached := range []bool{false, true} {
-			for _, req := range ReqSizes {
-				row := Fig9Row{ReqSize: req, VMs: vms, Cached: cached}
-				for _, vread := range []bool{false, true} {
-					if vread {
-						tb.Client.SetBlockReader(tb.Lib)
-					} else {
-						tb.Client.SetBlockReader(nil)
-					}
-					var rec *metrics.LatencyRecorder
-					if err := tb.Run(fmt.Sprintf("fig9-%d-%d-%v-%v", vms, req, cached, vread), time.Hour, func(p *sim.Proc) error {
-						tb.DropAllCaches()
-						if cached {
-							if _, err := hdfsMeanDelay(p, tb, path, req); err != nil {
-								return err
-							}
-						}
-						var err error
-						rec, err = hdfsDelayStats(p, tb, path, req)
+		row := Fig9Row{ReqSize: req, VMs: vms, Cached: cached}
+		for _, vread := range []bool{false, true} {
+			if vread {
+				tb.Client.SetBlockReader(tb.Lib)
+			} else {
+				tb.Client.SetBlockReader(nil)
+			}
+			var rec *metrics.LatencyRecorder
+			if err := tb.Run(fmt.Sprintf("fig9-%d-%d-%v-%v", vms, req, cached, vread), time.Hour, func(p *sim.Proc) error {
+				tb.DropAllCaches()
+				if cached {
+					if _, err := hdfsMeanDelay(p, tb, path, req); err != nil {
 						return err
-					}); err != nil {
-						tb.Close()
-						return nil, err
-					}
-					if vread {
-						row.VRead = rec.Mean()
-						row.VReadP99 = rec.Percentile(99)
-					} else {
-						row.Vanilla = rec.Mean()
-						row.VanillaP99 = rec.Percentile(99)
 					}
 				}
-				rows = append(rows, row)
+				var err error
+				rec, err = hdfsDelayStats(p, tb, path, req)
+				return err
+			}); err != nil {
+				return nil, err
+			}
+			if vread {
+				row.VRead = rec.Mean()
+				row.VReadP99 = rec.Percentile(99)
+			} else {
+				row.Vanilla = rec.Mean()
+				row.VanillaP99 = rec.Percentile(99)
 			}
 		}
-		tb.Close()
-	}
-	return rows, nil
+		return []Fig9Row{row}, nil
+	})
 }

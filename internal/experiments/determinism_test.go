@@ -46,3 +46,74 @@ func TestDFSIODeterministicReplay(t *testing.T) {
 		t.Error("spans CSV export differs across identical runs")
 	}
 }
+
+// TestParallelMatchesSerial asserts the fan-out's core guarantee: running a
+// grid with Parallel > 1 yields byte-identical rows, CSV, and trace exports
+// to the serial path (Parallel = 1), because cells are independent testbeds
+// whose results and traces are collected by index, not completion order.
+func TestParallelMatchesSerial(t *testing.T) {
+	run := func(parallel int) (csv, chrome, spans string, fired int64) {
+		t.Helper()
+		col := &trace.Collector{}
+		stats := &RunStats{}
+		opt := Options{
+			Seed: 7, Scale: 0.01, Traces: col, TraceEvery: 4,
+			Parallel: parallel, Stats: stats,
+		}
+		rows, err := RunFig13(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var chromeBuf, spansBuf strings.Builder
+		if err := trace.WriteChrome(&chromeBuf, col.Traces); err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.WriteSpansCSV(&spansBuf, col.Traces); err != nil {
+			t.Fatal(err)
+		}
+		return CSVFig13(rows), chromeBuf.String(), spansBuf.String(), stats.Events()
+	}
+
+	serialCSV, serialChrome, serialSpans, serialFired := run(1)
+	parCSV, parChrome, parSpans, parFired := run(8)
+
+	if len(serialChrome) == 0 || len(serialSpans) == 0 {
+		t.Fatal("serial trace exports are empty; the runs collected no traces")
+	}
+	if serialCSV != parCSV {
+		t.Errorf("rows CSV differs between serial and parallel runs:\n--- serial\n%s\n--- parallel\n%s", serialCSV, parCSV)
+	}
+	if serialChrome != parChrome {
+		t.Error("Chrome trace export differs between serial and parallel runs")
+	}
+	if serialSpans != parSpans {
+		t.Error("spans CSV export differs between serial and parallel runs")
+	}
+	if serialFired == 0 || serialFired != parFired {
+		t.Errorf("fired-event totals differ: serial %d, parallel %d", serialFired, parFired)
+	}
+}
+
+// TestParallelMatchesSerialDelayGrid runs the same comparison over the
+// Figure 9 latency grid, whose cells carry per-request latency recorders
+// (means and percentiles are sensitive to any cross-cell interference).
+func TestParallelMatchesSerialDelayGrid(t *testing.T) {
+	run := func(parallel int) []Fig9Row {
+		t.Helper()
+		rows, err := RunFig9(Options{Seed: 3, Scale: 0.002, Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	serial := run(1)
+	par := run(8)
+	if len(serial) == 0 || len(serial) != len(par) {
+		t.Fatalf("row counts differ: serial %d, parallel %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Errorf("row %d differs:\nserial:   %+v\nparallel: %+v", i, serial[i], par[i])
+		}
+	}
+}

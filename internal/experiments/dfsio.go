@@ -23,24 +23,31 @@ type DFSIORow struct {
 
 // RunFig11and12 reproduces Figures 11 and 12: the full TestDFSIO grid.
 // Every testbed writes the dataset once, reads it cold ("read"), then reads
-// it again warm ("re-read") — the paper's read vs re-read pairs.
+// it again warm ("re-read") — the paper's read vs re-read pairs. The 36 grid
+// points are independent testbeds, so they fan out across Options.Parallel
+// workers; row order is the nesting order regardless of parallelism.
 func RunFig11and12(opt Options) ([]DFSIORow, error) {
 	opt = opt.withDefaults()
-	var rows []DFSIORow
+	type cell struct {
+		scenario Scenario
+		vms      int
+		freq     int64
+		vread    bool
+	}
+	var cells []cell
 	for _, scenario := range []Scenario{Colocated, Remote, Hybrid} {
 		for _, vms := range []int{2, 4} {
 			for _, freq := range PaperFreqs {
 				for _, vread := range []bool{false, true} {
-					pair, err := runDFSIOOnce(opt, scenario, vms, freq, vread)
-					if err != nil {
-						return nil, err
-					}
-					rows = append(rows, pair...)
+					cells = append(cells, cell{scenario, vms, freq, vread})
 				}
 			}
 		}
 	}
-	return rows, nil
+	return runCells(opt, len(cells), func(i int, o Options) ([]DFSIORow, error) {
+		c := cells[i]
+		return runDFSIOOnce(o, c.scenario, c.vms, c.freq, c.vread)
+	})
 }
 
 // RunDFSIOPoint runs a single grid point (used by the CLI and ablations).
@@ -109,38 +116,43 @@ type Fig13Row struct {
 func RunFig13(opt Options) ([]Fig13Row, error) {
 	opt = opt.withDefaults()
 	opt.FreqHz = 2_000_000_000
-	var rows []Fig13Row
+	type cell struct {
+		scenario Scenario
+		vread    bool
+	}
+	var cells []cell
 	for _, scenario := range []Scenario{Colocated, Remote, Hybrid} {
 		for _, vread := range []bool{false, true} {
-			o := opt
-			o.VRead = vread
-			o.ExtraVMs = false
-			tb := NewTestbed(o)
-			tb.Place(scenario)
-			cfg := workload.DFSIOConfig{
-				Files:    5,
-				FileSize: o.scaled(1<<30, 16<<20),
-				Seed:     uint64(o.Seed),
-			}
-			var res workload.DFSIOResult
-			if err := tb.Run(fmt.Sprintf("fig13-%s-%s", scenario, sysName(vread)), 4*time.Hour, func(p *sim.Proc) error {
-				r, err := workload.RunDFSIOWrite(p, tb.Engine, []*mapred.Tracker{tb.Tracker}, cfg)
-				if err != nil {
-					return err
-				}
-				res = r
-				return nil
-			}); err != nil {
-				tb.Close()
-				return nil, err
-			}
-			row := Fig13Row{Scenario: scenario, System: sysName(vread), Throughput: res.Throughput()}
-			if tb.Mgr != nil {
-				row.Refreshes = tb.Mgr.Refreshes()
-			}
-			rows = append(rows, row)
-			tb.Close()
+			cells = append(cells, cell{scenario, vread})
 		}
 	}
-	return rows, nil
+	return runCells(opt, len(cells), func(i int, o Options) ([]Fig13Row, error) {
+		scenario, vread := cells[i].scenario, cells[i].vread
+		o.VRead = vread
+		o.ExtraVMs = false
+		tb := NewTestbed(o)
+		defer tb.Close()
+		tb.Place(scenario)
+		cfg := workload.DFSIOConfig{
+			Files:    5,
+			FileSize: o.scaled(1<<30, 16<<20),
+			Seed:     uint64(o.Seed),
+		}
+		var res workload.DFSIOResult
+		if err := tb.Run(fmt.Sprintf("fig13-%s-%s", scenario, sysName(vread)), 4*time.Hour, func(p *sim.Proc) error {
+			r, err := workload.RunDFSIOWrite(p, tb.Engine, []*mapred.Tracker{tb.Tracker}, cfg)
+			if err != nil {
+				return err
+			}
+			res = r
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		row := Fig13Row{Scenario: scenario, System: sysName(vread), Throughput: res.Throughput()}
+		if tb.Mgr != nil {
+			row.Refreshes = tb.Mgr.Refreshes()
+		}
+		return []Fig13Row{row}, nil
+	})
 }

@@ -82,6 +82,16 @@ type Options struct {
 	// TraceEvery samples every Nth request (<= 1 traces all). Only
 	// meaningful with Traces set.
 	TraceEvery int
+	// Parallel caps how many independent experiment cells (grid points,
+	// ablation variants — each a whole testbed) run concurrently: 0 means
+	// one per CPU, 1 forces the serial path. Results are collected by cell
+	// index, so parallel runs produce byte-identical rows, CSVs and traces
+	// to serial ones.
+	Parallel int
+	// Stats, when non-nil, accumulates engine totals (simulated event
+	// counts) across every testbed the experiment builds, including
+	// concurrent ones.
+	Stats *RunStats
 }
 
 func (o Options) withDefaults() Options {
@@ -119,6 +129,7 @@ type Testbed struct {
 	Mgr     *core.Manager // nil without vRead
 	Lib     *core.Lib
 	Tracer  *trace.Tracer // nil unless Options.Traces was set
+	closed  bool
 }
 
 // NewTestbed builds the two-host testbed: client(+namenode) VM and dn1 on
@@ -226,8 +237,16 @@ func (tb *Testbed) DropAllCaches() {
 	tb.C.Host("host2").Cache.DropAll()
 }
 
-// Close shuts the testbed down.
-func (tb *Testbed) Close() { tb.C.Close() }
+// Close shuts the testbed down, harvesting the Env's fired-event total into
+// Options.Stats. Idempotent, so error paths may close eagerly.
+func (tb *Testbed) Close() {
+	if tb.closed {
+		return
+	}
+	tb.closed = true
+	tb.Opt.Stats.addEvents(int64(tb.C.Env.Fired()))
+	tb.C.Close()
+}
 
 // sysName labels a config for output rows.
 func sysName(vread bool) string {

@@ -25,36 +25,41 @@ type Fig3Row struct {
 func RunFig3(opt Options) ([]Fig3Row, error) {
 	opt = opt.withDefaults()
 	dur := 2 * time.Second
-	var rows []Fig3Row
+	type cell struct {
+		vms int
+		req int64
+	}
+	var cells []cell
 	for _, vms := range []int{2, 4} {
-		o := opt
+		for _, req := range Fig3ReqSizes {
+			cells = append(cells, cell{vms, req})
+		}
+	}
+	return runCells(opt, len(cells), func(i int, o Options) ([]Fig3Row, error) {
+		vms, req := cells[i].vms, cells[i].req
 		o.VRead = false
 		o.ExtraVMs = false
 		tb := NewTestbed(o)
+		defer tb.Close()
 		if vms == 4 {
 			// Figure 3's setup: exactly 2 lookbusy VMs on the netperf host.
-			for i := 0; i < 2; i++ {
-				hog := tb.C.Host("host1").AddVM(fmt.Sprintf("nphog%d", i), "hog")
+			for j := 0; j < 2; j++ {
+				hog := tb.C.Host("host1").AddVM(fmt.Sprintf("nphog%d", j), "hog")
 				workload.StartLookbusy(hog, 0.85, 0)
 			}
 		}
 		workload.StartNetperfServer(tb.C.VM("dn1").Kernel)
-		for _, req := range Fig3ReqSizes {
-			var res workload.NetperfResult
-			if err := tb.Run(fmt.Sprintf("fig3-%d-%d", vms, req), time.Hour, func(p *sim.Proc) error {
-				r, err := workload.RunNetperfRR(p, tb.C.VM("client").Kernel, "dn1", req, dur)
-				if err != nil {
-					return err
-				}
-				res = r
-				return nil
-			}); err != nil {
-				tb.Close()
-				return nil, err
+		var res workload.NetperfResult
+		if err := tb.Run(fmt.Sprintf("fig3-%d-%d", vms, req), time.Hour, func(p *sim.Proc) error {
+			r, err := workload.RunNetperfRR(p, tb.C.VM("client").Kernel, "dn1", req, dur)
+			if err != nil {
+				return err
 			}
-			rows = append(rows, Fig3Row{ReqSize: req, VMs: vms, Rate: res.Rate()})
+			res = r
+			return nil
+		}); err != nil {
+			return nil, err
 		}
-		tb.Close()
-	}
-	return rows, nil
+		return []Fig3Row{{ReqSize: req, VMs: vms, Rate: res.Rate()}}, nil
+	})
 }

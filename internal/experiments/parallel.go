@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"vread/internal/par"
+	"vread/internal/trace"
+)
+
+// RunStats accumulates engine-level totals across every testbed an
+// experiment builds. It is safe to share one RunStats across concurrently
+// running cells (the counter inside is par.Counter) and across several Run*
+// calls — the bench harness uses that to report simulated-events/sec for a
+// whole grid.
+type RunStats struct {
+	events par.Counter
+}
+
+// addEvents is called by Testbed.Close with the cell Env's fired-event count.
+func (s *RunStats) addEvents(n int64) {
+	if s != nil {
+		s.events.Add(n)
+	}
+}
+
+// Events returns the total simulated events executed so far.
+func (s *RunStats) Events() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.events.Load()
+}
+
+// runCells runs n independent experiment cells — each with its own testbed,
+// Env, and RNG — across par.Workers(opt.Parallel, n) OS threads and returns
+// the cells' rows concatenated in cell-index order.
+//
+// Determinism: a cell's result depends only on (i, o), never on which worker
+// ran it or when, because every cell builds its state from scratch off the
+// seed. Collecting by index therefore makes the output bit-for-bit identical
+// to a serial run. Trace collection gets the same treatment: when the caller
+// passed a shared collector, each cell traces into a private one and the
+// privates are absorbed in cell order afterwards, reproducing exactly the
+// trace IDs a serial run would have assigned.
+func runCells[T any](opt Options, n int, run func(i int, o Options) ([]T, error)) ([]T, error) {
+	workers := par.Workers(opt.Parallel, n)
+	var cols []*trace.Collector
+	if opt.Traces != nil {
+		cols = make([]*trace.Collector, n)
+		for i := range cols {
+			cols[i] = &trace.Collector{}
+		}
+	}
+	results := make([][]T, n)
+	err := par.Each(workers, n, func(i int) error {
+		o := opt
+		if cols != nil {
+			o.Traces = cols[i]
+		}
+		rows, err := run(i, o)
+		if err != nil {
+			return err
+		}
+		results[i] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cols {
+		opt.Traces.Absorb(c)
+	}
+	var out []T
+	for _, rows := range results {
+		out = append(out, rows...)
+	}
+	return out, nil
+}

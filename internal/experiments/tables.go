@@ -31,11 +31,17 @@ func RunTable2(opt Options) ([]Table2Row, error) {
 	opt.FreqHz = 2_000_000_000
 	opt.ExtraVMs = true
 
-	rows := []Table2Row{{Phase: "Scan"}, {Phase: "SequentialRead"}, {Phase: "RandomRead"}}
-	for _, vread := range []bool{false, true} {
-		o := opt
+	// The two systems are independent testbeds: one cell each, merged into
+	// the three phase rows afterwards.
+	type cellResult struct {
+		vread bool
+		vals  [3]float64 // scan, sequential, random MB/s
+	}
+	res, err := runCells(opt, 2, func(i int, o Options) ([]cellResult, error) {
+		vread := i == 1
 		o.VRead = vread
 		tb := NewTestbed(o)
+		defer tb.Close()
 		tb.Place(Hybrid)
 		cfg := workload.HBaseConfig{
 			Rows: o.scaled(5_000_000, 20_000),
@@ -64,18 +70,22 @@ func RunTable2(opt Options) ([]Table2Row, error) {
 			rnd, err = h.RandomRead(p, getRows, rng)
 			return err
 		}); err != nil {
-			tb.Close()
 			return nil, err
 		}
-		vals := []float64{scan.MBps(), seq.MBps(), rnd.MBps()}
+		return []cellResult{{vread: vread, vals: [3]float64{scan.MBps(), seq.MBps(), rnd.MBps()}}}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := []Table2Row{{Phase: "Scan"}, {Phase: "SequentialRead"}, {Phase: "RandomRead"}}
+	for _, c := range res {
 		for i := range rows {
-			if vread {
-				rows[i].VRead = vals[i]
+			if c.vread {
+				rows[i].VRead = c.vals[i]
 			} else {
-				rows[i].Vanilla = vals[i]
+				rows[i].Vanilla = c.vals[i]
 			}
 		}
-		tb.Close()
 	}
 	return rows, nil
 }
@@ -103,11 +113,15 @@ func RunTable3(opt Options) ([]Table3Row, error) {
 	opt.FreqHz = 2_000_000_000
 	opt.ExtraVMs = true
 
-	rows := []Table3Row{{Workload: "Hive select"}, {Workload: "Sqoop export"}}
-	for _, vread := range []bool{false, true} {
-		o := opt
+	type cellResult struct {
+		vread       bool
+		hive, sqoop time.Duration
+	}
+	res, err := runCells(opt, 2, func(i int, o Options) ([]cellResult, error) {
+		vread := i == 1
 		o.VRead = vread
 		tb := NewTestbed(o)
+		defer tb.Close()
 		tb.Place(Hybrid)
 		table := workload.HiveConfig{
 			Rows: o.scaled(30_000_000, 100_000),
@@ -128,17 +142,22 @@ func RunTable3(opt Options) ([]Table3Row, error) {
 			sqoop, err = workload.RunSqoopExport(p, tb.Engine, workload.SqoopConfig{Table: table})
 			return err
 		}); err != nil {
-			tb.Close()
 			return nil, err
 		}
-		if vread {
-			rows[0].VRead = hive.Elapsed
-			rows[1].VRead = sqoop.Elapsed
+		return []cellResult{{vread: vread, hive: hive.Elapsed, sqoop: sqoop.Elapsed}}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := []Table3Row{{Workload: "Hive select"}, {Workload: "Sqoop export"}}
+	for _, c := range res {
+		if c.vread {
+			rows[0].VRead = c.hive
+			rows[1].VRead = c.sqoop
 		} else {
-			rows[0].Vanilla = hive.Elapsed
-			rows[1].Vanilla = sqoop.Elapsed
+			rows[0].Vanilla = c.hive
+			rows[1].Vanilla = c.sqoop
 		}
-		tb.Close()
 	}
 	return rows, nil
 }

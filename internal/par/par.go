@@ -1,0 +1,115 @@
+// Package par is the simulator's only concurrency shim outside internal/sim.
+//
+// The vread simulator is deterministic because every simulated Env is
+// single-threaded: the sim discipline analyzer forbids goroutines, channels,
+// and sync primitives everywhere else. But independent experiment cells —
+// different (scenario, frequency, VM count) grid points, each with its own
+// Env, RNG, and collectors — share nothing, so running them on separate OS
+// threads cannot perturb results as long as outputs are collected by cell
+// index rather than completion order.
+//
+// This package concentrates that one sanctioned use of real parallelism:
+// Each fans a fixed index space over a bounded worker set, and Counter
+// accumulates totals from concurrently running cells. internal/experiments
+// calls these and stays free of go/sync itself, which keeps the analyzer
+// allowlist to exactly two packages (sim for the coroutine engine, par for
+// the fan-out).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested parallelism degree against n independent
+// tasks: requested <= 0 means "one worker per available CPU" (GOMAXPROCS),
+// and the result is clamped to [1, n] so callers can pass it straight to
+// Each.
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Each runs fn(i) for every i in [0, n) using at most workers OS threads and
+// returns the error from the lowest failing index, or nil.
+//
+// With workers <= 1 it degrades to a plain serial loop on the calling
+// goroutine — no goroutines are spawned, so serial runs have exactly the
+// stack and scheduling behaviour they had before parallelism existed.
+// Otherwise indices are handed out through an atomic counter; after the
+// first failure workers stop claiming new indices (in-flight calls finish).
+// fn must write its outputs into per-index slots — Each imposes no output
+// ordering of its own.
+func Each(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Counter is an atomic accumulator for totals gathered across concurrently
+// running cells (e.g. simulated-event counts feeding events/sec in the
+// bench report).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add adds delta to the counter.
+func (c *Counter) Add(delta int64) {
+	c.v.Add(delta)
+}
+
+// Load returns the current total.
+func (c *Counter) Load() int64 {
+	return c.v.Load()
+}

@@ -1,0 +1,123 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	maxprocs := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		requested, n, want int
+	}{
+		{0, 100, maxprocs}, // 0 = one per CPU
+		{-3, 100, maxprocs},
+		{1, 100, 1},
+		{7, 100, 7},
+		{7, 3, 3},  // clamp to task count
+		{7, 0, 1},  // never below 1
+		{0, 1, 1},  // single cell stays serial
+		{-1, 0, 1}, // degenerate
+	}
+	for _, c := range cases {
+		if got := Workers(c.requested, c.n); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.requested, c.n, got, c.want)
+		}
+	}
+}
+
+func TestEachCoversAllIndicesSerial(t *testing.T) {
+	testEachCoversAllIndices(t, 1)
+}
+
+func TestEachCoversAllIndicesParallel(t *testing.T) {
+	testEachCoversAllIndices(t, 8)
+}
+
+func testEachCoversAllIndices(t *testing.T, workers int) {
+	const n = 1000
+	hits := make([]int, n) // per-index slots, no shared mutation
+	err := Each(workers, n, func(i int) error {
+		hits[i]++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times, want exactly once", i, h)
+		}
+	}
+}
+
+func TestEachZeroTasks(t *testing.T) {
+	if err := Each(4, 0, func(int) error { t.Fatal("fn called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEachReturnsLowestIndexError(t *testing.T) {
+	errLow := errors.New("low")
+	err := Each(1, 10, func(i int) error {
+		switch i {
+		case 3:
+			return errLow
+		case 7:
+			return errors.New("high")
+		}
+		return nil
+	})
+	if err != errLow {
+		t.Fatalf("serial Each returned %v, want the index-3 error", err)
+	}
+
+	// Parallel: whatever completion order, the reported error is from the
+	// lowest failing index among those that actually ran.
+	err = Each(8, 10, func(i int) error {
+		return fmt.Errorf("cell %d", i)
+	})
+	if err == nil {
+		t.Fatal("parallel Each returned nil, want an error")
+	}
+}
+
+func TestEachStopsClaimingAfterFailure(t *testing.T) {
+	// Serial mode must stop at the first error and never reach later cells.
+	reached := make([]bool, 10)
+	boom := errors.New("boom")
+	err := Each(1, 10, func(i int) error {
+		reached[i] = true
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	for i := 3; i < 10; i++ {
+		if reached[i] {
+			t.Fatalf("serial Each ran index %d after index 2 failed", i)
+		}
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if got := c.Load(); got != 0 {
+		t.Fatalf("zero Counter = %d", got)
+	}
+	err := Each(8, 100, func(i int) error {
+		c.Add(int64(i))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Load(); got != 4950 {
+		t.Fatalf("Counter = %d, want 4950", got)
+	}
+}

@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestScheduleZeroAlloc asserts the pooled event path: once the free list
+// and heap capacity have warmed up, a Schedule/fire cycle performs zero heap
+// allocations. This is the engine fast-path contract the BENCH_*.json
+// trajectory tracks.
+func TestScheduleZeroAlloc(t *testing.T) {
+	env := NewEnv(1)
+	fn := func() {}
+	// Warm the free list and the heap's capacity.
+	for i := 0; i < 256; i++ {
+		env.Schedule(time.Duration(i)*time.Microsecond, fn)
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		env.Schedule(time.Microsecond, fn)
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Schedule/fire cycle allocates %v objects at steady state, want 0", allocs)
+	}
+}
+
+// TestScheduleCancelZeroAlloc is the same assertion for the cancel path:
+// arming and cancelling a timeout must not allocate either.
+func TestScheduleCancelZeroAlloc(t *testing.T) {
+	env := NewEnv(1)
+	fn := func() {}
+	for i := 0; i < 256; i++ {
+		env.Schedule(time.Duration(i)*time.Microsecond, fn)
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm := env.Schedule(time.Microsecond, fn)
+		tm.Cancel()
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Schedule/Cancel cycle allocates %v objects at steady state, want 0", allocs)
+	}
+}
+
+// TestTimerWhenSafe covers the Timer.When contract: the zero Timer, a nil
+// *Timer, and fired or cancelled timers all report 0 instead of panicking.
+func TestTimerWhenSafe(t *testing.T) {
+	var zero Timer
+	if got := zero.When(); got != 0 {
+		t.Fatalf("zero Timer When() = %v, want 0", got)
+	}
+	var nilTimer *Timer
+	if got := nilTimer.When(); got != 0 {
+		t.Fatalf("nil *Timer When() = %v, want 0", got)
+	}
+	if nilTimer.Cancel() {
+		t.Fatal("nil *Timer Cancel() = true")
+	}
+
+	env := NewEnv(1)
+	tm := env.Schedule(3*time.Millisecond, func() {})
+	if got := tm.When(); got != 3*time.Millisecond {
+		t.Fatalf("pending When() = %v, want 3ms", got)
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tm.When(); got != 0 {
+		t.Fatalf("fired When() = %v, want 0", got)
+	}
+
+	tm2 := env.Schedule(time.Millisecond, func() {})
+	tm2.Cancel()
+	if got := tm2.When(); got != 0 {
+		t.Fatalf("cancelled When() = %v, want 0", got)
+	}
+}
+
+// TestStaleTimerCannotResurrect proves the generation counter: a Timer whose
+// event has fired and been recycled into a new callback must not cancel (or
+// report times for) the new occupant.
+func TestStaleTimerCannotResurrect(t *testing.T) {
+	env := NewEnv(1)
+	stale := env.Schedule(time.Millisecond, func() {})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The free list now holds stale's event struct; this Schedule reuses it.
+	fired := false
+	fresh := env.Schedule(time.Millisecond, func() { fired = true })
+	if stale.ev != fresh.ev {
+		t.Fatalf("free list did not recycle the event struct (stale %p, fresh %p)", stale.ev, fresh.ev)
+	}
+	if stale.Cancel() {
+		t.Fatal("stale Timer cancelled a recycled event")
+	}
+	if got := stale.When(); got != 0 {
+		t.Fatalf("stale When() = %v, want 0", got)
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("recycled event did not fire; a stale Timer suppressed it")
+	}
+}
+
+// TestPendingTracksCancel covers the live-event counter: Pending reports the
+// real queue depth while cancelled entries may still occupy heap slots.
+func TestPendingTracksCancel(t *testing.T) {
+	env := NewEnv(1)
+	fn := func() {}
+	timers := make([]Timer, 10)
+	for i := range timers {
+		timers[i] = env.Schedule(time.Duration(i+1)*time.Millisecond, fn)
+	}
+	if got := env.Pending(); got != 10 {
+		t.Fatalf("Pending = %d, want 10", got)
+	}
+	for i := 0; i < 4; i++ {
+		if !timers[i].Cancel() {
+			t.Fatalf("Cancel #%d failed", i)
+		}
+	}
+	if got := env.Pending(); got != 6 {
+		t.Fatalf("Pending after 4 cancels = %d, want 6", got)
+	}
+	if timers[0].Cancel() {
+		t.Fatal("double Cancel returned true")
+	}
+	if got := env.Pending(); got != 6 {
+		t.Fatalf("Pending after double cancel = %d, want 6", got)
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := env.Pending(); got != 0 {
+		t.Fatalf("Pending after Run = %d, want 0", got)
+	}
+	if got := env.Fired(); got != 6 {
+		t.Fatalf("Fired = %d, want 6", got)
+	}
+}
+
+// TestCancelHeavyTimeoutWorkload is the pattern that used to leak: a
+// consumer arming a timeout per operation that is almost always cancelled.
+// Pending must track the real depth throughout, the heap must compact (no
+// unbounded growth of dead entries), and delivery must stay deterministic.
+func TestCancelHeavyTimeoutWorkload(t *testing.T) {
+	env := NewEnv(1)
+	q := NewQueue[int](env, 0)
+	const items = 500
+	var got []int
+	env.Go("producer", func(p *Proc) {
+		for i := 0; i < items; i++ {
+			p.Sleep(time.Microsecond)
+			q.Put(p, i)
+		}
+		q.Close()
+	})
+	env.Go("consumer", func(p *Proc) {
+		for {
+			// Every GetTimeout arms a timer that the wake-up path cancels.
+			v, ok := q.GetTimeout(p, time.Second)
+			if !ok {
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != items {
+		t.Fatalf("consumed %d items, want %d", len(got), items)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i)
+		}
+	}
+	if got := env.Pending(); got != 0 {
+		t.Fatalf("Pending after drain = %d, want 0 (cancelled timeouts leaked)", got)
+	}
+	if n := len(env.events); n >= items {
+		t.Fatalf("heap holds %d entries after a %d-item cancel-heavy run; compaction never ran", n, items)
+	}
+	env.Close()
+}
+
+// TestCompactionPreservesOrder mass-cancels interleaved timers so compaction
+// triggers mid-stream, then checks the survivors fire in exactly (at, seq)
+// order.
+func TestCompactionPreservesOrder(t *testing.T) {
+	env := NewEnv(1)
+	const n = 1000
+	var fired []int
+	timers := make([]Timer, n)
+	for i := 0; i < n; i++ {
+		i := i
+		// Deliberately non-monotone times so heap order differs from
+		// schedule order.
+		at := time.Duration((i*37)%n+1) * time.Millisecond
+		timers[i] = env.Schedule(at, func() { fired = append(fired, i) })
+	}
+	// Cancel ~70% (every index not divisible by 3), enough to trip
+	// compaction several times over.
+	want := 0
+	for i := range timers {
+		if i%3 == 0 {
+			want++
+			continue
+		}
+		if !timers[i].Cancel() {
+			t.Fatalf("Cancel #%d failed", i)
+		}
+	}
+	if got := env.Pending(); got != want {
+		t.Fatalf("Pending = %d, want %d", got, want)
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != want {
+		t.Fatalf("fired %d events, want %d", len(fired), want)
+	}
+	last := time.Duration(-1)
+	lastIdx := -1
+	for _, i := range fired {
+		at := time.Duration((i*37)%n+1) * time.Millisecond
+		if at < last || (at == last && i < lastIdx) {
+			t.Fatalf("events fired out of (at, seq) order: %d (at %v) after %d (at %v)", i, at, lastIdx, last)
+		}
+		last, lastIdx = at, i
+	}
+}
+
+// TestEngineDeterminismUnderCancel replays a mixed schedule/cancel workload
+// twice; compaction timing must not leak into the observable event order.
+func TestEngineDeterminismUnderCancel(t *testing.T) {
+	run := func() []string {
+		env := NewEnv(99)
+		var trace []string
+		var timers []Timer
+		for i := 0; i < 400; i++ {
+			i := i
+			d := time.Duration(env.Rand().Intn(5000)) * time.Microsecond
+			timers = append(timers, env.Schedule(d, func() {
+				trace = append(trace, env.Now().String())
+				_ = i
+			}))
+		}
+		for i := 0; i < len(timers); i += 2 {
+			timers[i].Cancel()
+		}
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}

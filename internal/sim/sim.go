@@ -16,7 +16,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -28,6 +27,10 @@ import (
 type Env struct {
 	now     time.Duration
 	events  eventHeap
+	free    []*event // recycled events; Schedule pops here before allocating
+	live    int      // scheduled events that are neither fired nor cancelled
+	ncancel int      // cancelled events still occupying heap slots
+	fired   uint64   // events executed since NewEnv
 	seq     uint64
 	rng     *rand.Rand
 	procs   map[*Proc]struct{}
@@ -72,19 +75,57 @@ func (e *Env) SetIdleHook(fn func()) { e.idleHook = fn }
 
 // Schedule runs fn at virtual time Now()+after. It returns a Timer that can
 // cancel the callback as long as it has not fired.
-func (e *Env) Schedule(after time.Duration, fn func()) *Timer {
+//
+// The returned Timer is a value: holding one does not pin the event, and at
+// steady state (events recycled through the free list, heap capacity grown
+// to the working set) a Schedule/fire cycle performs zero heap allocations.
+func (e *Env) Schedule(after time.Duration, fn func()) Timer {
 	if after < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", after))
 	}
-	ev := &event{at: e.now + after, seq: e.nextSeq(), fn: fn}
-	heap.Push(&e.events, ev)
-	return &Timer{env: e, ev: ev}
+	ev := e.alloc()
+	ev.at = e.now + after
+	ev.seq = e.nextSeq()
+	ev.fn = fn
+	e.events.push(ev)
+	e.live++
+	return Timer{env: e, ev: ev, gen: ev.gen}
 }
 
 func (e *Env) nextSeq() uint64 {
 	e.seq++
 	return e.seq
 }
+
+// alloc takes an event from the free list, or allocates when the list is
+// empty (cold start, or the pending working set grew).
+func (e *Env) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle invalidates every outstanding Timer for ev (generation bump) and
+// returns it to the free list for the next Schedule.
+func (e *Env) recycle(ev *event) {
+	ev.fn = nil
+	ev.canceled = false
+	ev.gen++
+	e.free = append(e.free, ev)
+}
+
+// Pending returns the number of scheduled events that have neither fired nor
+// been cancelled — the real queue depth, regardless of how many cancelled
+// timers still occupy heap slots awaiting compaction.
+func (e *Env) Pending() int { return e.live }
+
+// Fired returns the total number of events executed since NewEnv — the
+// denominator of the engine's events/second throughput.
+func (e *Env) Fired() uint64 { return e.fired }
 
 // Run processes events until the queue is empty (and the idle hook, if any,
 // declines to add more), Stop is called, or a process panics. It returns the
@@ -110,10 +151,10 @@ func (e *Env) RunFor(d time.Duration) error { return e.RunUntil(e.now + d) }
 func (e *Env) run(deadline time.Duration) error {
 	e.stopped = false
 	for !e.stopped {
-		if e.events.Len() == 0 {
+		if len(e.events) == 0 {
 			if e.idleHook != nil {
 				e.idleHook()
-				if e.events.Len() > 0 {
+				if len(e.events) > 0 {
 					continue
 				}
 			}
@@ -123,8 +164,10 @@ func (e *Env) run(deadline time.Duration) error {
 		if deadline >= 0 && ev.at > deadline {
 			break
 		}
-		heap.Pop(&e.events)
+		e.events.pop()
 		if ev.canceled {
+			e.ncancel--
+			e.recycle(ev)
 			continue
 		}
 		if ev.at < e.now {
@@ -132,7 +175,12 @@ func (e *Env) run(deadline time.Duration) error {
 		}
 		e.now = ev.at
 		fn := ev.fn
-		ev.fn = nil // mark fired so Timer.Cancel is O(1)
+		e.live--
+		e.fired++
+		// Recycle before invoking: the generation bump makes any Timer still
+		// pointing at ev stale, so a callback can neither cancel the event
+		// that is firing nor resurrect it once the struct is reused.
+		e.recycle(ev)
 		fn()
 		if e.procErr != nil {
 			pe := e.procErr
@@ -141,6 +189,27 @@ func (e *Env) run(deadline time.Duration) error {
 		}
 	}
 	return nil
+}
+
+// compact filters cancelled events out of the heap in place and restores the
+// heap property. Called when cancelled entries outnumber live ones, so a
+// cancel-heavy workload (timeouts that almost always get cancelled) keeps
+// the heap proportional to the real queue depth instead of to its history.
+func (e *Env) compact() {
+	kept := e.events[:0]
+	for _, ev := range e.events {
+		if ev.canceled {
+			e.recycle(ev)
+		} else {
+			kept = append(kept, ev)
+		}
+	}
+	for i := len(kept); i < len(e.events); i++ {
+		e.events[i] = nil
+	}
+	e.events = kept
+	e.events.init()
+	e.ncancel = 0
 }
 
 // Close aborts every live process so their goroutines exit. The environment
@@ -168,51 +237,64 @@ func (e *Env) Live() int { return len(e.procs) }
 // ---------------------------------------------------------------------------
 // Events and timers.
 
+// event is one heap entry. Events are pooled: after firing or cancellation
+// the struct returns to the Env's free list and gen is bumped, so Timers
+// from an earlier lifetime can never act on a reused event.
 type event struct {
 	at       time.Duration
 	seq      uint64
+	gen      uint64
 	fn       func()
 	canceled bool
 }
 
-// Timer identifies a scheduled callback and allows cancelling it.
+// Timer identifies a scheduled callback and allows cancelling it. The zero
+// Timer (and a nil *Timer) is valid and refers to no event. A Timer becomes
+// stale — all methods turn into no-ops — once its callback fires or Cancel
+// succeeds; the generation counter makes staleness detection safe even after
+// the underlying event struct has been recycled for a new callback.
 type Timer struct {
 	env *Env
 	ev  *event
+	gen uint64
+}
+
+// pending reports whether the timer still refers to its original, un-fired,
+// un-cancelled event.
+func (t *Timer) pending() bool {
+	return t != nil && t.ev != nil && t.ev.gen == t.gen && !t.ev.canceled && t.ev.fn != nil
 }
 
 // Cancel prevents the callback from firing. It reports whether the callback
 // was still pending. Cancelling an already-fired or already-cancelled timer
-// is a no-op returning false.
+// — or the zero Timer — is a no-op returning false.
 func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.canceled || t.ev.fn == nil {
+	if !t.pending() {
 		return false
 	}
 	t.ev.canceled = true
+	e := t.env
+	e.live--
+	e.ncancel++
+	// The cancelled entry stays in the heap until it surfaces or until
+	// cancelled entries outnumber live ones, whichever comes first.
+	if e.ncancel > len(e.events)/2 && e.ncancel >= minCompact {
+		e.compact()
+	}
 	return true
 }
 
-// When returns the virtual time the timer is scheduled to fire at.
-func (t *Timer) When() time.Duration { return t.ev.at }
+// minCompact is the cancelled-entry count below which compaction is not
+// worth the reshuffle (the run loop discards small residues for free).
+const minCompact = 32
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// When returns the virtual time the timer is scheduled to fire at, or 0 when
+// the timer is not pending (zero Timer, already fired, or cancelled).
+func (t *Timer) When() time.Duration {
+	if !t.pending() {
+		return 0
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	return t.ev.at
 }
 
 // ---------------------------------------------------------------------------

@@ -200,6 +200,22 @@ type Collector struct {
 	Traces []*Trace
 }
 
+// Absorb moves every trace from other into c, renumbering IDs to continue
+// c's sequence, and leaves other empty. The parallel experiment runner gives
+// each cell a private collector and absorbs them in cell-index order, which
+// reproduces exactly the IDs a single shared collector would have assigned
+// in a serial run — exports stay byte-identical.
+func (c *Collector) Absorb(other *Collector) {
+	if other == nil || other == c {
+		return
+	}
+	for _, t := range other.Traces {
+		t.ID = int64(len(c.Traces) + 1)
+		c.Traces = append(c.Traces, t)
+	}
+	other.Traces = nil
+}
+
 // Tracer creates request traces at the client entry points. A nil *Tracer
 // is valid and never samples, which is the zero-overhead default.
 type Tracer struct {

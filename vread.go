@@ -310,6 +310,10 @@ type Options = experiments.Options
 // Testbed is a built instance of the paper's Figure 10 topology.
 type Testbed = experiments.Testbed
 
+// RunStats accumulates engine totals (simulated event counts) across every
+// testbed an experiment builds; set Options.Stats to collect them.
+type RunStats = experiments.RunStats
+
 // Scenario places replicas relative to the reader.
 type Scenario = experiments.Scenario
 
