@@ -84,6 +84,12 @@ type Fig2Row struct {
 // RunFig2 reproduces Figure 2: the motivation experiment. A plain (vanilla)
 // testbed; a 1 GB file read through the co-located datanode VM versus the
 // same file in the client VM's own file system.
+//
+// Each cell builds its own testbed (setup writes included) so cells are
+// independent and can run in parallel. Cell values therefore differ from the
+// old shared-testbed serial sweep — no RNG or cache state carries between
+// cells — but each cell is a cleaner measurement for it, and serial vs
+// parallel runs of this implementation stay byte-identical.
 func RunFig2(opt Options) ([]Fig2Row, error) {
 	opt = opt.withDefaults()
 	opt.VRead = false
@@ -160,7 +166,9 @@ type Fig9Row struct {
 
 // RunFig9 reproduces Figure 9: the data-access-delay reduction. One vRead
 // testbed per cell; the vanilla numbers come from the same testbed with the
-// block reader uninstalled, so both read the same blocks.
+// block reader uninstalled, so both read the same blocks. As with RunFig2,
+// per-cell testbeds mean values differ from the old shared-testbed sweep
+// (intentional: it is what makes cells independent and parallelizable).
 func RunFig9(opt Options) ([]Fig9Row, error) {
 	opt = opt.withDefaults()
 	type cell struct {

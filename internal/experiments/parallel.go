@@ -62,11 +62,15 @@ func runCells[T any](opt Options, n int, run func(i int, o Options) ([]T, error)
 		results[i] = rows
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
+	// Absorb even when a cell failed: Each has already joined every worker,
+	// and cells that completed produced traces a serial run would have left
+	// in the caller's collector. Failed or never-started cells contribute an
+	// empty (or partial, like serial's failing cell) collector.
 	for _, c := range cols {
 		opt.Traces.Absorb(c)
+	}
+	if err != nil {
+		return nil, err
 	}
 	var out []T
 	for _, rows := range results {

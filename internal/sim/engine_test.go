@@ -199,6 +199,43 @@ func TestCancelHeavyTimeoutWorkload(t *testing.T) {
 	env.Close()
 }
 
+// TestCancelEveryPendingTimer cancels all of N >= minCompact timers so
+// compaction runs with zero survivors. eventHeap.init used to index out of
+// range on the emptied heap ((len-2)/4 truncates to 0 for len 0), crashing
+// the engine on exactly the cancel-heavy workloads compaction targets.
+func TestCancelEveryPendingTimer(t *testing.T) {
+	env := NewEnv(1)
+	// Exactly minCompact: the last Cancel is the one that trips compaction
+	// (ncancel > len/2 and >= minCompact) with nothing left to keep.
+	const n = minCompact
+	timers := make([]Timer, n)
+	for i := 0; i < n; i++ {
+		timers[i] = env.Schedule(time.Duration(i+1)*time.Millisecond, func() {
+			t.Errorf("cancelled timer #%d fired", i)
+		})
+	}
+	for i := range timers {
+		if !timers[i].Cancel() {
+			t.Fatalf("Cancel #%d failed", i)
+		}
+	}
+	if got := env.Pending(); got != 0 {
+		t.Fatalf("Pending after cancelling everything = %d, want 0", got)
+	}
+	if n := len(env.events); n != 0 {
+		t.Fatalf("heap holds %d entries after cancelling everything, want 0", n)
+	}
+	// The engine must still be usable after an empty-heap compaction.
+	fired := false
+	env.Schedule(time.Millisecond, func() { fired = true })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("timer scheduled after empty-heap compaction never fired")
+	}
+}
+
 // TestCompactionPreservesOrder mass-cancels interleaved timers so compaction
 // triggers mid-stream, then checks the survivors fire in exactly (at, seq)
 // order.

@@ -35,6 +35,12 @@ func (h *eventHeap) pop() *event {
 // init establishes the heap property over arbitrary contents (used after
 // compaction filters cancelled events out in place).
 func (h eventHeap) init() {
+	if len(h) < 2 {
+		// (len(h)-2)/4 truncates toward zero, so an empty heap would still
+		// enter the loop at i=0 and index out of range; 0- and 1-element
+		// heaps are trivially valid.
+		return
+	}
 	for i := (len(h) - 2) / 4; i >= 0; i-- {
 		h.down(i)
 	}
