@@ -7,7 +7,7 @@
 GO ?= go
 RACE_PKGS := ./internal/data ./internal/metrics ./internal/trace ./internal/par ./internal/experiments
 
-.PHONY: tier1 fmt vet build lint lint-fix-list test race bench bench-smoke
+.PHONY: tier1 fmt vet build lint lint-fix-list test race bench bench-smoke chaos-smoke
 
 tier1: fmt vet build lint test race
 
@@ -47,6 +47,14 @@ bench:
 	@n=1; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
 		./bin/vread-bench -bench BENCH_$$n.json; \
 		echo "wrote BENCH_$$n.json"; cat BENCH_$$n.json
+
+# chaos-smoke runs the deterministic fault-injection suite (the seed × plan
+# smoke matrix plus the byte-identical-replay check). On an invariant
+# violation the failing (seed, plan) pairs are written to chaos-failures.json
+# — each pair is a complete reproducer: re-run the same seed and spec locally
+# and the run replays byte-identically.
+chaos-smoke:
+	CHAOS_REPORT=chaos-failures.json $(GO) test ./internal/faults/chaostest/ -count=1 -run 'TestChaos' -v
 
 # bench-smoke is the abbreviated CI variant: same suite at a quarter of the
 # scale, written to a fixed name for artifact upload.

@@ -68,6 +68,12 @@ func runBenchSuite(path string, scale float64, short bool) error {
 	}
 	report.Experiments = append(report.Experiments, grid...)
 
+	faults, err := benchFaultOverhead(scale)
+	if err != nil {
+		return fmt.Errorf("bench fault overhead: %w", err)
+	}
+	report.Experiments = append(report.Experiments, faults...)
+
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -191,6 +197,50 @@ func benchFig11Grid(scale float64) ([]experimentBench, error) {
 		parallel.SpeedupVsSerial = serial.WallMs / parallel.WallMs
 	}
 	return []experimentBench{serial, parallel}, nil
+}
+
+// benchFaultOverhead measures what an armed-but-silent fault plan costs: the
+// same DFSIO point with no plan versus a plan arming every faultpoint at
+// probability zero, so each injection site is evaluated on the hot path but
+// never fires. The armed row's speedup_vs_serial field is its slowdown
+// relative to the unarmed run (1.0 = free).
+func benchFaultOverhead(scale float64) ([]experimentBench, error) {
+	run := func(name string, spec vread.FaultSpec) (experimentBench, error) {
+		stats := &vread.RunStats{}
+		opt := vread.Options{Seed: 1, Scale: scale, VRead: true, Faults: spec, Stats: stats}
+		start := time.Now() //lint:allow determinism(bench harness measures the simulator from outside)
+		rows, err := vread.RunDFSIOPoint(opt, vread.Colocated, 2, 0, true)
+		if err != nil {
+			return experimentBench{}, err
+		}
+		wall := time.Since(start) //lint:allow determinism(bench harness measures the simulator from outside)
+		eb := experimentBench{
+			Name:   name,
+			WallMs: float64(wall) / float64(time.Millisecond),
+			Rows:   len(rows),
+			Events: stats.Events(),
+		}
+		if wall > 0 {
+			eb.EventsPerSec = float64(stats.Events()) / wall.Seconds()
+		}
+		return eb, nil
+	}
+	off, err := run("fault-overhead/off", nil)
+	if err != nil {
+		return nil, err
+	}
+	var silent vread.FaultSpec
+	for _, pt := range vread.FaultPoints() {
+		silent = append(silent, vread.FaultRule{Point: pt, Prob: 0})
+	}
+	armed, err := run("fault-overhead/armed-never-fire", silent)
+	if err != nil {
+		return nil, err
+	}
+	if armed.WallMs > 0 {
+		armed.SpeedupVsSerial = off.WallMs / armed.WallMs
+	}
+	return []experimentBench{off, armed}, nil
 }
 
 func benchGridOnce(name string, scale float64, parallelism int) (experimentBench, error) {

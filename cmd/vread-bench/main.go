@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	vread-bench -exp fig2|fig3|fig6|fig7|fig8|fig9|fig11|fig12|fig13|table2|table3|ablations|all
+//	vread-bench -exp fig2|fig3|fig6|fig7|fig8|fig9|fig11|fig12|fig13|table2|table3|ablations|faults|all
 //	            [-scale 0.05] [-seed 1] [-transport rdma|tcp] [-parallel 0]
 //	            [-trace out.json] [-trace-every 1]
 //	vread-bench -bench BENCH.json [-bench-scale 0.02] [-bench-short]
@@ -122,9 +122,16 @@ func run() error {
 			return vread.FormatTable3(rows), err
 		},
 		"ablations": ablationRunner(csvOut),
+		"faults": func(o vread.Options) (string, error) {
+			rows, err := vread.RunFaultSweep(o)
+			if csvOut {
+				return vread.CSVAblations(rows), err
+			}
+			return vread.FormatAblations(rows), err
+		},
 	}
 
-	order := []string{"fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig11", "fig13", "table2", "table3", "ablations"}
+	order := []string{"fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig11", "fig13", "table2", "table3", "ablations", "faults"}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = order

@@ -7,6 +7,7 @@
 //	vread-sim [-vread] [-scenario co-located|remote|hybrid] [-freq-ghz 2.0]
 //	          [-hogs] [-size-mb 256] [-buffer-kb 1024] [-transport rdma|tcp]
 //	          [-bypass] [-seed 1]
+//	          [-faults "disk.read.slow:p=0.2,delay=2ms;daemon.crash:after=10,max=1"]
 package main
 
 import (
@@ -39,6 +40,7 @@ func run() error {
 	transport := flag.String("transport", "rdma", "remote daemon transport (rdma|tcp)")
 	bypass := flag.Bool("bypass", false, "daemon bypasses the host FS (§6 ablation)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	faultSpec := flag.String("faults", "", "deterministic fault plan (point[:p=..,after=..,max=..,delay=..];...)")
 	configPath := flag.String("config", "", "JSON scenario file (overrides the other flags)")
 	flag.Parse()
 
@@ -74,6 +76,13 @@ func run() error {
 			place = vread.Hybrid
 		default:
 			return fmt.Errorf("unknown scenario %q", *scenario)
+		}
+		if *faultSpec != "" {
+			spec, err := vread.ParseFaultSpec(*faultSpec)
+			if err != nil {
+				return err
+			}
+			opt.Faults = spec
 		}
 	}
 
@@ -134,6 +143,18 @@ func run() error {
 		st := tb.Mgr.Daemon("client").Stats()
 		fmt.Printf("\nvRead daemon: opens=%d misses=%d localMB=%d remoteMB=%d\n",
 			st.Opens, st.OpenMisses, st.BytesLocal>>20, st.BytesRemote>>20)
+	}
+	if tb.Faults != nil {
+		fmt.Println("\nfault injection:")
+		for _, pc := range tb.Faults.Counts() {
+			fmt.Printf("%-20s evals=%-6d fired=%d\n", pc.Point, pc.Evals, pc.Fires)
+		}
+		if tb.Mgr != nil {
+			st := tb.Mgr.Daemon("client").Stats()
+			fmt.Printf("degradation: lib-retries=%d remote-retries=%d crashes=%d doorbells-lost=%d downgrades=%d\n",
+				tb.Mgr.LibStats("client").Retries, st.RemoteRetries, st.Crashes,
+				st.DoorbellsLost, tb.Mgr.Downgrades())
+		}
 	}
 	return nil
 }

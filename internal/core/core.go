@@ -20,7 +20,11 @@
 // datanode VM migration support (§6).
 package core
 
-import "time"
+import (
+	"time"
+
+	"vread/internal/faults"
+)
 
 // Transport selects the daemon-to-daemon remote transport.
 type Transport int
@@ -100,6 +104,31 @@ type Config struct {
 	// HostReadaheadBytes is the host file system's sequential readahead
 	// window over loop-mounted images. Default 1 MiB.
 	HostReadaheadBytes int64
+	// RemoteReadTimeout bounds how long the daemon waits for the next chunk
+	// of a remote window before abandoning the transfer and retrying (the
+	// detection latency of a torn QP or dropped segment). Default 25ms.
+	RemoteReadTimeout time.Duration
+	// MaxReadRetries bounds retries at both degradation layers: libvread
+	// re-issuing a failed ring read and the daemon re-requesting a failed
+	// remote window. Default 3.
+	MaxReadRetries int
+	// RetryBackoff is libvread's base retry delay, doubled per attempt.
+	// Default 500µs.
+	RetryBackoff time.Duration
+	// DowngradeWindow is how long a host pair stays on the TCP fallback
+	// after an RDMA failure before probing RDMA again over a fresh QP.
+	// Default 250ms.
+	DowngradeWindow time.Duration
+	// DoorbellWatchdog is the guest driver's poll interval that bounds the
+	// latency of a lost doorbell. Default 1ms.
+	DoorbellWatchdog time.Duration
+	// DaemonRestartDelay is how long a crashed daemon takes to come back.
+	// Default 5ms.
+	DaemonRestartDelay time.Duration
+	// Faults is the fault-injection plan evaluated at the core faultpoints
+	// (disk.read.error, disk.read.torn, ring.doorbell.lost, ring.stall,
+	// daemon.crash). Nil disables injection.
+	Faults *faults.Plan
 }
 
 // WithDefaults fills zero fields.
@@ -157,6 +186,24 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.HostReadaheadBytes == 0 {
 		c.HostReadaheadBytes = 1 << 20
+	}
+	if c.RemoteReadTimeout == 0 {
+		c.RemoteReadTimeout = 25 * time.Millisecond
+	}
+	if c.MaxReadRetries == 0 {
+		c.MaxReadRetries = 3
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 500 * time.Microsecond
+	}
+	if c.DowngradeWindow == 0 {
+		c.DowngradeWindow = 250 * time.Millisecond
+	}
+	if c.DoorbellWatchdog == 0 {
+		c.DoorbellWatchdog = time.Millisecond
+	}
+	if c.DaemonRestartDelay == 0 {
+		c.DaemonRestartDelay = 5 * time.Millisecond
 	}
 	return c
 }

@@ -4,6 +4,8 @@ import (
 	"vread/internal/cluster"
 	"vread/internal/cpusched"
 	"vread/internal/data"
+	"vread/internal/faults"
+	"vread/internal/fsim"
 	"vread/internal/metrics"
 	"vread/internal/sim"
 	"vread/internal/trace"
@@ -13,18 +15,24 @@ import (
 // bookkeeping: Stats derives it from the daemon's event stream (a
 // trace.Counter fed by the same emit calls that mark request traces).
 type DaemonStats struct {
-	Opens       int64
-	OpenMisses  int64 // stale dentry / unknown datanode → vanilla fallback
-	BytesLocal  int64 // served from a local mount
-	BytesRemote int64 // served daemon-to-daemon
+	Opens         int64
+	OpenMisses    int64 // stale dentry / unknown datanode → vanilla fallback
+	BytesLocal    int64 // served from a local mount
+	BytesRemote   int64 // served daemon-to-daemon
+	Crashes       int64 // injected daemon crash/restart cycles
+	RemoteRetries int64 // remote windows re-requested after timeout/gap
+	DoorbellsLost int64 // doorbells recovered by the guest watchdog
 }
 
 // Daemon event names (the reduced stream DaemonStats is derived from).
 const (
-	evOpen        = "open"
-	evOpenMiss    = "open-miss"
-	evBytesLocal  = "bytes-local"
-	evBytesRemote = "bytes-remote"
+	evOpen         = "open"
+	evOpenMiss     = "open-miss"
+	evBytesLocal   = "bytes-local"
+	evBytesRemote  = "bytes-remote"
+	evCrash        = "crash"
+	evRemoteRetry  = "remote-retry"
+	evDoorbellLost = "doorbell-lost"
 )
 
 // Daemon is the per-VM hypervisor daemon (§3.2): it owns the shared-memory
@@ -199,10 +207,13 @@ func (h *hostReader) readahead(tr *trace.Trace, obj int64, key string, fileSize,
 // Stats derives the daemon's counters from its reduced event stream.
 func (d *Daemon) Stats() DaemonStats {
 	return DaemonStats{
-		Opens:       d.events.Get(evOpen),
-		OpenMisses:  d.events.Get(evOpenMiss),
-		BytesLocal:  d.events.Get(evBytesLocal),
-		BytesRemote: d.events.Get(evBytesRemote),
+		Opens:         d.events.Get(evOpen),
+		OpenMisses:    d.events.Get(evOpenMiss),
+		BytesLocal:    d.events.Get(evBytesLocal),
+		BytesRemote:   d.events.Get(evBytesRemote),
+		Crashes:       d.events.Get(evCrash),
+		RemoteRetries: d.events.Get(evRemoteRetry),
+		DoorbellsLost: d.events.Get(evDoorbellLost),
 	}
 }
 
@@ -215,6 +226,10 @@ func (d *Daemon) loop(p *sim.Proc) {
 		}
 		// Wake from the guest's doorbell.
 		d.thread.RunT(p, d.cfg.EventFdCycles, metrics.TagOthers, req.tr)
+		if d.cfg.Faults.Should(faults.DaemonCrash) {
+			d.crashRestart(p, req)
+			continue
+		}
 		switch req.kind {
 		case reqOpen:
 			d.handleOpen(p, req)
@@ -222,6 +237,24 @@ func (d *Daemon) loop(p *sim.Proc) {
 			d.handleRead(p, req)
 		}
 	}
+}
+
+// crashRestart models the daemon dying under a request and supervisord
+// bringing it back: the in-flight request fails (the guest sees an error and
+// falls back), the host's cached mount metadata is lost — every mount stale
+// until vRead_update or a resync — and the ring goes quiet for the restart
+// delay.
+func (d *Daemon) crashRestart(p *sim.Proc, req ringReq) {
+	d.emit(req.tr, evCrash, 1)
+	req.tr.Event(trace.LayerDaemon, "fault:daemon-crash", 0)
+	d.mgr.invalidateMounts(d.host.Name)
+	switch req.kind {
+	case reqOpen:
+		req.reply.Put(p, openResult{})
+	case reqRead:
+		d.pushError(p, req.tr)
+	}
+	p.Sleep(d.cfg.DaemonRestartDelay)
 }
 
 // handleOpen resolves a block file against the mount hash (local) or a peer
@@ -290,9 +323,24 @@ func (d *Daemon) readLocal(p *sim.Proc, req ringReq) {
 		}
 		d.hr.read(p, req.tr, obj, key, e.Size, off, want)
 		s, err := m.ReadAt(req.path, off, want)
+		if err == nil && d.cfg.Faults.Should(faults.DiskReadError) {
+			req.tr.Event(trace.LayerDaemon, "fault:disk-error", 0)
+			err = fsim.ErrStale
+		}
 		if err != nil {
 			req.tr.EndSpan(sp, off-req.off)
 			d.pushError(p, req.tr)
+			return
+		}
+		if want > 1 && d.cfg.Faults.Should(faults.DiskReadTorn) {
+			// Torn read: a prefix lands in the ring, then the stream ends.
+			// libvread's byte-count check turns it into ErrShortRead and
+			// retries — never silent truncation.
+			req.tr.Event(trace.LayerDaemon, "fault:disk-torn", 0)
+			torn := s.Sub(0, want/2)
+			d.fillSlots(p, req.tr, torn, true)
+			d.doorbell(p, req.tr)
+			req.tr.EndSpan(sp, off-req.off+torn.Len())
 			return
 		}
 		last := off+want == req.off+req.n
@@ -308,9 +356,19 @@ func (d *Daemon) readLocal(p *sim.Proc, req ringReq) {
 // arriving chunks into the ring. With RDMA the payload lands in the SHM
 // directly (no local per-byte cost); with TCP the local daemon pays a
 // per-segment user-level receive cost (charged by the transport).
+//
+// Degradation: each chunk wait is bounded by RemoteReadTimeout and verified
+// contiguous via its offset. A timeout, error chunk, or gap retires the
+// window (finishRemote on every path — a dropped final chunk can never leave
+// a blocked queue reader behind), notes the transport failure (RDMA pairs
+// downgrade to TCP), and re-requests the remainder from the end of the
+// delivered prefix — slots already in the ring are never re-sent, so the
+// guest stream stays exact. MaxReadRetries exhausted → error slot → the
+// guest falls back.
 func (d *Daemon) readRemote(p *sim.Proc, dnHost string, req ringReq) {
 	sp := req.tr.Begin(trace.LayerDaemon, "read-remote")
 	req.tr.Annotate(sp, "peer", dnHost)
+	retries := 0
 	for off := req.off; off < req.off+req.n; {
 		win := req.off + req.n - off
 		if win > d.cfg.RemoteWindowBytes {
@@ -318,20 +376,32 @@ func (d *Daemon) readRemote(p *sim.Proc, dnHost string, req ringReq) {
 		}
 		chunks := d.mgr.remoteRead(p, req.tr, d, dnHost, req.dn, req.path, off, win)
 		var got int64
+		failed := false
 		for got < win {
-			msg, ok := chunks.Get(p)
-			if !ok || msg.err {
-				req.tr.EndSpan(sp, off-req.off)
-				d.pushError(p, req.tr)
-				return
+			msg, ok := chunks.GetTimeout(p, d.cfg.RemoteReadTimeout)
+			if !ok || msg.err || msg.off != off+got {
+				failed = true
+				break
 			}
 			last := off+got+msg.payload.Len() == req.off+req.n
 			d.fillSlots(p, req.tr, msg.payload, last)
 			got += msg.payload.Len()
 			d.events.Add(evBytesRemote, msg.payload.Len())
 		}
-		d.doorbell(p, req.tr)
 		d.mgr.finishRemote(chunks)
+		if failed {
+			d.mgr.noteRemoteFailureT(req.tr, d.host.Name, dnHost)
+			retries++
+			if retries > d.cfg.MaxReadRetries {
+				req.tr.EndSpan(sp, off+got-req.off)
+				d.pushError(p, req.tr)
+				return
+			}
+			d.emit(req.tr, evRemoteRetry, 1)
+			off += got // keep the delivered contiguous prefix
+			continue
+		}
+		d.doorbell(p, req.tr)
 		off += win
 	}
 	req.tr.EndSpan(sp, req.n)
@@ -341,6 +411,13 @@ func (d *Daemon) readRemote(p *sim.Proc, dnHost string, req ringReq) {
 // as one batched charge (the per-byte copy into the ring is part of
 // loopReadCycles locally, and of the transport cost remotely).
 func (d *Daemon) fillSlots(p *sim.Proc, tr *trace.Trace, s data.Slice, last bool) {
+	if stall, ok := d.cfg.Faults.ShouldDelay(faults.RingStall); ok {
+		// Ring stall: the guest stops draining for a while. With the free
+		// queue exhausted the daemon blocks on slot tokens — the ring's
+		// natural backpressure — until the guest resumes.
+		tr.Event(trace.LayerRing, "fault:ring-stall", 0)
+		p.Sleep(stall)
+	}
 	d.thread.RunT(p, d.cfg.SlotLockCycles*d.ring.slotsFor(s.Len()), metrics.TagOthers, tr)
 	for off := int64(0); off < s.Len(); {
 		n := s.Len() - off
@@ -355,9 +432,19 @@ func (d *Daemon) fillSlots(p *sim.Proc, tr *trace.Trace, s data.Slice, last bool
 }
 
 // doorbell signals the guest: eventfd on the daemon side, virtual interrupt
-// on the vCPU.
+// on the vCPU. A lost doorbell (injected) costs the eventfd write but the
+// interrupt only arrives when the guest driver's watchdog poll notices the
+// filled slots — DoorbellWatchdog of extra latency, never a hang.
 func (d *Daemon) doorbell(p *sim.Proc, tr *trace.Trace) {
 	d.thread.RunT(p, d.cfg.EventFdCycles, metrics.TagOthers, tr)
+	if d.cfg.Faults.Should(faults.RingDoorbellLost) {
+		d.emit(tr, evDoorbellLost, 1)
+		tr.Event(trace.LayerRing, "fault:doorbell-lost", 0)
+		d.mgr.env.Schedule(d.cfg.DoorbellWatchdog, func() {
+			d.vm.VCPU.PostT(d.cfg.GuestIRQCycles, metrics.TagOthers, tr, nil)
+		})
+		return
+	}
 	d.vm.VCPU.PostT(d.cfg.GuestIRQCycles, metrics.TagOthers, tr, nil)
 }
 

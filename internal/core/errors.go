@@ -1,0 +1,26 @@
+package core
+
+import "errors"
+
+// The typed errors a vRead read can surface. The chaos harness's first
+// invariant — reads return correct bytes or a typed error, never silent
+// corruption — is checked against these: every failure libvread reports
+// wraps one of them, so callers (and the hdfs client's fallback) can
+// distinguish "vRead degraded" from a programming error.
+var (
+	// ErrRingClosed means the shared-memory ring was torn down under the
+	// read (VM shutdown). Not retryable.
+	ErrRingClosed = errors.New("core: ring closed")
+	// ErrDaemonFailed means the daemon aborted the read — stale mount,
+	// injected disk error, crash, or remote retries exhausted. Retryable:
+	// a crash-restarted daemon or refreshed mount may succeed.
+	ErrDaemonFailed = errors.New("core: daemon failed")
+	// ErrShortRead means the ring stream ended before the requested byte
+	// count — a torn read. Retryable.
+	ErrShortRead = errors.New("core: short vRead")
+)
+
+// retryableRead reports whether libvread should re-issue the request.
+func retryableRead(err error) bool {
+	return errors.Is(err, ErrDaemonFailed) || errors.Is(err, ErrShortRead)
+}

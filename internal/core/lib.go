@@ -18,6 +18,7 @@ type LibStats struct {
 	OpenFallbacks int64 // vRead_open returned null → vanilla socket path
 	Reads         int64
 	BytesRead     int64
+	Retries       int64 // reads re-issued after a retryable daemon failure
 }
 
 // Lib is libvread: the user-level library of Table 1, wired into HDFS
@@ -124,7 +125,11 @@ func (v *VFD) Read(p *sim.Proc, n int64) (data.Slice, error) {
 }
 
 // ReadAt is vRead_read: write the request descriptor to the ring, doorbell
-// the daemon, then drain slots into the application buffer.
+// the daemon, then drain slots into the application buffer. Retryable
+// failures (ErrDaemonFailed, ErrShortRead) are re-issued with exponential
+// backoff up to MaxReadRetries before surfacing — the degradation layer that
+// rides out a daemon restart or a transient remote failure without the
+// caller noticing.
 func (v *VFD) ReadAt(p *sim.Proc, tr *trace.Trace, off, n int64) (data.Slice, error) {
 	if off < 0 || n < 0 || off+n > v.size {
 		return data.Slice{}, fmt.Errorf("core: vRead_read [%d,%d) outside block %s of %d", off, off+n, v.blockName, v.size)
@@ -134,9 +139,33 @@ func (v *VFD) ReadAt(p *sim.Proc, tr *trace.Trace, off, n int64) (data.Slice, er
 	}
 	l := v.lib
 	cfg := l.mgr.cfg
-	vcpu := l.vm.VCPU
 	l.stats.Reads++
 	sp := tr.Begin(trace.LayerLib, "vread-read")
+	var s data.Slice
+	var err error
+	for attempt := 0; ; attempt++ {
+		s, err = v.readOnce(p, tr, off, n)
+		if err == nil || !retryableRead(err) || attempt >= cfg.MaxReadRetries {
+			break
+		}
+		l.stats.Retries++
+		tr.Event(trace.LayerLib, "read-retry", 0)
+		p.Sleep(cfg.RetryBackoff << attempt)
+	}
+	if err != nil {
+		tr.EndSpan(sp, 0)
+		return data.Slice{}, err
+	}
+	tr.EndSpan(sp, n)
+	l.stats.BytesRead += n
+	return s, nil
+}
+
+// readOnce is one ring round trip: request descriptor in, slots drained out.
+func (v *VFD) readOnce(p *sim.Proc, tr *trace.Trace, off, n int64) (data.Slice, error) {
+	l := v.lib
+	cfg := l.mgr.cfg
+	vcpu := l.vm.VCPU
 	vcpu.RunT(p, cfg.LibCallCycles, metrics.TagClientApp, tr)
 
 	ring := l.daemon.ring
@@ -161,14 +190,12 @@ func (v *VFD) ReadAt(p *sim.Proc, tr *trace.Trace, off, n int64) (data.Slice, er
 		slot, ok := ring.full.Get(p)
 		if !ok {
 			tr.EndSpan(rsp, got)
-			tr.EndSpan(sp, got)
-			return data.Slice{}, fmt.Errorf("core: ring closed under %s", v.blockName)
+			return data.Slice{}, fmt.Errorf("%w under %s", ErrRingClosed, v.blockName)
 		}
 		if slot.err {
 			ring.free.Put(p, struct{}{})
 			tr.EndSpan(rsp, got)
-			tr.EndSpan(sp, got)
-			return data.Slice{}, fmt.Errorf("core: daemon failed reading %s", v.blockName)
+			return data.Slice{}, fmt.Errorf("%w reading %s", ErrDaemonFailed, v.blockName)
 		}
 		parts = append(parts, slot.s.Content())
 		got += slot.s.Len()
@@ -184,11 +211,9 @@ func (v *VFD) ReadAt(p *sim.Proc, tr *trace.Trace, off, n int64) (data.Slice, er
 	}
 	flush()
 	tr.EndSpan(rsp, got)
-	tr.EndSpan(sp, got)
 	if got != n {
-		return data.Slice{}, fmt.Errorf("core: short vRead of %s: %d of %d", v.blockName, got, n)
+		return data.Slice{}, fmt.Errorf("%w of %s: %d of %d", ErrShortRead, v.blockName, got, n)
 	}
-	l.stats.BytesRead += got
 	return data.NewSlice(parts), nil
 }
 

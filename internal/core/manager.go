@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"vread/internal/cluster"
 	"vread/internal/fsim"
@@ -34,6 +35,12 @@ type Manager struct {
 	pendingIDs map[*sim.Queue[chunkMsg]]int64
 	nextReq    int64
 	refreshes  int64
+	// downgraded maps a host-pair key to the virtual instant its RDMA→TCP
+	// downgrade expires. Recovery is lazy — checked on the next send rather
+	// than by timer — so an idle downgrade leaves no pending event behind
+	// (the chaos harness asserts Env.Pending drains to zero).
+	downgraded map[string]time.Duration
+	downgrades int64
 }
 
 // NewManager creates the vRead system. It installs a daemon server on every
@@ -54,6 +61,7 @@ func NewManager(cl *cluster.Cluster, nn *hdfs.NameNode, cfg Config) *Manager {
 		qps:        make(map[string]*netsim.QP),
 		pending:    make(map[int64]*sim.Queue[chunkMsg]),
 		pendingIDs: make(map[*sim.Queue[chunkMsg]]int64),
+		downgraded: make(map[string]time.Duration),
 	}
 	if nn != nil {
 		nn.AddBlockListener(m)
@@ -73,9 +81,10 @@ func (m *Manager) ensureServer(h *cluster.Host) *hostServer {
 	}
 	s := newHostServer(m, h)
 	m.servers[h.Name] = s
-	if m.cfg.Transport == TransportTCP {
-		m.fabric().BindHostPort(h.Name, VReadPort, m.onTCPFrame(h.Name))
-	}
+	// The TCP port is bound even under RDMA: it is the fallback path an
+	// injected QP teardown downgrades onto (§3.4's "TCP when RoCE is
+	// unavailable").
+	m.fabric().BindHostPort(h.Name, VReadPort, m.onTCPFrame(h.Name))
 	return s
 }
 
@@ -206,4 +215,69 @@ func (m *Manager) BlockRemoved(dn string, blockPath string) {
 func (m *Manager) DatanodeMigrated(vmName, oldHost string) {
 	m.UnmountDatanode(oldHost, vmName)
 	m.MountDatanode(vmName)
+}
+
+// ---------------------------------------------------------------------------
+// Degradation state: RDMA→TCP downgrade and crash recovery.
+
+// transportTo picks the transport for a send between two hosts, honouring an
+// active downgrade. An expired downgrade is cleared here — the next send
+// probes RDMA again over a fresh QP (the broken one was dropped when the
+// failure was noted).
+func (m *Manager) transportTo(a, b string) Transport {
+	if m.cfg.Transport != TransportRDMA || len(m.downgraded) == 0 {
+		return m.cfg.Transport
+	}
+	key := qpKey(a, b)
+	until, ok := m.downgraded[key]
+	if !ok {
+		return TransportRDMA
+	}
+	if m.env.Now() >= until {
+		delete(m.downgraded, key)
+		return TransportRDMA
+	}
+	return TransportTCP
+}
+
+// noteRemoteFailure records a failed remote exchange between two hosts.
+// Under RDMA it discards the (presumed broken) QP and downgrades the pair to
+// TCP for DowngradeWindow; it reports whether this call was the downgrade
+// transition (so the caller can mark the trace exactly once).
+func (m *Manager) noteRemoteFailure(a, b string) bool {
+	if m.cfg.Transport != TransportRDMA {
+		return false
+	}
+	key := qpKey(a, b)
+	delete(m.qps, key)
+	_, already := m.downgraded[key]
+	m.downgraded[key] = m.env.Now() + m.cfg.DowngradeWindow
+	if !already {
+		m.downgrades++
+	}
+	return !already
+}
+
+// Downgrades returns how many RDMA→TCP downgrade transitions have occurred.
+func (m *Manager) Downgrades() int64 { return m.downgrades }
+
+// PendingRemoteReads returns the number of outstanding remote requests — the
+// chaos harness asserts it drains to zero (no leaked sim.Queue readers).
+func (m *Manager) PendingRemoteReads() int { return len(m.pending) }
+
+// invalidateMounts empties every mount's dentry cache on a host — the
+// metadata a daemon crash loses. Reads and opens on the host miss (vanilla
+// fallback) until vRead_update refreshes paths or ResyncHost remounts.
+func (m *Manager) invalidateMounts(host string) {
+	for _, mount := range m.mounts[host] {
+		mount.Invalidate()
+	}
+}
+
+// ResyncHost re-snapshots every mount on a host — the full remount a
+// restarted daemon performs to recover from invalidated metadata.
+func (m *Manager) ResyncHost(host string) {
+	for _, mount := range m.mounts[host] {
+		mount.RefreshAll()
+	}
 }

@@ -7,6 +7,8 @@ import (
 	"vread/internal/cluster"
 	"vread/internal/cpusched"
 	"vread/internal/data"
+	"vread/internal/faults"
+	"vread/internal/fsim"
 	"vread/internal/metrics"
 	"vread/internal/netsim"
 	"vread/internal/sim"
@@ -29,9 +31,13 @@ type remoteReq struct {
 	tr       *trace.Trace
 }
 
-// remoteChunk is one response unit (data chunk or open reply).
+// remoteChunk is one response unit (data chunk or open reply). off is the
+// absolute file offset of a data chunk: the receiving daemon verifies
+// contiguity with it, so an injected drop or torn chunk surfaces as a
+// detectable gap instead of silently corrupting the ring stream.
 type remoteChunk struct {
 	reqID  int64
+	off    int64
 	err    bool
 	openOK bool
 	size   int64
@@ -40,6 +46,7 @@ type remoteChunk struct {
 // chunkMsg is what lands on a pending request's queue.
 type chunkMsg struct {
 	payload data.Slice
+	off     int64
 	err     bool
 	openOK  bool
 	size    int64
@@ -124,12 +131,24 @@ func (s *hostServer) handleRead(p *sim.Proc, req remoteReq) {
 		}
 		s.hr.read(p, req.tr, obj, key, e.Size, off, chunk)
 		payload, err := m.ReadAt(req.path, off, chunk)
+		if err == nil && cfg.Faults.Should(faults.DiskReadError) {
+			req.tr.Event(trace.LayerRemote, "fault:disk-error", 0)
+			err = fsim.ErrStale
+		}
 		if err != nil {
 			req.tr.EndSpan(sp, off-req.off)
 			s.send(p, req.tr, req.fromHost, data.Slice{C: data.Zero(0)}, remoteChunk{reqID: req.reqID, err: true})
 			return
 		}
-		s.send(p, req.tr, req.fromHost, payload, remoteChunk{reqID: req.reqID})
+		if chunk > 1 && cfg.Faults.Should(faults.DiskReadTorn) {
+			// Torn read: the chunk arrives short. The receiving daemon's
+			// contiguity check catches the gap at the next chunk (or its
+			// window timeout, if this was the last) and re-requests from
+			// the end of the delivered prefix.
+			req.tr.Event(trace.LayerRemote, "fault:disk-torn", 0)
+			payload = payload.Sub(0, chunk/2)
+		}
+		s.send(p, req.tr, req.fromHost, payload, remoteChunk{reqID: req.reqID, off: off})
 		off += chunk
 	}
 	req.tr.EndSpan(sp, req.n)
@@ -143,9 +162,10 @@ func (s *hostServer) send(p *sim.Proc, tr *trace.Trace, dstHost string, payload 
 // ---------------------------------------------------------------------------
 // Manager-side transport plumbing.
 
-// sendFrame transmits a request or chunk frame daemon-to-daemon.
+// sendFrame transmits a request or chunk frame daemon-to-daemon over the
+// pair's current transport (RDMA, or TCP while a downgrade is active).
 func (m *Manager) sendFrame(p *sim.Proc, srcHost string, srcThread *cpusched.Thread, dstHost string, fr netsim.Frame) {
-	switch m.cfg.Transport {
+	switch m.transportTo(srcHost, dstHost) {
 	case TransportRDMA:
 		qp := m.qpFor(srcHost, dstHost)
 		sent := sim.NewSignal(m.env)
@@ -173,6 +193,14 @@ func (m *Manager) sendFrame(p *sim.Proc, srcHost string, srcThread *cpusched.Thr
 		}
 	default:
 		panic(fmt.Sprintf("core: unknown transport %v", m.cfg.Transport))
+	}
+}
+
+// noteRemoteFailureT is noteRemoteFailure plus the once-per-transition trace
+// mark the acceptance test asserts on.
+func (m *Manager) noteRemoteFailureT(tr *trace.Trace, a, b string) {
+	if m.noteRemoteFailure(a, b) {
+		tr.Event(trace.LayerDaemon, "transport-downgrade", 0)
 	}
 }
 
@@ -212,9 +240,9 @@ func (m *Manager) onFrame(host string, fr netsim.Frame) {
 	case remoteChunk:
 		pend := m.pending[meta.reqID]
 		if pend == nil {
-			return // request abandoned
+			return // request abandoned (timed out and retired) — drop
 		}
-		pend.TryPut(chunkMsg{payload: fr.Payload, err: meta.err, openOK: meta.openOK, size: meta.size})
+		pend.TryPut(chunkMsg{payload: fr.Payload, off: meta.off, err: meta.err, openOK: meta.openOK, size: meta.size})
 	default:
 		panic(fmt.Sprintf("core: unexpected frame meta %T", fr.Meta))
 	}
@@ -244,7 +272,13 @@ func (m *Manager) remoteOpen(p *sim.Proc, d *Daemon, dnHost string, req ringReq)
 		Trace:   req.tr,
 	})
 	msg, ok := pend.GetTimeout(p, m.cfg.OpenTimeout)
-	if !ok || msg.err {
+	if !ok {
+		// No reply at all: treat the transport as suspect so subsequent
+		// reads to that host start on the TCP fallback.
+		m.noteRemoteFailureT(req.tr, d.host.Name, dnHost)
+		return openResult{}
+	}
+	if msg.err {
 		return openResult{}
 	}
 	return openResult{ok: msg.openOK, size: msg.size}

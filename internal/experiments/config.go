@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"vread/internal/core"
+	"vread/internal/faults"
 )
 
 // OptionsJSON is the serializable form of Options used by scenario files
@@ -24,6 +25,9 @@ type OptionsJSON struct {
 	Scale            float64 `json:"scale,omitempty"`
 	BlockSizeMB      int64   `json:"block_size_mb,omitempty"`
 	Scenario         string  `json:"scenario,omitempty"` // "co-located" | "remote" | "hybrid"
+	// Faults arms deterministic fault injection, in faults.ParseSpec syntax,
+	// e.g. "disk.read.slow:p=0.2,delay=2ms;daemon.crash:after=10,max=1".
+	Faults string `json:"faults,omitempty"`
 }
 
 // ParseOptions decodes a scenario file into Options plus the placement
@@ -55,6 +59,13 @@ func ParseOptions(raw []byte) (Options, Scenario, error) {
 		opt.Transport = core.TransportTCP
 	default:
 		return Options{}, Colocated, fmt.Errorf("experiments: unknown transport %q", j.Transport)
+	}
+	if j.Faults != "" {
+		spec, err := faults.ParseSpec(j.Faults)
+		if err != nil {
+			return Options{}, Colocated, fmt.Errorf("experiments: %w", err)
+		}
+		opt.Faults = spec
 	}
 	var scenario Scenario
 	switch j.Scenario {

@@ -16,6 +16,7 @@ import (
 
 	"vread/internal/cluster"
 	"vread/internal/core"
+	"vread/internal/faults"
 	"vread/internal/hdfs"
 	"vread/internal/mapred"
 	"vread/internal/metrics"
@@ -75,6 +76,10 @@ type Options struct {
 	BlockSize int64
 	// VReadConfig overrides vRead parameters (ring ablations).
 	VReadConfig *core.Config
+	// Faults arms deterministic fault injection across the testbed (disk,
+	// fabric, ring, daemon). The plan draws from the testbed's seeded RNG,
+	// so a (Seed, Faults) pair replays identically.
+	Faults faults.Spec
 	// Traces, when non-nil, installs a request tracer on the testbed's
 	// clients; sampled request traces accumulate here (shared across the
 	// testbeds an experiment builds).
@@ -129,6 +134,7 @@ type Testbed struct {
 	Mgr     *core.Manager // nil without vRead
 	Lib     *core.Lib
 	Tracer  *trace.Tracer // nil unless Options.Traces was set
+	Faults  *faults.Plan  // nil unless Options.Faults was set
 	closed  bool
 }
 
@@ -171,6 +177,12 @@ func NewTestbed(opt Options) *Testbed {
 		tb.Tracer = trace.NewTracerInto(c.Env, opt.TraceEvery, opt.Traces)
 		client.SetTracer(tb.Tracer)
 	}
+	if len(opt.Faults) > 0 {
+		tb.Faults = opt.Faults.Plan(c.Env)
+		c.Fabric.InjectFaults(tb.Faults)
+		h1.Disk.InjectFaults(tb.Faults)
+		h2.Disk.InjectFaults(tb.Faults)
+	}
 	if opt.VRead {
 		vcfg := core.Config{Transport: opt.Transport, DirectDiskBypass: opt.DirectDiskBypass}
 		if opt.VReadConfig != nil {
@@ -178,6 +190,7 @@ func NewTestbed(opt Options) *Testbed {
 			vcfg.Transport = opt.Transport
 			vcfg.DirectDiskBypass = opt.DirectDiskBypass
 		}
+		vcfg.Faults = tb.Faults
 		tb.Mgr = core.NewManager(c, nn, vcfg)
 		tb.Mgr.MountDatanode("dn1")
 		tb.Mgr.MountDatanode("dn2")

@@ -1,0 +1,158 @@
+package chaostest
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"vread/internal/core"
+	"vread/internal/faults"
+)
+
+// smokePlans is the chaos-smoke matrix: every faultpoint appears in at least
+// one plan, at rates high enough to fire within a 30-read storm.
+var smokePlans = []struct {
+	name      string
+	spec      string
+	transport core.Transport
+}{
+	{"slow-disk", "disk.read.slow:p=0.4,delay=2ms", core.TransportRDMA},
+	{"failing-disk", "disk.read.error:p=0.08;disk.read.torn:p=0.12", core.TransportRDMA},
+	{"lossy-net", "net.frame.drop:p=0.04;net.frame.delay:p=0.3,delay=1ms", core.TransportTCP},
+	{"flaky-rdma", "rdma.qp.teardown:p=0.03", core.TransportRDMA},
+	{"noisy-ring", "ring.doorbell.lost:p=0.4;ring.stall:p=0.3,delay=500us", core.TransportRDMA},
+	{"crashy-daemon", "daemon.crash:p=0.05", core.TransportRDMA},
+}
+
+var smokeSeeds = []int64{1, 7, 42}
+
+// failureRecord is what the CI artifact carries for a red chaos run: the
+// (seed, spec) pair replays the failure exactly.
+type failureRecord struct {
+	Seed       int64    `json:"seed"`
+	Plan       string   `json:"plan"`
+	Spec       string   `json:"spec"`
+	Violations []string `json:"violations"`
+}
+
+// TestChaosSmoke sweeps the seed × plan matrix, requiring every run to hold
+// all invariants and the suite as a whole to exercise most of the fault
+// surface. When CHAOS_REPORT names a file, failing (seed, spec) pairs are
+// written there as JSON so CI can attach the reproducers as an artifact.
+func TestChaosSmoke(t *testing.T) {
+	distinct := make(map[string]bool)
+	var failures []failureRecord
+	for _, plan := range smokePlans {
+		spec, err := faults.ParseSpec(plan.spec)
+		if err != nil {
+			t.Fatalf("plan %s: %v", plan.name, err)
+		}
+		for _, seed := range smokeSeeds {
+			res := Run(Options{Seed: seed, Spec: spec, Transport: plan.transport})
+			if len(res.Violations) > 0 {
+				failures = append(failures, failureRecord{
+					Seed: seed, Plan: plan.name, Spec: plan.spec, Violations: res.Violations,
+				})
+				for _, v := range res.Violations {
+					t.Errorf("plan %s seed %d: %s", plan.name, seed, v)
+				}
+			}
+			if res.OKs == 0 {
+				t.Errorf("plan %s seed %d: no read survived (%d typed errors, %d open misses)",
+					plan.name, seed, res.TypedErrors, res.OpenMisses)
+			}
+			for _, pc := range res.FaultCounts {
+				if pc.Fires > 0 {
+					distinct[pc.Point] = true
+				}
+			}
+		}
+	}
+	if len(distinct) < 6 {
+		t.Errorf("only %d distinct faultpoints fired across the smoke matrix, want >= 6: %v",
+			len(distinct), distinct)
+	}
+	if path := os.Getenv("CHAOS_REPORT"); path != "" && len(failures) > 0 {
+		blob, err := json.MarshalIndent(failures, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatalf("writing CHAOS_REPORT: %v", err)
+		}
+		t.Logf("wrote %d failing seeds to %s", len(failures), path)
+	}
+}
+
+// TestChaosSameSeedIsByteIdentical is the determinism acceptance criterion:
+// the same (seed, plan) pair must replay to the same fingerprint — outcome
+// stream, virtual timestamps, and fault tallies included — so a failing seed
+// is a complete reproducer.
+func TestChaosSameSeedIsByteIdentical(t *testing.T) {
+	for _, plan := range smokePlans {
+		spec, err := faults.ParseSpec(plan.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := Options{Seed: 42, Spec: spec, Transport: plan.transport}
+		a, b := Run(o), Run(o)
+		if a.Fingerprint != b.Fingerprint {
+			t.Errorf("plan %s: same-seed fingerprints differ: %016x vs %016x",
+				plan.name, a.Fingerprint, b.Fingerprint)
+		}
+		if a.Fingerprint == 0 {
+			t.Errorf("plan %s: empty fingerprint", plan.name)
+		}
+	}
+	// Different seeds must actually change the schedule (guards against a
+	// fingerprint that ignores its inputs).
+	spec, _ := faults.ParseSpec(smokePlans[0].spec)
+	a := Run(Options{Seed: 1, Spec: spec})
+	b := Run(Options{Seed: 2, Spec: spec})
+	if a.Fingerprint == b.Fingerprint {
+		t.Error("different seeds produced identical fingerprints")
+	}
+}
+
+// TestChaosFaultFreeBaseline: with no plan armed, the harness itself must be
+// clean — every read ok, nothing fired, no violations.
+func TestChaosFaultFreeBaseline(t *testing.T) {
+	res := Run(Options{Seed: 5, Reads: 10})
+	for _, v := range res.Violations {
+		t.Error(v)
+	}
+	if res.OKs != res.Reads || res.TypedErrors != 0 || res.OpenMisses != 0 {
+		t.Fatalf("baseline: %d/%d ok, %d errors, %d misses",
+			res.OKs, res.Reads, res.TypedErrors, res.OpenMisses)
+	}
+	if res.DistinctFired() != 0 {
+		t.Fatalf("faults fired with no plan armed: %+v", res.FaultCounts)
+	}
+}
+
+// TestChaosCombinedStorm arms everything at once for a longer run — the
+// closest the suite gets to the paper's "modified virtio + RDMA under real
+// clouds" worst case.
+func TestChaosCombinedStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("combined storm skipped in -short mode")
+	}
+	spec, err := faults.ParseSpec(
+		"disk.read.slow:p=0.2,delay=1ms;disk.read.error:p=0.03;disk.read.torn:p=0.05;" +
+			"net.frame.drop:p=0.02;net.frame.delay:p=0.2,delay=500us;" +
+			"rdma.qp.teardown:p=0.02;ring.doorbell.lost:p=0.2;ring.stall:p=0.2,delay=200us;" +
+			"daemon.crash:p=0.02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(Options{Seed: 1234, Spec: spec, Reads: 60, Deadline: 4 * time.Hour})
+	for _, v := range res.Violations {
+		t.Error(v)
+	}
+	if res.OKs == 0 {
+		t.Fatal("no read survived the combined storm")
+	}
+	t.Logf("combined storm: %d ok / %d typed errors / %d misses; %d distinct faultpoints fired",
+		res.OKs, res.TypedErrors, res.OpenMisses, res.DistinctFired())
+}

@@ -1,0 +1,235 @@
+// Package chaostest is the invariant-checking chaos harness for the full
+// vRead read path: it builds a two-host cluster, runs a seeded random read
+// workload under a fault plan, and checks the properties that must survive
+// any fault schedule:
+//
+//   - every read returns exactly the written bytes or a typed error — never
+//     silently corrupted or truncated data;
+//   - every trace span opened on a read is closed, fault paths included;
+//   - the workload terminates (no read wedges forever) and leaves nothing
+//     behind: Env.Pending drains to zero and no remote read stays pending;
+//   - the entire run is deterministic — two runs with the same (seed, plan)
+//     produce byte-identical outcome streams, so a failing seed IS the
+//     reproducer.
+//
+// The harness is a plain package (not _test) so the chaos smoke test, the
+// soak test, and the fault-sweep experiment can all drive it.
+package chaostest
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"vread/internal/cluster"
+	"vread/internal/core"
+	"vread/internal/data"
+	"vread/internal/faults"
+	"vread/internal/hdfs"
+	"vread/internal/metrics"
+	"vread/internal/sim"
+	"vread/internal/trace"
+)
+
+// Options selects one chaos run. The zero value of every field but Seed and
+// Spec is replaced by a sensible default.
+type Options struct {
+	Seed      int64
+	Spec      faults.Spec
+	Transport core.Transport
+	Files     int           // files written before the storm (default 3)
+	FileSize  int64         // bytes per file (default 1 MiB)
+	Reads     int           // read operations in the storm (default 30)
+	Deadline  time.Duration // virtual-time budget for the run (default 1h)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Files == 0 {
+		o.Files = 3
+	}
+	if o.FileSize == 0 {
+		o.FileSize = 1 << 20
+	}
+	if o.Reads == 0 {
+		o.Reads = 30
+	}
+	if o.Deadline == 0 {
+		o.Deadline = time.Hour
+	}
+	return o
+}
+
+// Result is one run's observable outcome.
+type Result struct {
+	Fingerprint uint64 // FNV-1a over the outcome stream, virtual times included
+	Reads       int    // read operations attempted
+	OKs         int    // reads that returned correct bytes
+	TypedErrors int    // reads that failed with a typed vRead error
+	OpenMisses  int    // vRead opens that fell back (e.g. after a crash)
+	FaultCounts []faults.PointCount
+	Violations  []string // broken invariants; empty on a clean run
+}
+
+// DistinctFired counts faultpoints that fired at least once.
+func (r Result) DistinctFired() int {
+	n := 0
+	for _, pc := range r.FaultCounts {
+		if pc.Fires > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes one chaos scenario and returns its outcome. It never calls
+// testing APIs: violations are data, so callers can aggregate them across a
+// seed sweep before failing.
+func Run(o Options) Result {
+	o = o.withDefaults()
+	res := Result{}
+	violate := func(format string, args ...interface{}) {
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+
+	c := cluster.New(o.Seed, cluster.Params{})
+	defer c.Close()
+	plan := faults.NewPlan(c.Env)
+	h1 := c.AddHost("host1")
+	h2 := c.AddHost("host2")
+	c.Fabric.InjectFaults(plan)
+	h1.Disk.InjectFaults(plan)
+	h2.Disk.InjectFaults(plan)
+	clientVM := h1.AddVM("client", metrics.TagClientApp)
+	dn1VM := h1.AddVM("dn1", metrics.TagDatanodeApp)
+	dn2VM := h2.AddVM("dn2", metrics.TagDatanodeApp)
+
+	nn := hdfs.NewNameNode(c.Env, hdfs.Config{BlockSize: 4 << 20}, c.Fabric)
+	hdfs.StartDataNode(c.Env, nn, dn1VM.Kernel)
+	hdfs.StartDataNode(c.Env, nn, dn2VM.Kernel)
+	cl := hdfs.NewClient(c.Env, nn, clientVM.Kernel)
+
+	// Alternate placement so the storm exercises both the local (ring) and
+	// remote (RDMA/TCP) halves of the read path. The policy is called once
+	// per block in block-ID order, so the counter maps IDs to datanodes.
+	var nextBlock int64
+	blockDN := make(map[int64]string)
+	nn.SetPlacementPolicy(func(string, int) []string {
+		nextBlock++
+		dn := "dn1"
+		if nextBlock%2 == 0 {
+			dn = "dn2"
+		}
+		blockDN[nextBlock] = dn
+		return []string{dn}
+	})
+
+	mgr := core.NewManager(c, nn, core.Config{Transport: o.Transport, Faults: plan})
+	mgr.MountDatanode("dn1")
+	mgr.MountDatanode("dn2")
+	lib := mgr.EnableClient("client")
+	cl.SetBlockReader(lib)
+
+	contents := make([]data.Pattern, o.Files)
+	tracer := trace.NewTracer(c.Env, 1)
+	fp := fnv.New64a()
+	record := func(format string, args ...interface{}) {
+		fmt.Fprintf(fp, format, args...)
+	}
+
+	done := false
+	c.Go("chaos", func(p *sim.Proc) {
+		// Quiet phase: the faultpoints arm only after the data is written,
+		// so every failure afterwards has known-good bytes to check against.
+		for i := range contents {
+			contents[i] = data.Pattern{Seed: uint64(o.Seed)*1000 + uint64(i), Size: o.FileSize}
+			if err := cl.WriteFile(p, fmt.Sprintf("/chaos/f%d", i), contents[i]); err != nil {
+				violate("write f%d: %v", i, err)
+				return
+			}
+		}
+		for _, r := range o.Spec {
+			plan.Set(r)
+		}
+
+		rng := c.Env.Rand()
+		for i := 0; i < o.Reads; i++ {
+			res.Reads++
+			blk := int64(rng.Intn(int(nextBlock))) + 1
+			fileIdx := int(blk-1) % o.Files // one block per file at these sizes
+			want := data.NewSlice(contents[fileIdx])
+			off := int64(rng.Intn(int(o.FileSize - 1)))
+			n := int64(rng.Intn(int(o.FileSize-off))) + 1
+
+			tr := tracer.Request(fmt.Sprintf("chaos-read-%d", i))
+			vfd, ok := lib.OpenPath(p, tr, blockDN[blk], hdfs.BlockPath(hdfs.BlockID(blk)), fmt.Sprintf("blk_%d", blk))
+			if !ok {
+				// A miss (crash-invalidated mount) degrades; it must not
+				// corrupt. Real deployments take the vanilla socket path and
+				// the restarted daemon remounts — model that resync here so
+				// later reads exercise vRead again.
+				res.OpenMisses++
+				tr.Finish(0)
+				record("%d|blk%d|%d|%d|openmiss|%d\n", i, blk, off, n, c.Env.Now())
+				mgr.ResyncHost("host1")
+				mgr.ResyncHost("host2")
+				continue
+			}
+			got, err := vfd.ReadAt(p, tr, off, n)
+			vfd.Close(p, tr)
+			tr.Finish(n)
+			switch {
+			case err == nil:
+				if !data.Equal(got, want.Sub(off, n)) {
+					violate("read %d blk%d [%d,%d): silent corruption", i, blk, off, off+n)
+					record("%d|blk%d|%d|%d|corrupt|%d\n", i, blk, off, n, c.Env.Now())
+				} else {
+					res.OKs++
+					record("%d|blk%d|%d|%d|ok|%d\n", i, blk, off, n, c.Env.Now())
+				}
+			case errors.Is(err, core.ErrDaemonFailed), errors.Is(err, core.ErrShortRead), errors.Is(err, core.ErrRingClosed):
+				res.TypedErrors++
+				record("%d|blk%d|%d|%d|err:%v|%d\n", i, blk, off, n, err, c.Env.Now())
+			default:
+				violate("read %d blk%d: untyped error %v", i, blk, err)
+				record("%d|blk%d|%d|%d|untyped|%d\n", i, blk, off, n, c.Env.Now())
+			}
+		}
+		done = true
+	})
+
+	start := c.Env.Now()
+	if err := c.Env.RunUntil(start + o.Deadline); err != nil {
+		violate("engine: %v", err)
+		return res
+	}
+	if !done {
+		violate("workload wedged: storm did not finish within %v", o.Deadline)
+		return res
+	}
+	if pend := c.Env.Pending(); pend != 0 {
+		violate("%d events still pending after the storm drained", pend)
+	}
+	if pend := mgr.PendingRemoteReads(); pend != 0 {
+		violate("%d remote reads leaked", pend)
+	}
+	// Span balance is checked after the drain: readahead disk spans and
+	// dropped-frame wire spans close asynchronously (at disk-finish or
+	// would-have-arrived instants), but once the event loop is empty every
+	// span opened on any trace must have ended — fault paths included.
+	for _, tr := range tracer.Traces() {
+		for _, s := range tr.Spans {
+			if s.End < s.Start {
+				violate("%s: span %s/%s opened at %v never closed", tr.Name, s.Layer, s.Name, s.Start)
+			}
+		}
+	}
+	record("downgrades=%d retries=%d crashes=%d\n",
+		mgr.Downgrades(), mgr.DaemonStats("client").RemoteRetries, mgr.DaemonStats("client").Crashes)
+	res.FaultCounts = plan.Counts()
+	for _, pc := range res.FaultCounts {
+		record("fault|%s|%d|%d\n", pc.Point, pc.Evals, pc.Fires)
+	}
+	res.Fingerprint = fp.Sum64()
+	return res
+}

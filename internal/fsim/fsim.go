@@ -357,6 +357,14 @@ func (m *HostMount) RefreshPath(path string) bool {
 	return true
 }
 
+// Invalidate empties the dentry cache without touching the live FS — what a
+// daemon crash does to the hypervisor's cached metadata. Every path is stale
+// (lookups miss, reads return ErrStale) until RefreshPath / RefreshAll
+// re-snapshots it, exactly the window vRead_update closes.
+func (m *HostMount) Invalidate() {
+	m.dentries = make(map[string]MountEntry)
+}
+
 // Refreshes returns how many refresh operations have run (fig13 verifies the
 // write-path overhead stays negligible).
 func (m *HostMount) Refreshes() int { return m.refreshes }

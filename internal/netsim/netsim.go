@@ -14,6 +14,7 @@ import (
 
 	"vread/internal/cpusched"
 	"vread/internal/data"
+	"vread/internal/faults"
 	"vread/internal/metrics"
 	"vread/internal/sim"
 	"vread/internal/trace"
@@ -91,11 +92,12 @@ type HostHandler func(fr Frame)
 
 // Fabric is the LAN: a registry of hosts and VM endpoints plus the switch.
 type Fabric struct {
-	env   *sim.Env
-	cfg   Config
-	nics  map[string]*NIC
-	vms   map[string]vmReg
-	ports map[hostPort]HostHandler
+	env    *sim.Env
+	cfg    Config
+	nics   map[string]*NIC
+	vms    map[string]vmReg
+	ports  map[hostPort]HostHandler
+	faults *faults.Plan
 }
 
 type vmReg struct {
@@ -121,6 +123,14 @@ func NewFabric(env *sim.Env, cfg Config) *Fabric {
 
 // Config returns the fabric parameters.
 func (f *Fabric) Config() Config { return f.cfg }
+
+// InjectFaults arms the network faultpoints from plan: net.frame.delay on
+// every transmit, net.frame.drop on host-terminated frames (the vRead
+// daemons' TCP transport, which carries its own timeout/retry — guest TCP
+// has no retransmit model, so dropping inter-VM frames would simulate a
+// kernel bug rather than a network fault), and rdma.qp.teardown per posted
+// work request. A nil plan disables injection.
+func (f *Fabric) InjectFaults(plan *faults.Plan) { f.faults = plan }
 
 // AddHost registers a host NIC. softirq is the host thread that receive
 // processing is charged to; entity/tag attribution follows that thread.
@@ -217,6 +227,11 @@ func (n *NIC) SendToHost(dstHost string, port int, fr Frame, onSent func()) {
 	}
 	fr.SrcHost = n.host
 	fr.DstHost = dstHost
+	if n.fabric.faults.Should(faults.NetFrameDrop) {
+		fr.Trace.Event(trace.LayerNet, "fault:frame-drop", 0)
+		n.transmit(fr, onSent, nil)
+		return
+	}
 	n.transmit(fr, onSent, func(arrived Frame) {
 		dst := n.fabric.nics[dstHost]
 		dst.softirq.PostT(n.fabric.cfg.SoftirqFrameCycles, metrics.TagVReadNet, arrived.Trace, func() {
@@ -234,13 +249,21 @@ func (n *NIC) SendDMA(fr Frame, onSent func(), deliver func(Frame)) {
 	n.transmit(fr, onSent, deliver)
 }
 
-// transmit paces the frame through this NIC and schedules arrival.
+// transmit paces the frame through this NIC and schedules arrival. A nil
+// deliver means the frame was dropped in flight: it still occupies the wire
+// and its span still closes (at the instant it would have arrived), it just
+// never reaches the destination.
 func (n *NIC) transmit(fr Frame, onSent func(), deliver func(Frame)) {
 	cfg := n.fabric.cfg
 	now := n.fabric.env.Now()
 	start := now
 	if n.busyUntil > start {
 		start = n.busyUntil
+	}
+	wire := cfg.Latency
+	if extra, ok := n.fabric.faults.ShouldDelay(faults.NetFrameDelay); ok {
+		fr.Trace.Event(trace.LayerNet, "fault:frame-delay", 0)
+		wire += extra
 	}
 	txTime := time.Duration(float64(fr.Payload.Len()) / float64(cfg.Bandwidth) * float64(time.Second))
 	done := start + txTime
@@ -251,9 +274,11 @@ func (n *NIC) transmit(fr Frame, onSent func(), deliver func(Frame)) {
 		n.fabric.env.Schedule(done-now, onSent)
 	}
 	sp := fr.Trace.Begin(trace.LayerNet, "wire")
-	n.fabric.env.Schedule(done-now+cfg.Latency, func() {
+	n.fabric.env.Schedule(done-now+wire, func() {
 		fr.Trace.EndSpan(sp, fr.Payload.Len())
-		deliver(fr)
+		if deliver != nil {
+			deliver(fr)
+		}
 	})
 }
 
@@ -273,6 +298,7 @@ type QP struct {
 	threadB  *cpusched.Thread
 	ops      int64
 	opsBytes int64
+	broken   bool
 }
 
 // NewQP connects two hosts. threadX is the thread whose entity RDMA CPU is
@@ -290,6 +316,12 @@ func (f *Fabric) NewQP(hostA string, threadA *cpusched.Thread, recvA func(Frame)
 
 // Ops returns the number of posted work requests.
 func (q *QP) Ops() int64 { return q.ops }
+
+// Broken reports whether the QP has been torn down by an injected
+// rdma.qp.teardown fault. A broken QP accepts posts (the sender's verbs
+// library doesn't learn synchronously) but delivers nothing; the caller's
+// timeout is what detects it, as in the paper's RDMA→TCP fallback.
+func (q *QP) Broken() bool { return q.broken }
 
 // OpsBytes returns total bytes moved through the QP.
 func (q *QP) OpsBytes() int64 { return q.opsBytes }
@@ -316,6 +348,21 @@ func (q *QP) PostFrom(host string, fr Frame, onSent func()) {
 	fr.SrcHost = host
 	fr.DstHost = dstHost
 	nic := q.fabric.nics[host]
+	if q.fabric.faults.Should(faults.RDMAQPTeardown) {
+		q.broken = true
+	}
+	if q.broken {
+		// Posting still costs CPU and the sender still sees local
+		// transmit-complete — the loss surfaces only at the reader's
+		// timeout, never as a synchronous error.
+		fr.Trace.Event(trace.LayerNet, "fault:qp-broken-drop", 0)
+		postTh.PostT(cfg.RDMAPostCycles, metrics.TagRDMA, fr.Trace, func() {
+			if onSent != nil {
+				onSent()
+			}
+		})
+		return
+	}
 	sp := fr.Trace.Begin(trace.LayerNet, "rdma")
 	postTh.PostT(cfg.RDMAPostCycles, metrics.TagRDMA, fr.Trace, func() {
 		now := q.fabric.env.Now()

@@ -6,6 +6,7 @@ import (
 
 	"vread/internal/cpusched"
 	"vread/internal/data"
+	"vread/internal/faults"
 	"vread/internal/metrics"
 	"vread/internal/sim"
 )
@@ -239,4 +240,97 @@ func TestUnknownDestinationPanics(t *testing.T) {
 		}
 	}()
 	fx.nic1.SendToVM(Frame{DstVM: "ghost", Payload: data.NewSlice(data.Bytes("x"))}, nil)
+}
+
+func TestHostFrameDropFault(t *testing.T) {
+	fx := newFixture(t)
+	plan := faults.NewPlan(fx.env)
+	plan.Set(faults.Rule{Point: faults.NetFrameDrop, Prob: 1, MaxFires: 1})
+	fx.fab.InjectFaults(plan)
+	var got []Frame
+	fx.fab.BindHostPort("host2", 9999, func(fr Frame) { got = append(got, fr) })
+	pl := data.NewSlice(data.Bytes("doomed"))
+	sentAt := time.Duration(-1)
+	fx.nic1.SendToHost("host2", 9999, Frame{Payload: pl}, func() { sentAt = fx.env.Now() })
+	fx.nic1.SendToHost("host2", 9999, Frame{Payload: data.NewSlice(data.Bytes("survivor"))}, nil)
+	if err := fx.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || string(got[0].Payload.Bytes()) != "survivor" {
+		t.Fatalf("delivered frames = %v, want only the second", got)
+	}
+	if sentAt < 0 {
+		t.Fatal("onSent never fired for the dropped frame")
+	}
+	if fx.env.Pending() != 0 {
+		t.Fatalf("%d events still pending after drop", fx.env.Pending())
+	}
+}
+
+func TestGuestFramesNeverDropped(t *testing.T) {
+	// net.frame.drop must not apply to inter-VM traffic: guest TCP has no
+	// retransmit model, so a drop there would wedge vanilla HDFS forever.
+	fx := newFixture(t)
+	plan := faults.NewPlan(fx.env)
+	plan.Set(faults.Rule{Point: faults.NetFrameDrop, Prob: 1})
+	fx.fab.InjectFaults(plan)
+	ep := &captureEP{env: fx.env}
+	fx.fab.RegisterVM("vm2", "host2", ep)
+	fx.nic1.SendToVM(Frame{DstVM: "vm2", Payload: data.NewSlice(data.Bytes("x"))}, nil)
+	if err := fx.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ep.frames) != 1 {
+		t.Fatalf("guest frame dropped: delivered %d", len(ep.frames))
+	}
+}
+
+func TestFrameDelayFault(t *testing.T) {
+	fx := newFixture(t)
+	plan := faults.NewPlan(fx.env)
+	plan.Set(faults.Rule{Point: faults.NetFrameDelay, Prob: 1, Delay: 3 * time.Millisecond})
+	fx.fab.InjectFaults(plan)
+	ep := &captureEP{env: fx.env}
+	fx.fab.RegisterVM("vm2", "host2", ep)
+	fx.nic1.SendToVM(Frame{DstVM: "vm2", Payload: data.NewSlice(data.Bytes("x"))}, nil)
+	if err := fx.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ep.frames) != 1 {
+		t.Fatalf("delivered %d frames", len(ep.frames))
+	}
+	if ep.at[0] < 3*time.Millisecond {
+		t.Fatalf("arrived at %v, before injected delay", ep.at[0])
+	}
+}
+
+func TestQPTeardownFault(t *testing.T) {
+	fx := newFixture(t)
+	plan := faults.NewPlan(fx.env)
+	plan.Set(faults.Rule{Point: faults.RDMAQPTeardown, Prob: 1, AfterN: 1, MaxFires: 1})
+	fx.fab.InjectFaults(plan)
+	d1 := fx.cpu1.NewThread("d1", "d1")
+	d2 := fx.cpu2.NewThread("d2", "d2")
+	var atB int
+	qp := fx.fab.NewQP("host1", d1, nil, "host2", d2, func(Frame) { atB++ })
+	pl := data.NewSlice(data.Bytes("x"))
+	var sent int
+	qp.PostFrom("host1", Frame{Payload: pl}, func() { sent++ }) // delivered
+	qp.PostFrom("host1", Frame{Payload: pl}, func() { sent++ }) // tears down, dropped
+	qp.PostFrom("host1", Frame{Payload: pl}, func() { sent++ }) // QP stays broken
+	if err := fx.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if atB != 1 {
+		t.Fatalf("delivered %d work requests, want 1 (pre-teardown only)", atB)
+	}
+	if !qp.Broken() {
+		t.Fatal("QP not marked broken")
+	}
+	if sent != 3 {
+		t.Fatalf("onSent fired %d times, want 3 (posting always completes locally)", sent)
+	}
+	if fx.env.Pending() != 0 {
+		t.Fatalf("%d events pending after teardown", fx.env.Pending())
+	}
 }

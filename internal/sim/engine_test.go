@@ -316,3 +316,64 @@ func TestEngineDeterminismUnderCancel(t *testing.T) {
 		}
 	}
 }
+
+// TestCancellationStormDuringDispatch is the storm regression: waves of
+// timers where each firing callback mass-cancels the rest of its wave and
+// schedules the next one. Cancellation here happens inside dispatch — while
+// the engine is popping the heap — across enough waves to trip compaction
+// repeatedly. Pending must stay exact, no cancelled timer may fire, and the
+// heap must not accumulate dead entries across waves.
+func TestCancellationStormDuringDispatch(t *testing.T) {
+	env := NewEnv(1)
+	const (
+		waves    = 8
+		perWave  = 2 * minCompact
+		survivor = 0 // index within the wave that fires and runs the storm
+	)
+	firedPerWave := make([]int, waves)
+	var launch func(wave int)
+	launch = func(wave int) {
+		if wave == waves {
+			return
+		}
+		timers := make([]Timer, perWave)
+		for i := 0; i < perWave; i++ {
+			i := i
+			// The survivor is earliest, so it fires first and cancels the
+			// rest of the wave from inside its callback.
+			at := time.Duration(i+1) * time.Millisecond
+			timers[i] = env.Schedule(at, func() {
+				firedPerWave[wave]++
+				if i != survivor {
+					t.Errorf("wave %d: cancelled timer %d fired", wave, i)
+					return
+				}
+				for j := survivor + 1; j < perWave; j++ {
+					if !timers[j].Cancel() {
+						t.Errorf("wave %d: Cancel(%d) failed mid-dispatch", wave, j)
+					}
+				}
+				// Double-cancel inside the storm must stay a no-op.
+				if timers[survivor].Cancel() {
+					t.Errorf("wave %d: cancelling the firing timer returned true", wave)
+				}
+				launch(wave + 1)
+			})
+		}
+	}
+	launch(0)
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for w, n := range firedPerWave {
+		if n != 1 {
+			t.Fatalf("wave %d fired %d callbacks, want 1 (the survivor)", w, n)
+		}
+	}
+	if got := env.Pending(); got != 0 {
+		t.Fatalf("Pending after the storm = %d, want 0", got)
+	}
+	if n := len(env.events); n >= perWave {
+		t.Fatalf("heap holds %d dead entries after %d storm waves; compaction never caught up", n, waves)
+	}
+}

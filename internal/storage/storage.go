@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"time"
 
+	"vread/internal/faults"
 	"vread/internal/sim"
 	"vread/internal/trace"
 )
@@ -61,6 +62,7 @@ type Disk struct {
 	name      string
 	busyUntil time.Duration
 	stats     DiskStats
+	faults    *faults.Plan
 }
 
 // NewDisk creates a device.
@@ -70,6 +72,10 @@ func NewDisk(env *sim.Env, name string, cfg DiskConfig) *Disk {
 
 // Name returns the device name.
 func (d *Disk) Name() string { return d.name }
+
+// InjectFaults arms the device's faultpoints (disk.read.slow) from plan.
+// A nil plan disables injection.
+func (d *Disk) InjectFaults(plan *faults.Plan) { d.faults = plan }
 
 // Stats returns a copy of the activity counters.
 func (d *Disk) Stats() DiskStats { return d.stats }
@@ -86,8 +92,13 @@ func (d *Disk) ReadAsync(n int64, onDone func()) {
 // ReadAsyncT is ReadAsync with a "disk read" span (submit → completion) on
 // the request trace.
 func (d *Disk) ReadAsyncT(tr *trace.Trace, n int64, onDone func()) {
+	lat := d.cfg.ReadLatency
+	if extra, ok := d.faults.ShouldDelay(faults.DiskReadSlow); ok {
+		lat += extra
+		tr.Event(trace.LayerDisk, "fault:disk-slow", 0)
+	}
 	sp := tr.Begin(trace.LayerDisk, "read")
-	d.submit(n, d.cfg.ReadLatency, d.cfg.ReadBandwidth, func() {
+	d.submit(n, lat, d.cfg.ReadBandwidth, func() {
 		tr.EndSpan(sp, n)
 		if onDone != nil {
 			onDone()

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"vread/internal/faults"
 	"vread/internal/sim"
 )
 
@@ -189,5 +190,45 @@ func TestCacheCapacityProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestDiskSlowFaultAddsLatency(t *testing.T) {
+	env := sim.NewEnv(1)
+	d := NewDisk(env, "ssd", DiskConfig{})
+	plan := faults.NewPlan(env)
+	plan.Set(faults.Rule{Point: faults.DiskReadSlow, Prob: 1, Delay: 5 * time.Millisecond})
+	d.InjectFaults(plan)
+	var done time.Duration
+	env.Go("p", func(p *sim.Proc) {
+		d.Read(p, 0)
+		done = env.Now()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 5*time.Millisecond + 100*time.Microsecond
+	if done != want {
+		t.Fatalf("faulted read finished at %v, want %v", done, want)
+	}
+	if plan.Fired(faults.DiskReadSlow) != 1 {
+		t.Fatalf("fired = %d", plan.Fired(faults.DiskReadSlow))
+	}
+}
+
+func TestDiskNilPlanUnchanged(t *testing.T) {
+	env := sim.NewEnv(1)
+	d := NewDisk(env, "ssd", DiskConfig{})
+	d.InjectFaults(nil)
+	var done time.Duration
+	env.Go("p", func(p *sim.Proc) {
+		d.Read(p, 0)
+		done = env.Now()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 100*time.Microsecond {
+		t.Fatalf("read finished at %v, want bare latency", done)
 	}
 }

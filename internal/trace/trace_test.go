@@ -293,3 +293,71 @@ func TestUsecFormatting(t *testing.T) {
 		}
 	}
 }
+
+// TestAbsorb: the parallel runner's collector merge must renumber IDs into
+// the destination's sequence and leave sources empty; degenerate shapes
+// (nil, self, empty) are no-ops.
+func TestAbsorb(t *testing.T) {
+	mk := func(n int, name string) *Collector {
+		env := sim.NewEnv(1)
+		tc := NewTracerInto(env, 1, &Collector{})
+		for i := 0; i < n; i++ {
+			tc.Request(name).Finish(0)
+		}
+		return tc.Collector()
+	}
+
+	t.Run("empty-into-empty", func(t *testing.T) {
+		dst, src := &Collector{}, &Collector{}
+		dst.Absorb(src)
+		if len(dst.Traces) != 0 || src.Traces != nil {
+			t.Fatalf("dst=%d src=%v", len(dst.Traces), src.Traces)
+		}
+	})
+	t.Run("nil-and-self", func(t *testing.T) {
+		dst := mk(2, "a")
+		dst.Absorb(nil)
+		dst.Absorb(dst)
+		if len(dst.Traces) != 2 {
+			t.Fatalf("traces = %d after nil/self absorb", len(dst.Traces))
+		}
+		for i, tr := range dst.Traces {
+			if tr.ID != int64(i+1) {
+				t.Fatalf("trace %d has ID %d", i, tr.ID)
+			}
+		}
+	})
+	t.Run("single-cell", func(t *testing.T) {
+		dst, src := &Collector{}, mk(3, "cell0")
+		dst.Absorb(src)
+		if len(dst.Traces) != 3 || len(src.Traces) != 0 {
+			t.Fatalf("dst=%d src=%d", len(dst.Traces), len(src.Traces))
+		}
+		for i, tr := range dst.Traces {
+			if tr.ID != int64(i+1) {
+				t.Fatalf("trace %d renumbered to %d", i, tr.ID)
+			}
+		}
+	})
+	t.Run("multi-cell-serial-order", func(t *testing.T) {
+		dst := mk(2, "cell0")
+		dst.Absorb(mk(2, "cell1"))
+		dst.Absorb(mk(1, "cell2"))
+		if len(dst.Traces) != 5 {
+			t.Fatalf("traces = %d", len(dst.Traces))
+		}
+		// IDs continue the destination sequence: exactly what one shared
+		// serial collector would have assigned.
+		for i, tr := range dst.Traces {
+			if tr.ID != int64(i+1) {
+				t.Fatalf("trace %d (%s) has ID %d, want %d", i, tr.Name, tr.ID, i+1)
+			}
+		}
+		wantNames := []string{"cell0", "cell0", "cell1", "cell1", "cell2"}
+		for i, tr := range dst.Traces {
+			if tr.Name != wantNames[i] {
+				t.Fatalf("trace %d = %s, want %s", i, tr.Name, wantNames[i])
+			}
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 
 	"vread"
 	"vread/internal/data"
+	"vread/internal/faults/chaostest"
 	"vread/internal/metrics"
 	"vread/internal/sim"
 )
@@ -141,4 +142,51 @@ func TestSoakChurn(t *testing.T) {
 	if c.Reg.TotalCycles() <= 0 {
 		t.Fatal("registry conserved nothing")
 	}
+}
+
+// TestSoakChaosStorm is the soak test's chaos sibling: a long random read
+// storm with every faultpoint armed at once, run through the chaostest
+// harness so all of its invariants apply (correct bytes or typed error,
+// balanced spans, drained event loop, no leaked remote reads) — then run
+// again from the same seed to assert the whole storm replays byte-
+// identically, fault schedule included.
+func TestSoakChaosStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	spec, err := vread.ParseFaultSpec(
+		"disk.read.slow:p=0.15,delay=1ms;disk.read.error:p=0.02;disk.read.torn:p=0.04;" +
+			"net.frame.drop:p=0.02;net.frame.delay:p=0.15,delay=500us;" +
+			"rdma.qp.teardown:p=0.015;ring.doorbell.lost:p=0.15;ring.stall:p=0.15,delay=200us;" +
+			"daemon.crash:p=0.015")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() chaostest.Result {
+		return chaostest.Run(chaostest.Options{
+			Seed:     2025,
+			Spec:     spec,
+			Files:    4,
+			FileSize: 2 << 20,
+			Reads:    120,
+			Deadline: 8 * time.Hour,
+		})
+	}
+	res := run()
+	for _, v := range res.Violations {
+		t.Error(v)
+	}
+	if res.OKs == 0 {
+		t.Fatal("no read survived the chaos soak")
+	}
+	if res.DistinctFired() < 6 {
+		t.Errorf("only %d distinct faultpoints fired during the soak: %+v",
+			res.DistinctFired(), res.FaultCounts)
+	}
+	if again := run(); again.Fingerprint != res.Fingerprint {
+		t.Errorf("chaos soak is not reproducible: %016x vs %016x",
+			res.Fingerprint, again.Fingerprint)
+	}
+	t.Logf("chaos soak: %d ok / %d typed errors / %d open misses; %d faultpoints fired",
+		res.OKs, res.TypedErrors, res.OpenMisses, res.DistinctFired())
 }

@@ -32,6 +32,7 @@ import (
 	"vread/internal/core"
 	"vread/internal/cpusched"
 	"vread/internal/experiments"
+	"vread/internal/faults"
 	"vread/internal/guest"
 	"vread/internal/hdfs"
 	"vread/internal/mapred"
@@ -360,7 +361,40 @@ var (
 	RunAblationTransport    = experiments.RunAblationTransport
 	RunAblationShortCircuit = experiments.RunAblationShortCircuit
 	RunAblationSRIOV        = experiments.RunAblationSRIOV
+	RunFaultSweep           = experiments.RunFaultSweep
 )
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection (DESIGN.md §9).
+
+// FaultSpec is a parsed set of fault rules; build one with ParseFaultSpec or
+// literal FaultRule values, then arm it via Options.Faults or FaultSpec.Plan.
+type FaultSpec = faults.Spec
+
+// FaultRule arms one faultpoint (probability, after-N, one-shot, delay).
+type FaultRule = faults.Rule
+
+// FaultPlan is an armed, seeded fault plan bound to one Env.
+type FaultPlan = faults.Plan
+
+// FaultPointCount reports one faultpoint's evaluation and fire tallies.
+type FaultPointCount = faults.PointCount
+
+// FaultProfile names one fault mix of the RunFaultSweep ablation.
+type FaultProfile = experiments.FaultProfile
+
+// ParseFaultSpec parses "point[:opt,...][;point...]" syntax, e.g.
+// "disk.read.slow:p=0.2,delay=2ms;rdma.qp.teardown:after=100,max=1".
+var ParseFaultSpec = faults.ParseSpec
+
+// FaultPoints lists every registered faultpoint name.
+var FaultPoints = faults.Points
+
+// DefaultFaultProfiles is RunFaultSweep's standard resilience grid.
+var DefaultFaultProfiles = experiments.DefaultFaultProfiles
+
+// NewFaultPlan creates an empty plan bound to env; arm points with Set.
+func NewFaultPlan(env *Env) *FaultPlan { return faults.NewPlan(env) }
 
 // Row types.
 type (
