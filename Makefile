@@ -7,7 +7,7 @@
 GO ?= go
 RACE_PKGS := ./internal/data ./internal/metrics ./internal/trace ./internal/par ./internal/experiments
 
-.PHONY: tier1 fmt vet build lint lint-fix-list test race bench bench-smoke chaos-smoke
+.PHONY: tier1 fmt vet build lint lint-self lint-fix-list lint-report test race bench bench-smoke chaos-smoke
 
 tier1: fmt vet build lint test race
 
@@ -21,17 +21,34 @@ vet:
 build:
 	$(GO) build ./...
 
-# lint runs the simulator's invariant analyzers (determinism, simdiscipline,
-# lockpair, tracecharge) over the whole tree. Also usable as a vet tool:
+# lint runs the simulator's eight invariant analyzers — per-package
+# (determinism, simdiscipline, lockpair, tracecharge) and interprocedural
+# (hotalloc, lockorder, faultpoint, errdiscipline) — over the whole tree.
+# Also usable as a vet tool (per-package analyzers only, vet shows the tool
+# one package at a time):
 #   go vet -vettool=$(PWD)/bin/vread-lint ./...
 lint:
 	$(GO) build -o bin/vread-lint ./cmd/vread-lint
 	./bin/vread-lint ./...
 
+# lint-self turns the linter on its own implementation: the analysis
+# framework and every analyzer must satisfy the invariants they enforce.
+lint-self:
+	$(GO) build -o bin/vread-lint ./cmd/vread-lint
+	./bin/vread-lint ./internal/analysis/... ./cmd/vread-lint
+
 # lint-fix-list prints findings as file:line for editor quickfix lists.
 lint-fix-list:
 	$(GO) build -o bin/vread-lint ./cmd/vread-lint
 	./bin/vread-lint -list ./...
+
+# lint-report writes the findings as stable, diffable JSON (byte-identical
+# across runs on the same tree) for the CI artifact; the exit status is the
+# lint verdict, the report is written either way.
+lint-report:
+	$(GO) build -o bin/vread-lint ./cmd/vread-lint
+	./bin/vread-lint -json ./... > lint-report.json; \
+		status=$$?; cat lint-report.json; exit $$status
 
 test:
 	$(GO) test ./...

@@ -4,14 +4,21 @@
 //	simdiscipline  no raw goroutines/channels/sync/timers outside internal/sim
 //	lockpair       every ring spinlock acquire released on all paths
 //	tracecharge    every span ended on all paths; no dropped trace contexts
+//	hotalloc       //lint:hotpath functions (and their callees) never allocate
+//	lockorder      sim.Mutex acquisition order is acyclic; no double-acquire
+//	faultpoint     fault-point declarations, Eval sites, and tests agree
+//	errdiscipline  core errors are typed or %w-wrapped; compared with errors.Is
 //
 // Standalone:
 //
 //	vread-lint ./...                 # lint packages, exit 1 on findings
 //	vread-lint -list ./...           # findings as file:line for editor jumps
+//	vread-lint -json ./...           # findings as a stable JSON array
 //	vread-lint -run lockpair ./...   # subset of analyzers
 //
-// As a vet tool (the go vet driver handles caching and test packages):
+// As a vet tool (the go vet driver handles caching and test packages;
+// whole-program analyzers are skipped because vet shows the tool one
+// package at a time):
 //
 //	go vet -vettool=$(pwd)/bin/vread-lint ./...
 //
@@ -31,20 +38,19 @@ import (
 )
 
 // version participates in go vet's content-based caching (-V=full).
-const version = "v1"
+const version = "v2"
 
 func main() {
 	flagV := flag.String("V", "", "print version (go vet protocol)")
 	flagFlags := flag.Bool("flags", false, "describe flags as JSON (go vet protocol)")
 	flagList := flag.Bool("list", false, "print findings as file:line only")
+	flagJSON := flag.Bool("json", false, "print findings as a JSON array on stdout")
 	flagRun := flag.String("run", "", "comma-separated analyzer names to run (default all)")
-	flagJSON := flag.Bool("json", false, "ignored; accepted for vet driver compatibility")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vread-lint [-list] [-run names] packages...\n")
+		fmt.Fprintf(os.Stderr, "usage: vread-lint [-list] [-json] [-run names] packages...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	_ = *flagJSON
 
 	if *flagV != "" {
 		// go vet invokes `vettool -V=full` to key its cache.
@@ -67,13 +73,15 @@ func main() {
 	args := flag.Args()
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		// go vet -vettool mode: one package per invocation, described by a
-		// JSON config file.
-		diags, err := analysis.RunVet(args[0], analyzers)
+		// JSON config file. Whole-program analyzers need every package at
+		// once, so only the per-package subset runs here; `make lint` runs
+		// the full suite standalone.
+		diags, err := analysis.RunVet(args[0], perPackage(analyzers))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vread-lint:", err)
 			os.Exit(1)
 		}
-		report(diags, *flagList)
+		report(diags, *flagList, *flagJSON)
 		if len(diags) > 0 {
 			os.Exit(2)
 		}
@@ -93,16 +101,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vread-lint:", err)
 		os.Exit(2)
 	}
-	var diags []analysis.Diagnostic
-	for _, pkg := range pkgs {
-		ds, err := analysis.RunAnalyzers(pkg, analyzers)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "vread-lint:", err)
-			os.Exit(2)
-		}
-		diags = append(diags, ds...)
+	diags, err := analysis.RunSuite(analysis.NewProgram(pkgs), analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vread-lint:", err)
+		os.Exit(2)
 	}
-	report(diags, *flagList)
+	report(diags, *flagList, *flagJSON)
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
@@ -114,21 +118,39 @@ func selectAnalyzers(runFlag string) ([]*analysis.Analyzer, error) {
 		return suite, nil
 	}
 	byName := map[string]*analysis.Analyzer{}
+	var names []string
 	for _, a := range suite {
 		byName[a.Name] = a
+		names = append(names, a.Name)
 	}
 	var picked []*analysis.Analyzer
 	for _, name := range strings.Split(runFlag, ",") {
 		a, ok := byName[strings.TrimSpace(name)]
 		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q (have: determinism, simdiscipline, lockpair, tracecharge)", name)
+			return nil, fmt.Errorf("unknown analyzer %q (have: %s)", name, strings.Join(names, ", "))
 		}
 		picked = append(picked, a)
 	}
 	return picked, nil
 }
 
-func report(diags []analysis.Diagnostic, listOnly bool) {
+// perPackage filters out whole-program analyzers, which cannot run under
+// the one-package-at-a-time vet protocol.
+func perPackage(analyzers []*analysis.Analyzer) []*analysis.Analyzer {
+	var out []*analysis.Analyzer
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func report(diags []analysis.Diagnostic, listOnly, asJSON bool) {
+	if asJSON {
+		os.Stdout.Write(analysis.MarshalDiagnostics(diags))
+		return
+	}
 	for _, d := range diags {
 		if listOnly {
 			fmt.Printf("%s:%d\n", d.Pos.Filename, d.Pos.Line)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -166,7 +167,7 @@ func readAll(p *sim.Proc, tb *vread.Testbed, buf int64) error {
 	}
 	defer r.Close(p)
 	for {
-		if _, err := r.Read(p, buf); err == io.EOF {
+		if _, err := r.Read(p, buf); errors.Is(err, io.EOF) {
 			return nil
 		} else if err != nil {
 			return err

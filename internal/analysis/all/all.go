@@ -4,17 +4,26 @@ package all
 import (
 	"vread/internal/analysis"
 	"vread/internal/analysis/determinism"
+	"vread/internal/analysis/errdiscipline"
+	"vread/internal/analysis/faultpoint"
+	"vread/internal/analysis/hotalloc"
+	"vread/internal/analysis/lockorder"
 	"vread/internal/analysis/lockpair"
 	"vread/internal/analysis/simdiscipline"
 	"vread/internal/analysis/tracecharge"
 )
 
-// Analyzers returns the full suite in stable order.
+// Analyzers returns the full suite in stable order: the per-package
+// analyzers first, then the interprocedural (whole-program) ones.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		determinism.Analyzer,
 		simdiscipline.Analyzer,
 		lockpair.Analyzer,
 		tracecharge.Analyzer,
+		hotalloc.Analyzer,
+		lockorder.Analyzer,
+		faultpoint.Analyzer,
+		errdiscipline.Analyzer,
 	}
 }

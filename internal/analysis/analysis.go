@@ -16,11 +16,14 @@ import (
 	"go/token"
 	"go/types"
 	"regexp"
-	"sort"
 	"strings"
 )
 
-// Analyzer is one named invariant checker.
+// Analyzer is one named invariant checker. Exactly one of Run and RunProgram
+// is set: Run analyzers see one package at a time, RunProgram analyzers see
+// the whole loaded program plus its call graph (the interprocedural layer)
+// and only run under RunSuite — the vet driver, which hands us one package
+// per process, skips them.
 type Analyzer struct {
 	// Name is the analyzer's identifier, used in -run filters and in
 	// //lint:allow directives.
@@ -29,6 +32,8 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass) error
+	// RunProgram inspects the whole program; nil for per-package analyzers.
+	RunProgram func(*ProgramPass) error
 }
 
 // Pass carries one package through one analyzer.
@@ -53,6 +58,59 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
+// MarshalDiagnostics renders diagnostics as a JSON array with a fixed field
+// order (file, line, col, analyzer, message) and one object per line. The
+// input must already be sorted (RunAnalyzers/RunSuite output is); given the
+// same diagnostics the bytes are identical on every run, which is what lets
+// CI diff lint-report.json artifacts across builds.
+func MarshalDiagnostics(diags []Diagnostic) []byte {
+	var b strings.Builder
+	b.WriteString("[")
+	for i, d := range diags {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n  ")
+		fmt.Fprintf(&b, `{"file":%s,"line":%d,"col":%d,"analyzer":%s,"message":%s}`,
+			jsonString(d.Pos.Filename), d.Pos.Line, d.Pos.Column,
+			jsonString(d.Analyzer), jsonString(d.Message))
+	}
+	if len(diags) > 0 {
+		b.WriteString("\n")
+	}
+	b.WriteString("]\n")
+	return []byte(b.String())
+}
+
+// jsonString quotes s as a JSON string (the subset of escaping Go source
+// positions and lint messages can contain).
+func jsonString(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(&b, `\u%04x`, r)
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	*p.diags = append(*p.diags, Diagnostic{
@@ -62,11 +120,23 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	})
 }
 
-// IsTestFile reports whether pos lies in a _test.go file. The analyzers
-// enforce invariants on simulator code only; tests may consult the wall
-// clock or spin goroutines to exercise the engine from outside.
+// IsTestFile reports whether pos lies in a test file. The analyzers enforce
+// invariants on simulator code only; tests may consult the wall clock or
+// spin goroutines to exercise the engine from outside. Both the in-package
+// form (foo_test.go, package foo) and the external variant (package foo_test)
+// count: the filename check catches the common case, and the package-clause
+// check catches external-test-package files however they are named — fixture
+// trees and generated files don't always follow the _test.go convention.
 func (p *Pass) IsTestFile(pos token.Pos) bool {
-	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+	if strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go") {
+		return true
+	}
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return strings.HasSuffix(f.Name.Name, "_test")
+		}
+	}
+	return false
 }
 
 // ---------------------------------------------------------------------------
@@ -156,19 +226,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 		}
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i].Pos, diags[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Column != b.Column {
-			return a.Column < b.Column
-		}
-		return diags[i].Message < diags[j].Message
-	})
+	sortDiagnostics(diags)
 	return diags, nil
 }
 

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func mustParse(t *testing.T, fset *token.FileSet, name, src string) *ast.File {
+	t.Helper()
+	f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", name, err)
+	}
+	return f
+}
+
+// TestPassIsTestFile pins down all three ways a position can land in a test
+// file: the *_test.go filename, membership in a type-checked file whose
+// package clause names an external test package (package foo_test — fixture
+// trees and generated files don't always follow the filename convention),
+// and plain package files, which must stay non-test.
+func TestPassIsTestFile(t *testing.T) {
+	fset := token.NewFileSet()
+	regular := mustParse(t, fset, "a/regular.go", "package foo\n")
+	external := mustParse(t, fset, "a/external.go", "package foo_test\n")
+	named := mustParse(t, fset, "a/x_test.go", "package foo\n")
+	pass := &Pass{Fset: fset, Files: []*ast.File{regular, external, named}}
+
+	if pass.IsTestFile(regular.Name.Pos()) {
+		t.Errorf("regular.go (package foo) classified as a test file")
+	}
+	if !pass.IsTestFile(external.Name.Pos()) {
+		t.Errorf("external.go (package foo_test) not classified as a test file: the package-clause check is broken")
+	}
+	if !pass.IsTestFile(named.Name.Pos()) {
+		t.Errorf("x_test.go not classified as a test file by filename")
+	}
+}
+
+// TestProgramPassIsTestFile covers the program-level variant: positions in a
+// package's parse-only TestFiles and in external-test-package Files must
+// classify as test positions; ordinary package files must not.
+func TestProgramPassIsTestFile(t *testing.T) {
+	fset := token.NewFileSet()
+	regular := mustParse(t, fset, "b/regular.go", "package bar\n")
+	external := mustParse(t, fset, "b/external.go", "package bar_test\n")
+	arming := mustParse(t, fset, "b/arming.go", "package bar\n") // lives in TestFiles
+	pkg := &Package{
+		Path:      "b",
+		Fset:      fset,
+		Files:     []*ast.File{regular, external},
+		TestFiles: []*ast.File{arming},
+	}
+	pass := &ProgramPass{Prog: NewProgram([]*Package{pkg})}
+
+	if pass.IsTestFile(regular.Name.Pos()) {
+		t.Errorf("regular.go classified as a test file")
+	}
+	if !pass.IsTestFile(external.Name.Pos()) {
+		t.Errorf("external.go (package bar_test) not classified as a test file")
+	}
+	if !pass.IsTestFile(arming.Name.Pos()) {
+		t.Errorf("TestFiles member not classified as a test file")
+	}
+}

@@ -23,6 +23,7 @@ package analysistest
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
 	"go/types"
 	"os"
@@ -47,9 +48,16 @@ func TestData(t *testing.T) string {
 	return filepath.Join(wd, "testdata")
 }
 
-// Run loads each fixture package from testdata/src/<path>, applies the
+// Run loads the fixture packages from testdata/src/<path>, applies the
 // analyzer (with //lint:allow suppression, exactly as the real drivers do),
 // and compares the diagnostics against the fixtures' // want comments.
+//
+// All listed packages load into one Program and the analyzer runs once over
+// it via RunSuite, so program analyzers (RunProgram) see a cross-package call
+// graph: a fixture that needs interprocedural propagation between packages
+// simply lists every package involved. Packages a fixture merely imports for
+// types (the sim/trace stubs) resolve through the importer but stay out of
+// the Program — their bodies are not analyzed.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	fset := token.NewFileSet()
@@ -59,17 +67,20 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 		cache:   map[string]*analysis.Package{},
 		exports: map[string]string{},
 	}
+	var pkgs []*analysis.Package
 	for _, path := range pkgPaths {
 		pkg, err := imp.loadFixture(path)
 		if err != nil {
 			t.Fatalf("loading fixture %s: %v", path, err)
 		}
-		diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
-		if err != nil {
-			t.Fatalf("running %s on %s: %v", a.Name, path, err)
-		}
-		check(t, fset, pkg, diags)
+		pkgs = append(pkgs, pkg)
 	}
+	prog := analysis.NewProgram(pkgs)
+	diags, err := analysis.RunSuite(prog, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	check(t, fset, prog, diags)
 }
 
 // ---------------------------------------------------------------------------
@@ -110,17 +121,29 @@ func (im *fixtureImporter) loadFixture(path string) (*analysis.Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var files []string
+	// Mirror the real loader's split: *_test.go files become syntax-only
+	// TestFiles (the external _test package variant cannot type-check with
+	// the package proper anyway), everything else type-checks as the package.
+	var files, testFiles []string
 	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+		switch {
+		case e.IsDir() || !strings.HasSuffix(e.Name(), ".go"):
+		case strings.HasSuffix(e.Name(), "_test.go"):
+			testFiles = append(testFiles, filepath.Join(dir, e.Name()))
+		default:
 			files = append(files, filepath.Join(dir, e.Name()))
 		}
 	}
 	sort.Strings(files)
+	sort.Strings(testFiles)
 	if len(files) == 0 {
 		return nil, fmt.Errorf("no fixture files in %s", dir)
 	}
 	pkg, err := analysis.Check(im.fset, im, path, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	pkg.TestFiles, err = analysis.ParseOnly(im.fset, testFiles)
 	if err != nil {
 		return nil, err
 	}
@@ -178,9 +201,9 @@ type want struct {
 	matched bool
 }
 
-func check(t *testing.T, fset *token.FileSet, pkg *analysis.Package, diags []analysis.Diagnostic) {
+func check(t *testing.T, fset *token.FileSet, prog *analysis.Program, diags []analysis.Diagnostic) {
 	t.Helper()
-	wants := parseWants(t, fset, pkg)
+	wants := parseWants(t, fset, prog)
 	for _, d := range diags {
 		if w := claim(wants, d); w != nil {
 			w.matched = true
@@ -204,10 +227,15 @@ func claim(wants []*want, d analysis.Diagnostic) *want {
 	return nil
 }
 
-func parseWants(t *testing.T, fset *token.FileSet, pkg *analysis.Package) []*want {
+func parseWants(t *testing.T, fset *token.FileSet, prog *analysis.Program) []*want {
 	t.Helper()
+	var files []*ast.File
+	for _, pkg := range prog.Pkgs {
+		files = append(files, pkg.Files...)
+		files = append(files, pkg.TestFiles...)
+	}
 	var wants []*want
-	for _, f := range pkg.Files {
+	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				m := wantRx.FindStringSubmatch(c.Text)

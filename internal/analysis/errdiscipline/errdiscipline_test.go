@@ -1,0 +1,12 @@
+package errdiscipline_test
+
+import (
+	"testing"
+
+	"vread/internal/analysis/analysistest"
+	"vread/internal/analysis/errdiscipline"
+)
+
+func TestErrDiscipline(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), errdiscipline.Analyzer, "core", "app")
+}

@@ -1,0 +1,43 @@
+// Package app exercises the comparison rule from a consumer package.
+package app
+
+import (
+	"errors"
+	"io"
+
+	"core"
+)
+
+// Drain compares errors every way.
+func Drain(next func() error) int {
+	n := 0
+	for {
+		err := next()
+		if err == nil { // nil comparisons are fine
+			n++
+			continue
+		}
+		if err == io.EOF { // want `errors compared with == never match once wrapped: use errors\.Is\(err, io\.EOF\)`
+			return n
+		}
+		if err != core.ErrShort { // want `errors compared with != never match once wrapped: use errors\.Is\(err, core\.ErrShort\)`
+			return -1
+		}
+		if errors.Is(err, core.ErrShort) { // the sanctioned form
+			continue
+		}
+		return -1
+	}
+}
+
+// Pump uses the one == that is deliberate: instrumentation counting exact,
+// unwrapped sentinels from its own channel.
+func Pump(next func() error, sentinel error) int {
+	n := 0
+	for {
+		if err := next(); err == sentinel { //lint:allow errdiscipline(the harness injects this exact value; wrapping cannot occur between injection and here)
+			return n
+		}
+		n++
+	}
+}

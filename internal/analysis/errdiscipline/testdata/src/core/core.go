@@ -1,0 +1,26 @@
+package core
+
+import "fmt"
+
+// Open is exported and returns error: the wrap rule applies anywhere in the
+// package.
+func Open(name string) error {
+	if name == "" {
+		return fmt.Errorf("core: empty name") // want `fmt\.Errorf without %w in exported function Open`
+	}
+	if name == "." {
+		return fmt.Errorf("core: bad name %q: %w", name, ErrShort)
+	}
+	return nil
+}
+
+// helper is unexported and outside the retry files: exempt.
+func helper() error {
+	return fmt.Errorf("core: helper detail")
+}
+
+// Describe returns no error: fmt.Errorf-free formatting is fine, and the
+// rule does not apply.
+func Describe(name string) string {
+	return fmt.Sprintf("core: %s", name)
+}

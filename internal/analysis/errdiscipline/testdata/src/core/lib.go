@@ -1,0 +1,33 @@
+// Package core is the errdiscipline fixture's stand-in for the real core
+// package: this file plays the retry boundary (the rule covers unexported
+// functions here too).
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShort is the fixture's typed sentinel.
+var ErrShort = errors.New("core: short read")
+
+// readAt is unexported but lives in lib.go: the wrap rule applies.
+func readAt(off int64) error {
+	if off < 0 {
+		return fmt.Errorf("core: bad offset %d", off) // want `fmt\.Errorf without %w in readAt in retry-boundary file lib\.go`
+	}
+	return nil
+}
+
+// retry wraps properly on the retry path.
+func retry(off int64) error {
+	if err := readAt(off); err != nil {
+		return fmt.Errorf("core: retrying %d: %w", off, err)
+	}
+	return nil
+}
+
+// probe fabricates a deliberate leaf error and says why.
+func probe() error {
+	return fmt.Errorf("core: probe sentinel, never matched by callers") //lint:allow errdiscipline(the probe error is compared by string in the harness, by design)
+}

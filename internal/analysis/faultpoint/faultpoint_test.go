@@ -1,0 +1,12 @@
+package faultpoint_test
+
+import (
+	"testing"
+
+	"vread/internal/analysis/analysistest"
+	"vread/internal/analysis/faultpoint"
+)
+
+func TestFaultPoint(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), faultpoint.Analyzer, "faults", "storage")
+}

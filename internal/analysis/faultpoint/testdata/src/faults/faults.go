@@ -1,0 +1,38 @@
+// Package faults is a miniature fault registry for the faultpoint fixture:
+// the same declaration shape as the real one, with deliberate registry rot.
+package faults
+
+import "time"
+
+// Declared points. Orphan is declared but never registered in Points();
+// Ghost is registered but never evaluated anywhere; Unarmed is evaluated
+// but no test arms it.
+const (
+	DiskSlow = "disk.read.slow"
+	DiskErr  = "disk.read.error"
+	Ghost    = "disk.read.ghost"   // want `faultpoint Ghost = "disk\.read\.ghost" is registered but never evaluated`
+	Unarmed  = "disk.read.unarmed" // want `faultpoint Unarmed = "disk\.read\.unarmed" has no arming test`
+	Orphan   = "disk.read.orphan"  // want `faultpoint constant Orphan = "disk\.read\.orphan" is not registered in Points\(\)`
+	Custom   = "custom.point"      // no layer table entry: exempt from the layer check
+	NetDrop  = "net.frame.drop"    // want `faultpoint NetDrop = "net\.frame\.drop" is never evaluated in its declared layer \(want one of: netsim; evaluated in: storage\)`
+)
+
+// notAPoint must not be mistaken for a faultpoint declaration.
+const notAPoint = "just a sentence, not a point"
+
+// Points lists the registered faultpoints.
+func Points() []string {
+	return []string{DiskSlow, DiskErr, Ghost, Unarmed, Custom, NetDrop}
+}
+
+// Plan is the evaluation half of the registry.
+type Plan struct{}
+
+// Should evaluates a faultpoint.
+func (p *Plan) Should(point string) bool { return false }
+
+// ShouldDelay evaluates a delay-class faultpoint.
+func (p *Plan) ShouldDelay(point string) (time.Duration, bool) { return 0, false }
+
+// ParseSpec parses a spec string (grammar only; the analyzer never calls it).
+func ParseSpec(s string) (int, error) { return 0, nil }

@@ -1,0 +1,55 @@
+// Package storage is the fixture's disk layer: legitimate evaluation sites,
+// a typo'd point, a wrong-layer evaluation, a non-constant evaluation, and
+// the allow escape hatch.
+package storage
+
+import "faults"
+
+// Disk evaluates its own layer's points.
+type Disk struct {
+	plan *faults.Plan
+}
+
+// Read evaluates disk points in the disk layer: fine.
+func (d *Disk) Read() {
+	if d.plan.Should(faults.DiskSlow) {
+		return
+	}
+	if _, ok := d.plan.ShouldDelay(faults.DiskErr); ok {
+		return
+	}
+	if d.plan.Should(faults.Unarmed) {
+		return
+	}
+	if d.plan.Should(faults.Custom) { // no layer entry for custom.*: allowed anywhere
+		return
+	}
+}
+
+// Typo evaluates a point that was never declared.
+func (d *Disk) Typo() {
+	if d.plan.Should("disk.read.sloww") { // want `faultpoint "disk\.read\.sloww" is not declared in the faults registry`
+		return
+	}
+}
+
+// WrongLayer evaluates a net-layer point from the storage package.
+func (d *Disk) WrongLayer() {
+	if d.plan.Should(faults.NetDrop) { // want `faultpoint "net\.frame\.drop" belongs to the net\.\* layer and must not be evaluated in package storage`
+		return
+	}
+}
+
+// Opaque evaluates through a variable, which the cross-check cannot see.
+func (d *Disk) Opaque(name string) {
+	if d.plan.Should(name) { // want `faultpoint name passed to Should is not a constant`
+		return
+	}
+}
+
+// Sanctioned is Opaque with a documented suppression.
+func (d *Disk) Sanctioned(name string) {
+	if d.plan.Should(name) { //lint:allow faultpoint(the point name is validated by the caller against Points())
+		return
+	}
+}

@@ -1,0 +1,33 @@
+// The fixture's arming tests: spec literals and constant mentions that arm
+// points, plus ParseSpec literals in every grammar state. Unarmed is — by
+// design — mentioned nowhere in this file.
+package storage_test
+
+import (
+	"testing"
+
+	"faults"
+)
+
+func TestArming(t *testing.T) {
+	// Arms DiskSlow (inside a spec string) and validates cleanly.
+	if _, err := faults.ParseSpec("disk.read.slow:p=0.5,delay=2ms"); err != nil {
+		t.Fatal(err)
+	}
+	// Arms DiskErr through its constant, and exercises concatenation.
+	_ = faults.DiskErr
+	if _, err := faults.ParseSpec("disk.read." + "error:after=3,max=1"); err != nil {
+		t.Fatal(err)
+	}
+	// Arms Ghost and NetDrop and Custom by naming them.
+	_ = "disk.read.ghost"
+	_ = "net.frame.drop"
+	_ = "custom.point"
+}
+
+func TestBadSpecs(t *testing.T) {
+	_, _ = faults.ParseSpec("disk.read.bogus")        // want `spec literal does not parse: unknown faultpoint "disk\.read\.bogus"`
+	_, _ = faults.ParseSpec("disk.read.slow:zap=1")   // want `spec literal does not parse: unknown option "zap" in rule "disk\.read\.slow:zap=1"`
+	_, _ = faults.ParseSpec("disk.read.slow:delay=x") // want `spec literal does not parse: bad delay value in rule "disk\.read\.slow:delay=x"`
+	_, _ = faults.ParseSpec("disk.read.slow:oops=1")  //lint:allow faultpoint(negative fixture: the parse error is the subject under test)
+}

@@ -38,6 +38,16 @@ type FlowHooks struct {
 	// AtExit is invoked with the held resources at every return statement
 	// (ret non-nil) and at an implicit fall-off-the-end exit (ret nil).
 	AtExit func(ret *ast.ReturnStmt, held []Held)
+	// AtAcquire, when set, is invoked for every acquisition Classify returns,
+	// with the resources held at that moment (before the acquisition is
+	// applied). Unlike AtExit it also fires when the key is already held,
+	// which is how the lock-order analyzer sees double-acquires.
+	AtAcquire func(h Held, held []Held)
+	// Events and AtEvent, when both set, deliver analyzer-defined point
+	// events (function calls, closure definitions) together with the held
+	// set at that point. Events are not added to the held set.
+	Events  func(stmt ast.Stmt, isDefer bool) []Held
+	AtEvent func(ev Held, held []Held)
 }
 
 // WalkPaths runs the pairing walk over a function body.
@@ -124,17 +134,26 @@ func (w *flowWalker) walkList(stmts []ast.Stmt, held *heldSet) bool {
 }
 
 func (w *flowWalker) classify(s ast.Stmt, isDefer bool, held *heldSet) {
-	if w.hooks.Classify == nil {
-		return
+	var acq []Held
+	var rel []interface{}
+	if w.hooks.Classify != nil {
+		acq, rel = w.hooks.Classify(s, isDefer)
 	}
-	acq, rel := w.hooks.Classify(s, isDefer)
 	for _, k := range rel {
 		if isDefer {
 			w.deferred[k] = true
 		}
 		held.remove(k)
 	}
+	if w.hooks.Events != nil && w.hooks.AtEvent != nil {
+		for _, ev := range w.hooks.Events(s, isDefer) {
+			w.hooks.AtEvent(ev, held.items())
+		}
+	}
 	for _, h := range acq {
+		if w.hooks.AtAcquire != nil {
+			w.hooks.AtAcquire(h, held.items())
+		}
 		if w.deferred[h.Key] {
 			continue // a defer already guarantees its release
 		}

@@ -1,0 +1,14 @@
+// Package hothelper is called from hotfix's annotated functions: the hot
+// fact must cross the package boundary through the call graph.
+package hothelper
+
+// Grow is a helper with no annotation of its own; it is hot only because
+// hotfix.Fire calls it.
+func Grow(xs []int, v int) []int {
+	return append(xs, v) // want `append may grow its backing array on hot path hotfix.Fire → hothelper.Grow`
+}
+
+// Cold is identical but unreachable from any hot seed: no finding.
+func Cold(xs []int, v int) []int {
+	return append(xs, v)
+}

@@ -1,0 +1,69 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vread/internal/analysis"
+)
+
+// writeModule lays out a throwaway module under a temp dir and returns it.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadMissingPackage(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmp.test/m\n\ngo 1.22\n",
+	})
+	_, err := analysis.Load(dir, []string{"./nope"})
+	if err == nil {
+		t.Fatalf("Load of a nonexistent package succeeded")
+	}
+	if !strings.Contains(err.Error(), "nope") {
+		t.Errorf("error does not name the missing package: %v", err)
+	}
+}
+
+func TestLoadSyntaxError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":   "module tmp.test/m\n\ngo 1.22\n",
+		"a/bad.go": "package a\n\nfunc Broken( {\n",
+	})
+	_, err := analysis.Load(dir, []string{"./a"})
+	if err == nil {
+		t.Fatalf("Load of a package with a syntax error succeeded")
+	}
+}
+
+// TestLoadExportDataAbsent drives the importer's missing-export path: the
+// dependency fails to compile, so `go list -export` records no export data
+// for it, and type-checking the importing target must fail cleanly rather
+// than panic or silently skip the import.
+func TestLoadExportDataAbsent(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmp.test/m\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nimport \"tmp.test/m/b\"\n\nvar V = b.X\n",
+		"b/b.go": "package b\n\nvar X int = \"not an int\"\n",
+	})
+	_, err := analysis.Load(dir, []string{"./a"})
+	if err == nil {
+		t.Fatalf("Load succeeded despite a dependency that does not compile")
+	}
+	if !strings.Contains(err.Error(), "tmp.test/m/b") {
+		t.Errorf("error does not name the broken dependency: %v", err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package ordfix exercises the lock-order analyzer: consistent-order code,
+// a two-lock inversion, a double-acquire, a map-instance self-cycle, an
+// interprocedural inversion through a helper, and the allow escape hatch.
+package ordfix
+
+import "vread/internal/sim"
+
+// Node is a component with two ordered locks.
+type Node struct {
+	a *sim.Mutex
+	b *sim.Mutex
+}
+
+// Registry owns a lock per peer.
+type Registry struct {
+	peers map[string]*sim.Mutex
+}
+
+// Pair is a second component whose cycle closes only through a helper call.
+type Pair struct {
+	c *sim.Mutex
+	d *sim.Mutex
+}
+
+// DeferHolds takes a (defer-released, so held for the rest of the function
+// as far as ordering is concerned) then b. This is the first a→b edge the
+// analyzer sees, so the cycle with Inverted's b→a edge is reported here.
+func DeferHolds(p *sim.Proc, n *Node) {
+	n.a.Lock(p)
+	defer n.a.Unlock()
+	n.b.Lock(p) // want `lock order cycle \(ordfix\.Node\)\.a → \(ordfix\.Node\)\.b → \(ordfix\.Node\)\.a`
+	n.b.Unlock()
+}
+
+// Ordered takes a before b — the same order as DeferHolds, so it adds no new
+// cycle and no diagnostic of its own.
+func Ordered(p *sim.Proc, n *Node) {
+	n.a.Lock(p)
+	n.b.Lock(p)
+	n.b.Unlock()
+	n.a.Unlock()
+}
+
+// Inverted takes b before a: the reverse of DeferHolds/Ordered. The cycle is
+// reported once, at the canonical rotation's first edge (in DeferHolds).
+func Inverted(p *sim.Proc, n *Node) {
+	n.b.Lock(p)
+	n.a.Lock(p)
+	n.a.Unlock()
+	n.b.Unlock()
+}
+
+// Double re-acquires the same lock expression while holding it.
+func Double(p *sim.Proc, n *Node) {
+	n.a.Lock(p)
+	n.a.Lock(p) // want `lock \(ordfix\.Node\)\.a is acquired while already held \(acquired at line \d+\): sim\.Mutex is not reentrant`
+	n.a.Unlock()
+}
+
+// ReleasedBetween is sequential, not nested: no ordering edge, no report.
+func ReleasedBetween(p *sim.Proc, n *Node) {
+	n.a.Lock(p)
+	n.a.Unlock()
+	n.b.Lock(p)
+	n.b.Unlock()
+}
+
+// TwoPeers locks two instances of the same class with no instance order.
+func TwoPeers(p *sim.Proc, r *Registry, x, y string) {
+	r.peers[x].Lock(p)
+	r.peers[y].Lock(p) // want `lock \(ordfix\.Registry\)\.peers may be acquired while an instance of it is already held \(r\.peers\[x\] at line \d+\)`
+	r.peers[y].Unlock()
+	r.peers[x].Unlock()
+}
+
+// Sanctioned is TwoPeers with an imposed instance order, documented and
+// suppressed.
+func Sanctioned(p *sim.Proc, r *Registry, x, y string) {
+	if x > y {
+		x, y = y, x
+	}
+	r.peers[x].Lock(p)
+	r.peers[y].Lock(p) //lint:allow lockorder(instances are locked in key order, so the class self-cycle cannot deadlock)
+	r.peers[y].Unlock()
+	r.peers[x].Unlock()
+}
+
+// LocalAlias locks through a local variable; the class resolves through the
+// defining assignment back to the owning field, so the lock participates in
+// the global order under its real class instead of a private one.
+func LocalAlias(p *sim.Proc, r *Registry, k string) {
+	mu := r.peers[k]
+	if mu == nil {
+		mu = sim.NewMutex(nil)
+		r.peers[k] = mu
+	}
+	mu.Lock(p)
+	mu.Unlock()
+}
+
+// lockD is the helper whose acquisition summary carries d to its callers.
+func lockD(p *sim.Proc, q *Pair) {
+	q.d.Lock(p)
+	q.d.Unlock()
+}
+
+// CHoldsCallsD holds c across a call that acquires d: the c→d edge exists
+// only interprocedurally, and closes a cycle with DHoldsLocksC's direct d→c
+// edge.
+func CHoldsCallsD(p *sim.Proc, q *Pair) {
+	q.c.Lock(p)
+	lockD(p, q) // want `lock order cycle \(ordfix\.Pair\)\.c → \(ordfix\.Pair\)\.d → \(ordfix\.Pair\)\.c.*via ordfix\.lockD`
+	q.c.Unlock()
+}
+
+// DHoldsLocksC takes d then c directly.
+func DHoldsLocksC(p *sim.Proc, q *Pair) {
+	q.d.Lock(p)
+	q.c.Lock(p)
+	q.c.Unlock()
+	q.d.Unlock()
+}

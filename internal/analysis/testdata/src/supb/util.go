@@ -1,0 +1,9 @@
+// Package supb holds the same violation as supa, in a file with the same
+// basename (util.go) and on the same line number. The //lint:allow in
+// supa/util.go must not reach it: suppressions are keyed by the file's full
+// path as recorded in the FileSet.
+package supb
+
+func Spawn(f func()) {
+	go f() // want `raw go statement outside internal/sim`
+}

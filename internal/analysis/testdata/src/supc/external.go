@@ -1,0 +1,10 @@
+// Package supc compiles as an external test package — the package clause
+// ends in _test — but the file is not named *_test.go, which is how external
+// test files reach an analyzer through fixture trees and generated code.
+// Pass.IsTestFile must classify it by package clause, so the raw goroutine
+// below must produce no diagnostic (analyzers exempt test files).
+package supc_test
+
+func Spawn(f func()) {
+	go f()
+}

@@ -18,6 +18,9 @@ var (
 	// ErrShortRead means the ring stream ended before the requested byte
 	// count — a torn read. Retryable.
 	ErrShortRead = errors.New("core: short vRead")
+	// ErrBadRange means the caller asked for offsets outside the block —
+	// a programming error in the caller, never retryable.
+	ErrBadRange = errors.New("core: range outside block")
 )
 
 // retryableRead reports whether libvread should re-issue the request.

@@ -105,7 +105,7 @@ func (v *VFD) Size() int64 { return v.size }
 func (v *VFD) Seek(p *sim.Proc, off int64) (int64, error) {
 	v.lib.vm.VCPU.Run(p, v.lib.mgr.cfg.LibCallCycles, metrics.TagClientApp)
 	if off < 0 || off > v.size {
-		return v.pos, fmt.Errorf("core: vRead_seek to %d outside [0,%d] of %s", off, v.size, v.blockName)
+		return v.pos, fmt.Errorf("core: vRead_seek to %d outside [0,%d] of %s: %w", off, v.size, v.blockName, ErrBadRange)
 	}
 	v.pos = off
 	return v.pos, nil
@@ -132,7 +132,7 @@ func (v *VFD) Read(p *sim.Proc, n int64) (data.Slice, error) {
 // caller noticing.
 func (v *VFD) ReadAt(p *sim.Proc, tr *trace.Trace, off, n int64) (data.Slice, error) {
 	if off < 0 || n < 0 || off+n > v.size {
-		return data.Slice{}, fmt.Errorf("core: vRead_read [%d,%d) outside block %s of %d", off, off+n, v.blockName, v.size)
+		return data.Slice{}, fmt.Errorf("core: vRead_read [%d,%d) outside block %s of %d: %w", off, off+n, v.blockName, v.size, ErrBadRange)
 	}
 	if n == 0 {
 		return data.Slice{}, nil

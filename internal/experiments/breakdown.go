@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -101,7 +102,7 @@ func runBreakdown(opt Options, figure string, scenario Scenario, tr core.Transpo
 			}
 			defer r.Close(p)
 			for {
-				if _, err := r.Read(p, 1<<20); err == io.EOF {
+				if _, err := r.Read(p, 1<<20); errors.Is(err, io.EOF) {
 					return nil
 				} else if err != nil {
 					return err

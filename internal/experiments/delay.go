@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -26,7 +27,7 @@ func hdfsDelayStats(p *sim.Proc, tb *Testbed, path string, reqSize int64) (*metr
 	rec := metrics.NewLatencyRecorder()
 	for {
 		start := env.Now()
-		if _, err := r.Read(p, reqSize); err == io.EOF {
+		if _, err := r.Read(p, reqSize); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
 			return nil, err

@@ -14,7 +14,7 @@ type eventHeap []*event
 
 // push appends ev and restores the heap property.
 func (h *eventHeap) push(ev *event) {
-	*h = append(*h, ev)
+	*h = append(*h, ev) //lint:allow hotalloc(heap growth amortized: capacity tracks the pending working set)
 	h.up(len(*h) - 1)
 }
 

@@ -44,6 +44,8 @@ func (q *Queue[T]) Close() {
 }
 
 // Put appends v, blocking while the queue is full.
+//
+//lint:hotpath
 func (q *Queue[T]) Put(p *Proc, v T) {
 	for q.capacity > 0 && len(q.items) >= q.capacity && !q.closed {
 		q.notFull.Wait(p)
@@ -51,7 +53,7 @@ func (q *Queue[T]) Put(p *Proc, v T) {
 	if q.closed {
 		panic("sim: Put on closed Queue")
 	}
-	q.items = append(q.items, v)
+	q.items = append(q.items, v) //lint:allow hotalloc(growth amortized into the queue's bounded working set)
 	q.notEmpty.Signal()
 }
 
@@ -70,6 +72,8 @@ func (q *Queue[T]) TryPut(v T) bool {
 
 // Get removes and returns the oldest item, blocking while the queue is empty.
 // ok is false only when the queue is closed and drained.
+//
+//lint:hotpath
 func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
 	for len(q.items) == 0 && !q.closed {
 		q.notEmpty.Wait(p)

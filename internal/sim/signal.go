@@ -21,10 +21,12 @@ type waiter struct {
 func NewSignal(env *Env) *Signal { return &Signal{env: env} }
 
 // Wait suspends p until the next Signal or Broadcast.
+//
+//lint:hotpath
 func (s *Signal) Wait(p *Proc) {
 	p.checkContext()
-	w := &waiter{p: p}
-	s.waiters = append(s.waiters, w)
+	w := &waiter{p: p}               //lint:allow hotalloc(pooling is unsafe: a timed-out waiter may linger in s.waiters past reuse)
+	s.waiters = append(s.waiters, w) //lint:allow hotalloc(amortized into the signal's waiter working set)
 	p.park()
 }
 
@@ -48,7 +50,10 @@ func (s *Signal) WaitTimeout(p *Proc, d time.Duration) bool {
 }
 
 // Signal wakes exactly one waiting process (the longest-waiting one). It
-// reports whether a process was woken.
+// reports whether a process was woken. The wake-up schedules the process's
+// prebound wake closure, so signalling allocates nothing.
+//
+//lint:hotpath
 func (s *Signal) Signal() bool {
 	for len(s.waiters) > 0 {
 		w := s.waiters[0]
@@ -57,13 +62,15 @@ func (s *Signal) Signal() bool {
 			continue
 		}
 		w.fired = true
-		s.env.Schedule(0, func() { s.env.dispatch(w.p) })
+		s.env.Schedule(0, w.p.wake)
 		return true
 	}
 	return false
 }
 
 // Broadcast wakes every currently waiting process.
+//
+//lint:hotpath
 func (s *Signal) Broadcast() {
 	ws := s.waiters
 	s.waiters = nil
@@ -72,8 +79,7 @@ func (s *Signal) Broadcast() {
 			continue
 		}
 		w.fired = true
-		ww := w
-		s.env.Schedule(0, func() { s.env.dispatch(ww.p) })
+		s.env.Schedule(0, w.p.wake)
 	}
 }
 
@@ -133,6 +139,8 @@ type Mutex struct {
 func NewMutex(env *Env) *Mutex { return &Mutex{sig: NewSignal(env)} }
 
 // Lock blocks p until the mutex is acquired.
+//
+//lint:hotpath
 func (m *Mutex) Lock(p *Proc) {
 	for m.locked {
 		m.sig.Wait(p)
@@ -141,6 +149,8 @@ func (m *Mutex) Lock(p *Proc) {
 }
 
 // Unlock releases the mutex. Unlocking an unlocked mutex panics.
+//
+//lint:hotpath
 func (m *Mutex) Unlock() {
 	if !m.locked {
 		panic("sim: unlock of unlocked Mutex")

@@ -108,15 +108,19 @@ type Trace struct {
 
 // Begin opens a span and returns its index (-1 on a nil trace). The span
 // stays open until End is called with the index.
+//
+//lint:hotpath
 func (t *Trace) Begin(layer Layer, name string) int {
 	if t == nil {
 		return -1
 	}
-	t.Spans = append(t.Spans, Span{Layer: layer, Name: name, Start: t.env.Now(), End: -1})
+	t.Spans = append(t.Spans, Span{Layer: layer, Name: name, Start: t.env.Now(), End: -1}) //lint:allow hotalloc(span growth amortized into the trace-owned slice; the nil default allocates nothing)
 	return len(t.Spans) - 1
 }
 
 // EndSpan closes the span opened by Begin, recording the bytes it moved.
+//
+//lint:hotpath
 func (t *Trace) EndSpan(idx int, bytes int64) {
 	if t == nil || idx < 0 || idx >= len(t.Spans) {
 		return
@@ -136,17 +140,21 @@ func (t *Trace) Annotate(idx int, key, value string) {
 }
 
 // Event records an instantaneous mark (End == Start).
+//
+//lint:hotpath
 func (t *Trace) Event(layer Layer, name string, bytes int64) {
 	if t == nil {
 		return
 	}
 	now := t.env.Now()
-	t.Spans = append(t.Spans, Span{Layer: layer, Name: name, Start: now, End: now, Bytes: bytes})
+	t.Spans = append(t.Spans, Span{Layer: layer, Name: name, Start: now, End: now, Bytes: bytes}) //lint:allow hotalloc(span growth amortized into the trace-owned slice; the nil default allocates nothing)
 }
 
 // AddCycles charges CPU cycles consumed for this request, merging into the
 // existing (entity, tag) bucket when one exists. Buckets keep first-seen
 // order, which keeps exports deterministic.
+//
+//lint:hotpath
 func (t *Trace) AddCycles(entity, tag string, n int64) {
 	if t == nil || n == 0 {
 		return
@@ -157,7 +165,7 @@ func (t *Trace) AddCycles(entity, tag string, n int64) {
 			return
 		}
 	}
-	t.Charges = append(t.Charges, CycleCharge{Entity: entity, Tag: tag, Cycles: n})
+	t.Charges = append(t.Charges, CycleCharge{Entity: entity, Tag: tag, Cycles: n}) //lint:allow hotalloc(one bucket per distinct entity×tag pair, merged in place thereafter)
 }
 
 // TotalCycles sums all cycle charges on the trace.

@@ -128,6 +128,8 @@ type NetDev struct {
 
 	sriovInflight int
 	sriovSig      *sim.Signal
+	sriovDone     func()             // prebound descriptor-retire hook (no per-frame closure)
+	rxFn          func(netsim.Frame) // prebound injectRx method value (no per-frame binding)
 }
 
 // NewNetDev creates the device. vcpu is the VM's vCPU thread (guest IRQ
@@ -141,6 +143,11 @@ func NewNetDev(env *sim.Env, cfg Config, vmName, host string,
 		tx:       sim.NewQueue[netsim.Frame](env, cfg.NetRingFrames),
 		sriovSig: sim.NewSignal(env),
 	}
+	d.sriovDone = func() {
+		d.sriovInflight--
+		d.sriovSig.Broadcast()
+	}
+	d.rxFn = d.injectRx
 	fabric.RegisterVM(vmName, host, d)
 	return d
 }
@@ -163,6 +170,8 @@ func (d *NetDev) Start() {
 
 // Transmit hands a frame to the device: the caller pays the kick (VM exit)
 // on the vCPU and blocks while the tx ring is full.
+//
+//lint:hotpath
 func (d *NetDev) Transmit(p *sim.Proc, fr netsim.Frame) {
 	if fr.Payload.Len() > d.cfg.SegmentBytes {
 		panic(fmt.Sprintf("virtio: frame %d exceeds segment size %d", fr.Payload.Len(), d.cfg.SegmentBytes))
@@ -192,10 +201,7 @@ func (d *NetDev) transmitSRIOV(p *sim.Proc, fr netsim.Frame) {
 		d.sriovSig.Wait(p)
 	}
 	d.sriovInflight++
-	d.nic.SendDMA(fr, func() {
-		d.sriovInflight--
-		d.sriovSig.Broadcast()
-	}, peer.injectRx)
+	d.nic.SendDMA(fr, d.sriovDone, peer.rxFn)
 }
 
 // vhostLoop drains the tx ring: per-frame processing, the guest→host copy,

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -111,7 +112,7 @@ func RunDFSIORead(p *sim.Proc, e *mapred.Engine, trackers []*mapred.Tracker, cfg
 			}
 			defer r.Close(tp)
 			for {
-				if _, err := r.Read(tp, cfg.BufferBytes); err == io.EOF {
+				if _, err := r.Read(tp, cfg.BufferBytes); errors.Is(err, io.EOF) {
 					break
 				} else if err != nil {
 					return nil, err

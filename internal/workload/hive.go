@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -97,7 +98,7 @@ func RunHiveSelect(p *sim.Proc, e *mapred.Engine, cfg HiveConfig) (HiveResult, e
 			var scanned, carry int64
 			for {
 				s, err := r.Read(tp, 128<<10)
-				if err == io.EOF {
+				if errors.Is(err, io.EOF) {
 					break
 				}
 				if err != nil {

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -76,7 +77,7 @@ func RunSqoopExport(p *sim.Proc, e *mapred.Engine, cfg SqoopConfig) (SqoopResult
 			batchBytes := cfg.BatchRows * cfg.Table.RowBytes
 			for {
 				s, err := r.Read(tp, batchBytes)
-				if err == io.EOF {
+				if errors.Is(err, io.EOF) {
 					break
 				}
 				if err != nil {
