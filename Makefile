@@ -7,7 +7,7 @@
 GO ?= go
 RACE_PKGS := ./internal/data ./internal/metrics ./internal/trace ./internal/par ./internal/experiments
 
-.PHONY: tier1 fmt vet build lint lint-self lint-fix-list lint-report test race bench bench-smoke chaos-smoke
+.PHONY: tier1 fmt vet build lint lint-self lint-fix-list lint-report test race bench bench-smoke chaos-smoke scale-smoke
 
 tier1: fmt vet build lint test race
 
@@ -79,3 +79,11 @@ bench-smoke:
 	$(GO) build -o bin/vread-bench ./cmd/vread-bench
 	./bin/vread-bench -bench bench-smoke.json -bench-short
 	@cat bench-smoke.json
+
+# scale-smoke drives the datacenter-scale scenario (federated namespace over
+# a 1000-host multi-domain topology, open-loop storm, mid-storm rack kill)
+# and writes the p50/p95/p99 SLO rows to slo-report.json for artifact upload.
+# Deterministic: same seed → byte-identical rows.
+scale-smoke:
+	$(GO) build -o bin/vread-sim ./cmd/vread-sim
+	./bin/vread-sim -config scenarios/scale-smoke.json -slo slo-report.json

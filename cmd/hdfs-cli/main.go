@@ -15,10 +15,17 @@
 //	ls                     list files known to the namenode
 //	rm <path>              delete a file
 //	stat <path>            print size and block locations
+//	placement <path>       print shard, ring position and replica fault
+//	                       domains per block (needs -shards > 1)
+//
+// With -shards N (> 1) the namespace is federated behind a router and
+// -replication R writes R replicas per block, placed by the consistent-hash
+// ring across the testbed's fault domains.
 //
 // Example:
 //
 //	hdfs-cli -vread put /a 2048 ; get /a ; stat /a ; rm /a ; ls
+//	hdfs-cli -shards 4 -replication 2 put /a 2048 ; placement /a
 package main
 
 import (
@@ -45,13 +52,15 @@ func main() {
 
 func run() error {
 	useVRead := flag.Bool("vread", false, "enable vRead on the client")
+	shards := flag.Int("shards", 1, "federate the namespace across this many shards (> 1)")
+	replication := flag.Int("replication", 1, "replicas per block (testbed supports up to 2)")
 	flag.Parse()
 	script := strings.Join(flag.Args(), " ")
 	if script == "" {
 		script = "put /demo/hello 1024 ; stat /demo/hello ; get /demo/hello ; ls"
 	}
 
-	opt := vread.Options{Seed: 1, VRead: *useVRead}
+	opt := vread.Options{Seed: 1, VRead: *useVRead, Shards: *shards, Replication: *replication}
 	tb := vread.NewTestbed(opt)
 	defer tb.Close()
 
@@ -137,14 +146,14 @@ func exec(p *sim.Proc, tb *vread.Testbed, written map[string]data.Pattern, out *
 		}
 		fmt.Fprintf(out, "head %s: % x\n", fields[1], s.Bytes())
 	case "ls":
-		fmt.Fprintf(out, "datanodes: %v\n", tb.NN.DataNodes())
+		fmt.Fprintf(out, "datanodes: %v\n", tb.NS.DataNodes())
 		paths := make([]string, 0, len(written))
 		for path := range written {
 			paths = append(paths, path)
 		}
 		sort.Strings(paths)
 		for _, path := range paths {
-			if size, ok := tb.NN.FileSize(path); ok {
+			if size, ok := tb.NS.FileSize(path); ok {
 				fmt.Fprintf(out, "  %-24s %d bytes\n", path, size)
 			}
 		}
@@ -161,14 +170,32 @@ func exec(p *sim.Proc, tb *vread.Testbed, written map[string]data.Pattern, out *
 		if len(fields) != 2 {
 			return fmt.Errorf("usage: stat <path>")
 		}
-		blocks, err := tb.NN.GetBlockLocations(p, tb.Client.Kernel(), fields[1])
+		blocks, err := tb.NS.GetBlockLocations(p, tb.Client.Kernel(), fields[1])
 		if err != nil {
 			return err
 		}
-		size, _ := tb.NN.FileSize(fields[1])
+		size, _ := tb.NS.FileSize(fields[1])
 		fmt.Fprintf(out, "stat %s: %d bytes, %d block(s)\n", fields[1], size, len(blocks))
 		for _, b := range blocks {
 			fmt.Fprintf(out, "  %-10s %10d bytes on %v\n", b.BlockName(), b.Size, b.Locations)
+		}
+	case "placement":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: placement <path>")
+		}
+		if tb.Router == nil {
+			return fmt.Errorf("placement needs a federated namespace (run with -shards > 1)")
+		}
+		places, err := tb.Router.PlacementOf(fields[1])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "placement %s: shard %d of %d\n", fields[1], tb.Router.ShardOf(fields[1]), tb.Router.NumShards())
+		for _, pl := range places {
+			fmt.Fprintf(out, "  %-10s shard=%d ring=%016x\n", pl.Block.BlockName(), pl.Shard, pl.RingPos)
+			for _, rep := range pl.Replicas {
+				fmt.Fprintf(out, "    %s\n", rep)
+			}
 		}
 	default:
 		return fmt.Errorf("unknown command %q", fields[0])

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -43,6 +44,7 @@ func run() error {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	faultSpec := flag.String("faults", "", "deterministic fault plan (point[:p=..,after=..,max=..,delay=..];...)")
 	configPath := flag.String("config", "", "JSON scenario file (overrides the other flags)")
+	sloPath := flag.String("slo", "", "write scale-out SLO rows as JSON to this file (scale_out scenarios)")
 	flag.Parse()
 
 	var opt vread.Options
@@ -52,7 +54,16 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		opt, place, err = vread.ParseOptions(raw)
+		var sc vread.ScaleConfig
+		var scaleOut bool
+		opt, sc, scaleOut, err = vread.ParseScaleOptions(raw)
+		if err != nil {
+			return fmt.Errorf("config %s: %w", *configPath, err)
+		}
+		if scaleOut {
+			return runScale(opt, sc, *sloPath)
+		}
+		_, place, err = vread.ParseOptions(raw)
 		if err != nil {
 			return fmt.Errorf("config %s: %w", *configPath, err)
 		}
@@ -157,6 +168,31 @@ func run() error {
 				st.DoorbellsLost, tb.Mgr.Downgrades())
 		}
 	}
+	return nil
+}
+
+// runScale drives the datacenter-scale scenario: a federated namespace over
+// a multi-domain topology under an open-loop storm, emitting p50/p95/p99 SLO
+// rows (and, with -slo, a JSON report for CI artifacts).
+func runScale(opt vread.Options, sc vread.ScaleConfig, sloPath string) error {
+	rows, err := vread.RunScale(opt, sc)
+	if err != nil {
+		return err
+	}
+	fmt.Print(vread.RenderSLORows(rows))
+	if sloPath == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(struct {
+		Rows []vread.SLORow `json:"rows"`
+	}{rows}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(sloPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d rows)\n", sloPath, len(rows))
 	return nil
 }
 

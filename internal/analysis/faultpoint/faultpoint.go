@@ -4,7 +4,8 @@
 //   - every faultpoint registered in the faults package's Points() list is
 //     evaluated (Plan.Should / Plan.ShouldDelay) at least once, in the layer
 //     its name prefix declares (disk.* in storage or core, net.*/rdma.* in
-//     netsim, ring.*/daemon.* in core);
+//     netsim, ring.*/daemon.* in core, rack.* in cluster, shard.* in hdfs,
+//     domain.* in netsim);
 //   - every registered point is armed by at least one test — a fixture that
 //     names the point, as a string (possibly inside a spec string) or
 //     through its constant;
@@ -54,6 +55,9 @@ var layerTable = []struct {
 	{"rdma.", []string{"netsim"}},
 	{"ring.", []string{"core"}},
 	{"daemon.", []string{"core"}},
+	{"rack.", []string{"cluster"}},
+	{"shard.", []string{"hdfs"}},
+	{"domain.", []string{"netsim"}},
 }
 
 func allowedPkgs(point string) []string {

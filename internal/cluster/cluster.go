@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"vread/internal/cpusched"
+	"vread/internal/faults"
 	"vread/internal/fsim"
 	"vread/internal/guest"
 	"vread/internal/metrics"
@@ -70,14 +71,28 @@ type Cluster struct {
 	Network *guest.Network
 	Params  Params
 
-	hosts  map[string]*Host
-	vms    map[string]*VM
-	nextID int64
+	hosts     map[string]*Host
+	hostOrder []*Host // insertion order: deterministic iteration + dense IDs
+	racks     map[string][]*Host
+	rackOrder []string
+	vms       map[string]*VM
+	nextID    int64
+	faults    *faults.Plan
 }
 
 // Host is one physical machine.
 type Host struct {
-	Name    string
+	Name string
+	// ID is a dense cluster-unique index assigned at AddHost time: the
+	// Nth host added gets ID N-1. Allocation is O(1) off a counter and
+	// collision-checked against the name map, so thousand-host topologies
+	// construct without quadratic scans or silent ID reuse.
+	ID int
+	// Rack and Domain place the host in the failure topology: hosts in a
+	// rack share a ToR switch (a rack kill takes them all out); racks in
+	// a fault domain share power/cooling (WAS-style fault domains).
+	Rack    string
+	Domain  string
 	Cluster *Cluster
 	CPU     *cpusched.CPU
 	Disk    *storage.Disk
@@ -85,6 +100,7 @@ type Host struct {
 	NIC     *netsim.NIC
 	Softirq *cpusched.Thread
 	VMs     []*VM
+	down    bool
 }
 
 // VM is one virtual machine.
@@ -116,10 +132,17 @@ func New(seed int64, params Params) *Cluster {
 	}
 }
 
-// AddHost creates a host with its CPU, SSD, page cache and NIC.
+// AddHost creates a host with its CPU, SSD, page cache and NIC in the
+// default rack/domain ("r0"/"d0").
 func (c *Cluster) AddHost(name string) *Host {
+	return c.AddHostAt(name, "r0", "d0")
+}
+
+// AddHostAt creates a host in the given rack and fault domain.
+func (c *Cluster) AddHostAt(name, rack, domain string) *Host {
 	if c.hosts == nil {
 		c.hosts = make(map[string]*Host)
+		c.racks = make(map[string][]*Host)
 	}
 	if _, ok := c.hosts[name]; ok {
 		panic(fmt.Sprintf("cluster: duplicate host %q", name))
@@ -127,6 +150,9 @@ func (c *Cluster) AddHost(name string) *Host {
 	cpu := cpusched.New(c.Env, c.Reg, c.Params.Cores, c.Params.FreqHz, c.Params.Sched)
 	h := &Host{
 		Name:    name,
+		ID:      len(c.hostOrder),
+		Rack:    rack,
+		Domain:  domain,
 		Cluster: c,
 		CPU:     cpu,
 		Disk:    storage.NewDisk(c.Env, name+":ssd", c.Params.Disk),
@@ -134,12 +160,95 @@ func (c *Cluster) AddHost(name string) *Host {
 		Softirq: cpu.NewThread(name+":softirq", name),
 	}
 	h.NIC = c.Fabric.AddHost(name, h.Softirq)
+	c.Fabric.SetHostLocation(name, rack, domain)
 	c.hosts[name] = h
+	c.hostOrder = append(c.hostOrder, h)
+	if _, ok := c.racks[rack]; !ok {
+		c.rackOrder = append(c.rackOrder, rack)
+	}
+	c.racks[rack] = append(c.racks[rack], h)
 	return h
+}
+
+// TopologySpec describes a regular datacenter fabric: Domains fault domains,
+// each holding RacksPerDomain racks of HostsPerRack hosts. Host names are
+// "d<i>r<j>h<k>", rack names "d<i>r<j>", domain names "d<i>".
+type TopologySpec struct {
+	Domains        int
+	RacksPerDomain int
+	HostsPerRack   int
+}
+
+// Hosts returns the total host count the spec describes.
+func (t TopologySpec) Hosts() int { return t.Domains * t.RacksPerDomain * t.HostsPerRack }
+
+// BuildTopology adds every host in the spec in deterministic order (domain-
+// major, then rack, then host) and returns them in that order.
+func (c *Cluster) BuildTopology(spec TopologySpec) []*Host {
+	hosts := make([]*Host, 0, spec.Hosts())
+	for d := 0; d < spec.Domains; d++ {
+		for r := 0; r < spec.RacksPerDomain; r++ {
+			rack := fmt.Sprintf("d%dr%d", d, r)
+			for h := 0; h < spec.HostsPerRack; h++ {
+				hosts = append(hosts, c.AddHostAt(fmt.Sprintf("%sh%d", rack, h), rack, fmt.Sprintf("d%d", d)))
+			}
+		}
+	}
+	return hosts
 }
 
 // Host returns a host by name, or nil.
 func (c *Cluster) Host(name string) *Host { return c.hosts[name] }
+
+// Hosts returns every host in insertion (ID) order. Callers must not mutate
+// the slice.
+func (c *Cluster) Hosts() []*Host { return c.hostOrder }
+
+// Racks returns every rack name in first-host-added order.
+func (c *Cluster) Racks() []string { return c.rackOrder }
+
+// RackHosts returns the hosts of one rack in insertion order.
+func (c *Cluster) RackHosts(rack string) []*Host { return c.racks[rack] }
+
+// Down reports whether the host has been killed (rack kill or explicit).
+func (h *Host) Down() bool { return h.down }
+
+// InjectFaults arms a fault plan on the cluster itself (rack.kill). Device
+// plans (disk, fabric) are armed on those layers directly.
+func (c *Cluster) InjectFaults(plan *faults.Plan) { c.faults = plan }
+
+// KillRack takes a whole rack dark: every host in it stops exchanging
+// frames (the ToR died). In-flight frames to or from the rack are dropped
+// at the fabric; readers see timeouts and fail over to replicas in other
+// racks. The hosts' processes keep running — they are partitioned, not
+// descheduled — which is exactly the gray-failure shape that stresses the
+// timeout/degradation machinery.
+func (c *Cluster) KillRack(rack string) {
+	for _, h := range c.racks[rack] {
+		h.down = true
+		c.Fabric.SetHostDown(h.Name, true)
+	}
+}
+
+// ReviveRack undoes KillRack (the ToR came back).
+func (c *Cluster) ReviveRack(rack string) {
+	for _, h := range c.racks[rack] {
+		h.down = false
+		c.Fabric.SetHostDown(h.Name, false)
+	}
+}
+
+// MaybeKillRack evaluates the rack.kill faultpoint and, when it fires,
+// kills the named rack. Load generators call this per arrival so a chaos
+// spec like "rack.kill:after=40,max=1" pins the kill to an exact point in
+// the storm.
+func (c *Cluster) MaybeKillRack(rack string) bool {
+	if !c.faults.Should(faults.RackKill) {
+		return false
+	}
+	c.KillRack(rack)
+	return true
+}
 
 // VM returns a VM by name, or nil.
 func (c *Cluster) VM(name string) *VM { return c.vms[name] }

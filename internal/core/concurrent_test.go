@@ -92,7 +92,7 @@ func TestVReadSurvivesBlockDeletionBehindMount(t *testing.T) {
 func TestRemoteWindowing(t *testing.T) {
 	fx := newFixture(t, hdfs.Config{}, core.Config{RemoteWindowBytes: 256 << 10})
 	defer fx.c.Close()
-	fx.nn.SetPlacementPolicy(func(string, int) []string { return []string{"dn2"} })
+	fx.nn.SetPlacementPolicy(func(string, string, int) []string { return []string{"dn2"} })
 	content := data.Pattern{Seed: 8, Size: 5 << 20} // 20 windows
 	fx.write(t, "/big", content)
 	fx.run(t, 10*time.Minute, "windowed-read", func(p *sim.Proc) {

@@ -130,7 +130,7 @@ func TestUnmountedDatanodeFallsBack(t *testing.T) {
 	defer fx.c.Close()
 	dn3VM := fx.c.Host("host1").AddVM("dn3", metrics.TagDatanodeApp)
 	dn3 := hdfs.StartDataNode(fx.c.Env, fx.nn, dn3VM.Kernel)
-	fx.nn.SetPlacementPolicy(func(string, int) []string { return []string{"dn3"} })
+	fx.nn.SetPlacementPolicy(func(string, string, int) []string { return []string{"dn3"} })
 
 	content := data.Pattern{Seed: 77, Size: 2 << 20}
 	fx.write(t, "/f", content)
@@ -206,7 +206,7 @@ func TestReReadHitsHostCache(t *testing.T) {
 func TestRemoteReadRDMA(t *testing.T) {
 	fx := newFixture(t, hdfs.Config{}, core.Config{Transport: core.TransportRDMA})
 	defer fx.c.Close()
-	fx.nn.SetPlacementPolicy(func(string, int) []string { return []string{"dn2"} })
+	fx.nn.SetPlacementPolicy(func(string, string, int) []string { return []string{"dn2"} })
 	content := data.Pattern{Seed: 9, Size: 6 << 20}
 	fx.write(t, "/f", content)
 
@@ -254,7 +254,7 @@ func TestRemoteReadTCPCostsMoreThanRDMA(t *testing.T) {
 	measure := func(tr core.Transport) (int64, bool) {
 		fx := newFixture(t, hdfs.Config{}, core.Config{Transport: tr})
 		defer fx.c.Close()
-		fx.nn.SetPlacementPolicy(func(string, int) []string { return []string{"dn2"} })
+		fx.nn.SetPlacementPolicy(func(string, string, int) []string { return []string{"dn2"} })
 		content := data.Pattern{Seed: 9, Size: 4 << 20}
 		fx.write(t, "/f", content)
 		fx.c.Reg.MarkWindow(fx.c.Env.Now())

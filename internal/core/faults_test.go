@@ -77,7 +77,7 @@ func assertSpansBalanced(t *testing.T, tr *trace.Trace) {
 func TestRDMATeardownFallsBackToTCP(t *testing.T) {
 	fx, plan := newFaultFixture(t, core.Config{Transport: core.TransportRDMA})
 	defer fx.c.Close()
-	fx.nn.SetPlacementPolicy(func(string, int) []string { return []string{"dn2"} })
+	fx.nn.SetPlacementPolicy(func(string, string, int) []string { return []string{"dn2"} })
 	content := data.Pattern{Seed: 9, Size: 4 << 20}
 	fx.write(t, "/f", content)
 
@@ -165,7 +165,7 @@ func TestRDMATeardownFallsBackToTCP(t *testing.T) {
 func TestDroppedFinalChunkDoesNotLeakPendingReader(t *testing.T) {
 	fx, plan := newFaultFixture(t, core.Config{Transport: core.TransportTCP})
 	defer fx.c.Close()
-	fx.nn.SetPlacementPolicy(func(string, int) []string { return []string{"dn2"} })
+	fx.nn.SetPlacementPolicy(func(string, string, int) []string { return []string{"dn2"} })
 	content := data.Pattern{Seed: 11, Size: 1 << 20}
 	fx.write(t, "/f", content)
 

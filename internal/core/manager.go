@@ -24,17 +24,18 @@ type Manager struct {
 	env *sim.Env
 	cfg Config
 	cl  *cluster.Cluster
-	nn  *hdfs.NameNode
+	nn  hdfs.Namespace
 
-	mounts     map[string]map[string]*fsim.HostMount // host → datanode VM → mount
-	daemons    map[string]*Daemon                    // client VM → daemon
-	libs       map[string]*Lib
-	servers    map[string]*hostServer
-	qps        map[string]*netsim.QP
-	pending    map[int64]*sim.Queue[chunkMsg]
-	pendingIDs map[*sim.Queue[chunkMsg]]int64
-	nextReq    int64
-	refreshes  int64
+	mounts         map[string]*mountTable // host → sharded datanode→mount table
+	daemons        map[string]*Daemon     // client VM → daemon
+	libs           map[string]*Lib
+	servers        map[string]*hostServer
+	qps            map[string]*netsim.QP
+	pending        map[int64]*sim.Queue[chunkMsg]
+	pendingIDs     map[*sim.Queue[chunkMsg]]int64
+	nextReq        int64
+	refreshes      int64
+	refreshBatches int64
 	// downgraded maps a host-pair key to the virtual instant its RDMA→TCP
 	// downgrade expires. Recovery is lazy — checked on the next send rather
 	// than by timer — so an idle downgrade leaves no pending event behind
@@ -44,17 +45,18 @@ type Manager struct {
 }
 
 // NewManager creates the vRead system. It installs a daemon server on every
-// existing host and subscribes to namenode block events (nn may be nil for
+// existing host and subscribes to namespace block events (nn may be nil for
 // non-HDFS deployments — call BlockAdded/BlockRemoved from the other file
 // system's metadata server instead); call MountDatanode for each datanode
-// VM and EnableClient for each client VM.
-func NewManager(cl *cluster.Cluster, nn *hdfs.NameNode, cfg Config) *Manager {
+// VM and EnableClient for each client VM. nn may be a standalone NameNode
+// or a federated Router — the manager only consumes block events.
+func NewManager(cl *cluster.Cluster, nn hdfs.Namespace, cfg Config) *Manager {
 	m := &Manager{
 		env:        cl.Env,
 		cfg:        cfg.WithDefaults(),
 		cl:         cl,
 		nn:         nn,
-		mounts:     make(map[string]map[string]*fsim.HostMount),
+		mounts:     make(map[string]*mountTable),
 		daemons:    make(map[string]*Daemon),
 		libs:       make(map[string]*Lib),
 		servers:    make(map[string]*hostServer),
@@ -96,27 +98,25 @@ func (m *Manager) MountDatanode(vmName string) {
 		panic(fmt.Sprintf("core: unknown VM %q", vmName))
 	}
 	m.ensureServer(vm.Host)
-	hostTab := m.mounts[vm.Host.Name]
-	if hostTab == nil {
-		hostTab = make(map[string]*fsim.HostMount)
-		m.mounts[vm.Host.Name] = hostTab
+	tab := m.mounts[vm.Host.Name]
+	if tab == nil {
+		tab = &mountTable{}
+		m.mounts[vm.Host.Name] = tab
 	}
-	if _, ok := hostTab[vmName]; ok {
+	if tab.get(vmName) != nil {
 		return
 	}
-	hostTab[vmName] = fsim.MountRO(vm.FS)
+	tab.put(vmName, fsim.MountRO(vm.FS))
 }
 
 // UnmountDatanode removes a datanode's mount from a host (migration).
 func (m *Manager) UnmountDatanode(host, vmName string) {
-	if tab := m.mounts[host]; tab != nil {
-		delete(tab, vmName)
-	}
+	m.mounts[host].remove(vmName)
 }
 
 // mount resolves the mount table entry for (host, datanode).
 func (m *Manager) mount(host, dn string) *fsim.HostMount {
-	return m.mounts[host][dn]
+	return m.mounts[host].get(dn)
 }
 
 // Mount exposes the mount table entry for tests and tooling.
@@ -169,6 +169,10 @@ func (m *Manager) Lib(vmName string) *Lib { return m.libs[vmName] }
 // namenode block events (fig13's write-path overhead).
 func (m *Manager) Refreshes() int64 { return m.refreshes }
 
+// RefreshBatches returns how many batched refresh tasks ran — the wakeup
+// count the per-shard coalescing reduced Refreshes() down to.
+func (m *Manager) RefreshBatches() int64 { return m.refreshBatches }
+
 // ---------------------------------------------------------------------------
 // hdfs.BlockEventListener: the namenode-driven mount synchronization.
 
@@ -177,36 +181,60 @@ func (m *Manager) Refreshes() int64 { return m.refreshes }
 // ahead of it simply falls back to the vanilla path, exactly like the
 // prototype.
 func (m *Manager) BlockAdded(dn string, blockPath string) {
-	host, ok := m.fabric().HostOf(dn)
-	if !ok {
-		return
-	}
-	mount := m.mount(host, dn)
-	if mount == nil {
-		return
-	}
-	srv := m.servers[host]
-	m.refreshes++
-	srv.thread.Post(m.cfg.RefreshCycles, metrics.TagOthers, func() {
-		mount.RefreshPath(blockPath)
-	})
+	m.enqueueRefresh(dn, blockPath)
 }
 
 // BlockRemoved drops the block's dentry.
 func (m *Manager) BlockRemoved(dn string, blockPath string) {
+	m.enqueueRefresh(dn, blockPath)
+}
+
+// enqueueRefresh queues one dentry refresh on the datanode's host, batched
+// per mount-table shard: the first op of a burst posts the daemon-thread
+// task, later ops ride the same wakeup. Every op pays RefreshCycles — the
+// batching removes scheduling round trips, not modeled work.
+func (m *Manager) enqueueRefresh(dn string, blockPath string) {
 	host, ok := m.fabric().HostOf(dn)
 	if !ok {
 		return
 	}
-	mount := m.mount(host, dn)
+	tab := m.mounts[host]
+	mount := tab.get(dn)
 	if mount == nil {
 		return
 	}
-	srv := m.servers[host]
 	m.refreshes++
+	sh := tab.shard(dn)
+	sh.pending = append(sh.pending, refreshOp{mount: mount, path: blockPath})
+	if sh.scheduled {
+		return
+	}
+	sh.scheduled = true
+	srv := m.servers[host]
 	srv.thread.Post(m.cfg.RefreshCycles, metrics.TagOthers, func() {
-		mount.RefreshPath(blockPath)
+		m.drainRefreshes(srv, sh)
 	})
+}
+
+// drainRefreshes runs one shard's queued refresh batch. The scheduling Post
+// charged the first op's cycles; a batch of K ops charges the remaining
+// (K-1)·RefreshCycles in one more slice on the same thread before the
+// refreshes apply — same total cycles as unbatched, one wakeup.
+func (m *Manager) drainRefreshes(srv *hostServer, sh *mountShard) {
+	ops := sh.pending
+	sh.pending = nil
+	sh.scheduled = false
+	m.refreshBatches++
+	run := func() {
+		for _, op := range ops {
+			op.mount.RefreshPath(op.path)
+		}
+	}
+	if extra := int64(len(ops)-1) * m.cfg.RefreshCycles; extra > 0 {
+		srv.thread.Post(extra, metrics.TagOthers, run)
+		return
+	}
+	run()
 }
 
 // DatanodeMigrated updates the mount hash after a datanode VM live-migrates
@@ -269,15 +297,11 @@ func (m *Manager) PendingRemoteReads() int { return len(m.pending) }
 // metadata a daemon crash loses. Reads and opens on the host miss (vanilla
 // fallback) until vRead_update refreshes paths or ResyncHost remounts.
 func (m *Manager) invalidateMounts(host string) {
-	for _, mount := range m.mounts[host] {
-		mount.Invalidate()
-	}
+	m.mounts[host].each(func(mnt *fsim.HostMount) { mnt.Invalidate() })
 }
 
 // ResyncHost re-snapshots every mount on a host — the full remount a
 // restarted daemon performs to recover from invalidated metadata.
 func (m *Manager) ResyncHost(host string) {
-	for _, mount := range m.mounts[host] {
-		mount.RefreshAll()
-	}
+	m.mounts[host].each(func(mnt *fsim.HostMount) { mnt.RefreshAll() })
 }

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"vread/internal/fsim"
+)
+
+// mountTableShards is the shard count of each host's mount table.
+const mountTableShards = 8
+
+// mountTable is one host's datanode→mount map, sharded by datanode-name
+// hash. Two things scale with it on a host serving dozens of mounts:
+//
+//   - lookup/update state is per shard, so namenode-driven refreshes for
+//     different datanodes touch disjoint structures instead of serializing
+//     on one metadata lock;
+//   - dentry refreshes batch per shard: the first block event posts one
+//     daemon-thread task, and every event that lands before it runs rides
+//     the same wakeup (each op still pays its RefreshCycles, but a write
+//     burst costs one scheduling round trip instead of one per block).
+type mountTable struct {
+	shards [mountTableShards]mountShard
+}
+
+type mountShard struct {
+	mounts    map[string]*fsim.HostMount
+	pending   []refreshOp
+	scheduled bool
+}
+
+// refreshOp is one queued dentry refresh.
+type refreshOp struct {
+	mount *fsim.HostMount
+	path  string
+}
+
+// dnShard hashes a datanode name to its shard (FNV-1a 32).
+func dnShard(dn string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(dn); i++ {
+		h ^= uint32(dn[i])
+		h *= 16777619
+	}
+	return int(h % mountTableShards)
+}
+
+func (t *mountTable) shard(dn string) *mountShard { return &t.shards[dnShard(dn)] }
+
+func (t *mountTable) get(dn string) *fsim.HostMount {
+	if t == nil {
+		return nil
+	}
+	return t.shard(dn).mounts[dn]
+}
+
+func (t *mountTable) put(dn string, mnt *fsim.HostMount) {
+	sh := t.shard(dn)
+	if sh.mounts == nil {
+		sh.mounts = make(map[string]*fsim.HostMount)
+	}
+	sh.mounts[dn] = mnt
+}
+
+func (t *mountTable) remove(dn string) {
+	if t == nil {
+		return
+	}
+	delete(t.shard(dn).mounts, dn)
+}
+
+// each visits every mount. Visit order is unspecified; callers only apply
+// idempotent per-mount state changes (invalidate, resync).
+func (t *mountTable) each(fn func(*fsim.HostMount)) {
+	if t == nil {
+		return
+	}
+	for i := range t.shards {
+		for _, mnt := range t.shards[i].mounts {
+			fn(mnt)
+		}
+	}
+}

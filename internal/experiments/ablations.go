@@ -138,7 +138,7 @@ func RunAblationShortCircuit(opt Options) ([]AblationRow, error) {
 		o.ShortCircuit = true
 		tb := NewTestbed(o)
 		defer tb.Close()
-		scClient := hdfs.NewClient(tb.C.Env, tb.NN, tb.C.VM("dn1").Kernel)
+		scClient := hdfs.NewClient(tb.C.Env, tb.NS, tb.C.VM("dn1").Kernel)
 		tb.Place(Colocated)
 		fileSize := o.scaled(1<<30, 64<<20)
 		var elapsed time.Duration

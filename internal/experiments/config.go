@@ -25,9 +25,69 @@ type OptionsJSON struct {
 	Scale            float64 `json:"scale,omitempty"`
 	BlockSizeMB      int64   `json:"block_size_mb,omitempty"`
 	Scenario         string  `json:"scenario,omitempty"` // "co-located" | "remote" | "hybrid"
+	// Shards federates the namespace behind a router when > 1.
+	Shards int `json:"shards,omitempty"`
+	// Replication is the write-pipeline depth.
+	Replication int `json:"replication,omitempty"`
 	// Faults arms deterministic fault injection, in faults.ParseSpec syntax,
 	// e.g. "disk.read.slow:p=0.2,delay=2ms;daemon.crash:after=10,max=1".
 	Faults string `json:"faults,omitempty"`
+	// ScaleOut, when present, selects the datacenter-scale scenario (RunScale)
+	// instead of the two-host figure testbed.
+	ScaleOut *ScaleOutJSON `json:"scale_out,omitempty"`
+}
+
+// ScaleOutJSON is the serializable form of ScaleConfig: the federated
+// multi-domain topology and the open-loop storm driven over it.
+type ScaleOutJSON struct {
+	// Domains × RacksPerDomain × HostsPerRack hosts.
+	Domains        int `json:"domains,omitempty"`
+	RacksPerDomain int `json:"racks_per_domain,omitempty"`
+	HostsPerRack   int `json:"hosts_per_rack,omitempty"`
+	Datanodes      int `json:"datanodes,omitempty"`
+	Clients        int `json:"clients,omitempty"`
+	Files          int `json:"files,omitempty"`
+	FileKB         int `json:"file_kb,omitempty"`
+	// QPS levels of the open-loop storm, one experiment cell per level.
+	QPS []float64 `json:"qps,omitempty"`
+	// Reads is the arrival count per cell.
+	Reads int `json:"reads,omitempty"`
+	// KillRack names the rack a rack.kill firing (armed via "faults") takes
+	// down mid-storm.
+	KillRack string `json:"kill_rack,omitempty"`
+}
+
+// ParseScaleOptions decodes a scenario file and reports whether it selects
+// the scale-out path ("scale_out" present). Options.Shards/Replication apply
+// to both paths.
+func ParseScaleOptions(raw []byte) (Options, ScaleConfig, bool, error) {
+	opt, _, err := ParseOptions(raw)
+	if err != nil {
+		return Options{}, ScaleConfig{}, false, err
+	}
+	var j OptionsJSON
+	if err := json.Unmarshal(raw, &j); err != nil {
+		return Options{}, ScaleConfig{}, false, err
+	}
+	if j.ScaleOut == nil {
+		return opt, ScaleConfig{}, false, nil
+	}
+	s := j.ScaleOut
+	sc := ScaleConfig{
+		Domains:        s.Domains,
+		RacksPerDomain: s.RacksPerDomain,
+		HostsPerRack:   s.HostsPerRack,
+		Shards:         j.Shards,
+		Replication:    j.Replication,
+		Datanodes:      s.Datanodes,
+		Clients:        s.Clients,
+		Files:          s.Files,
+		FileSize:       int64(s.FileKB) << 10,
+		QPSLevels:      s.QPS,
+		Reads:          s.Reads,
+		KillRack:       s.KillRack,
+	}
+	return opt, sc, true, nil
 }
 
 // ParseOptions decodes a scenario file into Options plus the placement
@@ -51,6 +111,8 @@ func ParseOptions(raw []byte) (Options, Scenario, error) {
 		ShortCircuit:     j.ShortCircuit,
 		Scale:            j.Scale,
 		BlockSize:        j.BlockSizeMB << 20,
+		Shards:           j.Shards,
+		Replication:      j.Replication,
 	}
 	switch j.Transport {
 	case "", "rdma":

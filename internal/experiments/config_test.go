@@ -87,3 +87,63 @@ func TestParseOptionsMalformedJSON(t *testing.T) {
 		}
 	}
 }
+
+func TestParseScaleOptions(t *testing.T) {
+	raw := []byte(`{
+		"seed": 3,
+		"shards": 4,
+		"replication": 3,
+		"faults": "rack.kill:after=5,max=1",
+		"scale_out": {
+			"domains": 4,
+			"racks_per_domain": 10,
+			"hosts_per_rack": 25,
+			"datanodes": 12,
+			"clients": 4,
+			"files": 8,
+			"file_kb": 256,
+			"qps": [1000, 4000],
+			"reads": 60,
+			"kill_rack": "d0r0"
+		}
+	}`)
+	opt, sc, scaleOut, err := ParseScaleOptions(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scaleOut {
+		t.Fatal("scale_out block not detected")
+	}
+	if opt.Seed != 3 || opt.Shards != 4 || opt.Replication != 3 || opt.Faults == nil {
+		t.Fatalf("opt = %+v", opt)
+	}
+	if sc.Domains != 4 || sc.RacksPerDomain != 10 || sc.HostsPerRack != 25 {
+		t.Fatalf("topology = %+v", sc)
+	}
+	if sc.Shards != 4 || sc.Replication != 3 || sc.Datanodes != 12 || sc.Clients != 4 {
+		t.Fatalf("sc = %+v", sc)
+	}
+	if sc.Files != 8 || sc.FileSize != 256<<10 || sc.Reads != 60 || sc.KillRack != "d0r0" {
+		t.Fatalf("sc = %+v", sc)
+	}
+	if len(sc.QPSLevels) != 2 || sc.QPSLevels[0] != 1000 || sc.QPSLevels[1] != 4000 {
+		t.Fatalf("qps = %v", sc.QPSLevels)
+	}
+}
+
+func TestParseScaleOptionsAbsent(t *testing.T) {
+	_, _, scaleOut, err := ParseScaleOptions([]byte(`{"seed": 2, "vread": true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaleOut {
+		t.Fatal("scale_out detected in a figure-testbed scenario")
+	}
+}
+
+func TestParseScaleOptionsRejectsTypos(t *testing.T) {
+	_, _, _, err := ParseScaleOptions([]byte(`{"scale_out": {"domains": 2}, "sead": 1}`))
+	if err == nil || !strings.Contains(err.Error(), "sead") {
+		t.Fatalf("typo not rejected: %v", err)
+	}
+}

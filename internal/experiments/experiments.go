@@ -69,6 +69,13 @@ type Options struct {
 	SRIOV bool
 	// ShortCircuit enables HDFS-2246 short-circuit local reads.
 	ShortCircuit bool
+	// Shards federates the namespace behind a router when > 1: paths hash
+	// (or mount) onto Shards namenode shards and placement moves to the
+	// consistent-hash ring (see internal/hdfs/federation.go).
+	Shards int
+	// Replication is the write-pipeline depth (default 1; the two-host
+	// testbed supports up to 2).
+	Replication int
 	// Scale multiplies paper dataset sizes. Default 0.05.
 	Scale float64
 	// BlockSize overrides the HDFS block size (default 64 MiB, shrunk
@@ -123,9 +130,16 @@ func (o Options) scaled(bytes int64, floor int64) int64 {
 
 // Testbed is one built instance of Figure 10.
 type Testbed struct {
-	Opt     Options
-	C       *cluster.Cluster
-	NN      *hdfs.NameNode
+	Opt Options
+	C   *cluster.Cluster
+	// NS is the namespace every component talks to: the NameNode for the
+	// classic single-namespace testbed, the federation Router when
+	// Options.Shards > 1.
+	NS hdfs.Namespace
+	// NN is the standalone namenode (nil when federated — use NS).
+	NN *hdfs.NameNode
+	// Router is the federation router (nil unless Options.Shards > 1).
+	Router  *hdfs.Router
 	DN1     *hdfs.DataNode // co-located with the client (host1)
 	DN2     *hdfs.DataNode // remote (host2)
 	Client  *hdfs.Client
@@ -146,8 +160,10 @@ func NewTestbed(opt Options) *Testbed {
 	params.Virtio.SharedMemNet = opt.SharedMemNet
 	params.Virtio.SRIOV = opt.SRIOV
 	c := cluster.New(opt.Seed, params)
-	h1 := c.AddHost("host1")
-	h2 := c.AddHost("host2")
+	// The two hosts sit in distinct racks and fault domains, so replicated
+	// writes through the federation ring spread across both.
+	h1 := c.AddHostAt("host1", "r0", "d0")
+	h2 := c.AddHostAt("host2", "r1", "d1")
 	clientVM := h1.AddVM("client", metrics.TagClientApp)
 	dn1VM := h1.AddVM("dn1", metrics.TagDatanodeApp)
 	dn2VM := h2.AddVM("dn2", metrics.TagDatanodeApp)
@@ -158,19 +174,31 @@ func NewTestbed(opt Options) *Testbed {
 		}
 	}
 
-	hcfg := hdfs.Config{ShortCircuit: opt.ShortCircuit}
+	hcfg := hdfs.Config{ShortCircuit: opt.ShortCircuit, Replication: opt.Replication}
 	if opt.BlockSize != 0 {
 		hcfg.BlockSize = opt.BlockSize
 	}
-	nn := hdfs.NewNameNode(c.Env, hcfg, c.Fabric)
-	dn1 := hdfs.StartDataNode(c.Env, nn, dn1VM.Kernel)
-	dn2 := hdfs.StartDataNode(c.Env, nn, dn2VM.Kernel)
-	client := hdfs.NewClient(c.Env, nn, clientVM.Kernel)
+	var ns hdfs.Namespace
+	var nn *hdfs.NameNode
+	var router *hdfs.Router
+	if opt.Shards > 1 {
+		router = hdfs.NewRouter(c.Env, hcfg, c.Fabric, hdfs.RouterOptions{
+			Shards:   opt.Shards,
+			RingSeed: opt.Seed,
+		})
+		ns = router
+	} else {
+		nn = hdfs.NewNameNode(c.Env, hcfg, c.Fabric)
+		ns = nn
+	}
+	dn1 := hdfs.StartDataNode(c.Env, ns, dn1VM.Kernel)
+	dn2 := hdfs.StartDataNode(c.Env, ns, dn2VM.Kernel)
+	client := hdfs.NewClient(c.Env, ns, clientVM.Kernel)
 	engine := mapred.NewEngine(c.Env, mapred.Config{})
 	tracker := engine.AddTracker(clientVM.Kernel, client)
 
 	tb := &Testbed{
-		Opt: opt, C: c, NN: nn, DN1: dn1, DN2: dn2,
+		Opt: opt, C: c, NS: ns, NN: nn, Router: router, DN1: dn1, DN2: dn2,
 		Client: client, Engine: engine, Tracker: tracker,
 	}
 	if opt.Traces != nil {
@@ -179,9 +207,13 @@ func NewTestbed(opt Options) *Testbed {
 	}
 	if len(opt.Faults) > 0 {
 		tb.Faults = opt.Faults.Plan(c.Env)
+		c.InjectFaults(tb.Faults)
 		c.Fabric.InjectFaults(tb.Faults)
 		h1.Disk.InjectFaults(tb.Faults)
 		h2.Disk.InjectFaults(tb.Faults)
+		if router != nil {
+			router.InjectFaults(tb.Faults)
+		}
 	}
 	if opt.VRead {
 		vcfg := core.Config{Transport: opt.Transport, DirectDiskBypass: opt.DirectDiskBypass}
@@ -191,7 +223,7 @@ func NewTestbed(opt Options) *Testbed {
 			vcfg.DirectDiskBypass = opt.DirectDiskBypass
 		}
 		vcfg.Faults = tb.Faults
-		tb.Mgr = core.NewManager(c, nn, vcfg)
+		tb.Mgr = core.NewManager(c, ns, vcfg)
 		tb.Mgr.MountDatanode("dn1")
 		tb.Mgr.MountDatanode("dn2")
 		tb.Lib = tb.Mgr.EnableClient("client")
@@ -203,7 +235,7 @@ func NewTestbed(opt Options) *Testbed {
 // Place sets the namenode placement policy for the scenario.
 func (tb *Testbed) Place(s Scenario) {
 	n := 0
-	tb.NN.SetPlacementPolicy(func(clientVM string, replication int) []string {
+	tb.NS.SetPlacementPolicy(func(clientVM, _ string, replication int) []string {
 		switch s {
 		case Colocated:
 			return []string{"dn1"}

@@ -1,0 +1,367 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"vread/internal/cluster"
+	"vread/internal/core"
+	"vread/internal/data"
+	"vread/internal/faults"
+	"vread/internal/hdfs"
+	"vread/internal/metrics"
+	"vread/internal/sim"
+	"vread/internal/trace"
+	"vread/internal/workload"
+)
+
+// ScaleConfig describes a datacenter-scale scenario: a federated namespace
+// over a multi-domain topology, driven by an open-loop read storm, with an
+// optional mid-storm rack kill. Zero values select a small smoke-sized
+// federation; the acceptance shape (1000 hosts, 4 shards, RF 3) is just
+// bigger numbers.
+type ScaleConfig struct {
+	// Topology: Domains × RacksPerDomain × HostsPerRack hosts.
+	// Defaults 3 × 2 × 2.
+	Domains        int
+	RacksPerDomain int
+	HostsPerRack   int
+	// Shards is the namespace shard count. Default 4.
+	Shards int
+	// Replication is the write-pipeline depth (ring replica count).
+	// Default 3.
+	Replication int
+	// VNodes per ring member. Default hdfs.DefaultVNodes.
+	VNodes int
+	// Datanodes is the datanode VM count, spread round-robin across racks.
+	// Default 6.
+	Datanodes int
+	// Clients is the client VM count, placed in the last domain (so a rack
+	// kill in an earlier domain never kills the readers). Default 2.
+	Clients int
+	// Files written before the storm. Default 6 (each one block).
+	Files int
+	// FileSize in bytes. Default 256 KiB.
+	FileSize int64
+	// QPSLevels are the open-loop arrival rates — one experiment cell per
+	// level. Default {2000}.
+	QPSLevels []float64
+	// Reads is the arrival count per cell. Default 60.
+	Reads int
+	// KillRack names the rack a rack.kill firing takes down ("" = the
+	// fault is never evaluated). Arm the rack.kill point via
+	// Options.Faults, e.g. "rack.kill:after=30,max=1".
+	KillRack string
+	// Deadline bounds each cell in virtual time. Default 1h.
+	Deadline time.Duration
+}
+
+func (c ScaleConfig) withDefaults() ScaleConfig {
+	if c.Domains == 0 {
+		c.Domains = 3
+	}
+	if c.RacksPerDomain == 0 {
+		c.RacksPerDomain = 2
+	}
+	if c.HostsPerRack == 0 {
+		c.HostsPerRack = 2
+	}
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.Replication == 0 {
+		c.Replication = 3
+	}
+	if c.Datanodes == 0 {
+		c.Datanodes = 6
+	}
+	if c.Clients == 0 {
+		c.Clients = 2
+	}
+	if c.Files == 0 {
+		c.Files = 6
+	}
+	if c.FileSize == 0 {
+		c.FileSize = 256 << 10
+	}
+	if len(c.QPSLevels) == 0 {
+		c.QPSLevels = []float64{2000}
+	}
+	if c.Reads == 0 {
+		c.Reads = 60
+	}
+	if c.Deadline == 0 {
+		c.Deadline = time.Hour
+	}
+	return c
+}
+
+// SLORow is one p50/p95/p99 read-latency row of a scale run.
+type SLORow struct {
+	Cell        string  `json:"cell"`  // e.g. "qps=2000"
+	Phase       string  `json:"phase"` // "steady" | "degraded"
+	QPS         float64 `json:"qps"`
+	Arrivals    int     `json:"arrivals"`
+	OKs         int     `json:"oks"`
+	TypedErrors int     `json:"typed_errors"`
+	P50us       int64   `json:"p50_us"`
+	P95us       int64   `json:"p95_us"`
+	P99us       int64   `json:"p99_us"`
+	MaxUs       int64   `json:"max_us"`
+}
+
+// String renders the row for terminal output (deterministic).
+func (r SLORow) String() string {
+	return fmt.Sprintf("%-12s %-9s qps=%-7g arrivals=%-4d ok=%-4d typed=%-3d p50=%dµs p95=%dµs p99=%dµs max=%dµs",
+		r.Cell, r.Phase, r.QPS, r.Arrivals, r.OKs, r.TypedErrors, r.P50us, r.P95us, r.P99us, r.MaxUs)
+}
+
+// RenderSLORows renders rows one per line — the byte-identity witness the
+// serial-vs-parallel determinism contract is checked against.
+func RenderSLORows(rows []SLORow) string {
+	out := ""
+	for _, r := range rows {
+		out += r.String() + "\n"
+	}
+	return out
+}
+
+// RunScale runs one experiment cell per QPS level — each a fresh federated
+// testbed driven by an open-loop storm — and returns SLO rows in cell order
+// ("steady" phase, plus "degraded" after a mid-storm rack kill). Cells run
+// under the standard parallel fan-out; rows are byte-identical between
+// serial and parallel runs.
+func RunScale(opt Options, sc ScaleConfig) ([]SLORow, error) {
+	opt = opt.withDefaults()
+	sc = sc.withDefaults()
+	return runCells(opt, len(sc.QPSLevels), func(i int, o Options) ([]SLORow, error) {
+		return runScaleCell(o, sc, sc.QPSLevels[i])
+	})
+}
+
+// runScaleCell builds the federation and drives one storm at one QPS level.
+func runScaleCell(opt Options, sc ScaleConfig, qps float64) ([]SLORow, error) {
+	c := cluster.New(opt.Seed, cluster.Params{FreqHz: opt.FreqHz})
+	defer c.Close()
+	spec := cluster.TopologySpec{
+		Domains:        sc.Domains,
+		RacksPerDomain: sc.RacksPerDomain,
+		HostsPerRack:   sc.HostsPerRack,
+	}
+	hosts := c.BuildTopology(spec)
+	racks := c.Racks()
+
+	plan := faults.NewPlan(c.Env)
+	c.InjectFaults(plan)
+	c.Fabric.InjectFaults(plan)
+	for _, h := range hosts {
+		h.Disk.InjectFaults(plan)
+	}
+
+	// Datanode VMs round-robin across racks (first hosts of each rack);
+	// client VMs on the tail hosts of the last domain, away from any
+	// earlier-domain rack kill.
+	dnNames := make([]string, sc.Datanodes)
+	for i := range dnNames {
+		rack := racks[i%len(racks)]
+		rh := c.RackHosts(rack)
+		host := rh[(i/len(racks))%len(rh)]
+		dnNames[i] = fmt.Sprintf("dn%d", i)
+		host.AddVM(dnNames[i], metrics.TagDatanodeApp)
+	}
+	clientNames := make([]string, sc.Clients)
+	for j := range clientNames {
+		host := hosts[len(hosts)-1-j%spec.HostsPerRack]
+		clientNames[j] = fmt.Sprintf("c%d", j)
+		host.AddVM(clientNames[j], metrics.TagClientApp)
+	}
+
+	hcfg := hdfs.Config{Replication: sc.Replication}
+	if opt.BlockSize != 0 {
+		hcfg.BlockSize = opt.BlockSize
+	}
+	router := hdfs.NewRouter(c.Env, hcfg, c.Fabric, hdfs.RouterOptions{
+		Shards:   sc.Shards,
+		RingSeed: opt.Seed,
+		VNodes:   sc.VNodes,
+	})
+	router.InjectFaults(plan)
+	for _, dn := range dnNames {
+		hdfs.StartDataNode(c.Env, router, c.VM(dn).Kernel)
+	}
+	clients := make([]*hdfs.Client, sc.Clients)
+	for j, name := range clientNames {
+		clients[j] = hdfs.NewClient(c.Env, router, c.VM(name).Kernel)
+	}
+
+	vcfg := core.Config{Transport: opt.Transport, Faults: plan}
+	if opt.VReadConfig != nil {
+		vcfg = *opt.VReadConfig
+		vcfg.Transport = opt.Transport
+		vcfg.Faults = plan
+	}
+	mgr := core.NewManager(c, router, vcfg)
+	for _, dn := range dnNames {
+		mgr.MountDatanode(dn)
+	}
+	libs := make([]*core.Lib, sc.Clients)
+	for j, name := range clientNames {
+		libs[j] = mgr.EnableClient(name)
+		clients[j].SetBlockReader(libs[j])
+	}
+
+	tracer := trace.NewTracer(c.Env, 1)
+	contents := make([]data.Pattern, sc.Files)
+	blocks := make([][]hdfs.BlockInfo, sc.Files)
+	filePath := func(i int) string { return fmt.Sprintf("/scale/f%d", i) }
+
+	killed := false
+	var results []workload.OpResult
+	var stormErr error
+	done := false
+	c.Go("scale-storm", func(p *sim.Proc) {
+		defer func() { done = true }()
+		// Quiet phase: write the dataset through the federation before any
+		// faultpoint arms, so every later failure has known bytes to check.
+		for i := range contents {
+			contents[i] = data.Pattern{Seed: uint64(opt.Seed)*1000 + uint64(i), Size: sc.FileSize}
+			if err := clients[0].WriteFile(p, filePath(i), contents[i]); err != nil {
+				stormErr = fmt.Errorf("write f%d: %w", i, err)
+				return
+			}
+			var err error
+			blocks[i], err = router.GetBlockLocations(p, clients[0].Kernel(), filePath(i))
+			if err != nil {
+				stormErr = fmt.Errorf("locate f%d: %w", i, err)
+				return
+			}
+		}
+		for _, r := range opt.Faults {
+			plan.Set(r)
+		}
+
+		results = workload.RunOpenLoop(p, c.Env, workload.OpenLoopConfig{
+			QPS:      qps,
+			Arrivals: sc.Reads,
+		}, func(op *sim.Proc, i int) string {
+			if sc.KillRack != "" && c.MaybeKillRack(sc.KillRack) {
+				killed = true
+			}
+			phase := "steady"
+			if killed {
+				phase = "degraded"
+			}
+			return phase + "/" + scaleRead(op, c, router, libs, clients, tracer, contents, blocks, sc, i)
+		})
+	})
+	if err := c.Env.RunUntil(c.Env.Now() + sc.Deadline); err != nil {
+		return nil, fmt.Errorf("scale qps=%g: %w", qps, err)
+	}
+	if stormErr != nil {
+		return nil, stormErr
+	}
+	if !done {
+		return nil, fmt.Errorf("scale qps=%g: storm wedged (deadline %v)", qps, sc.Deadline)
+	}
+	if pend := c.Env.Pending(); pend != 0 {
+		return nil, fmt.Errorf("scale qps=%g: %d events still pending after drain", qps, pend)
+	}
+	if pend := mgr.PendingRemoteReads(); pend != 0 {
+		return nil, fmt.Errorf("scale qps=%g: %d remote reads leaked", qps, pend)
+	}
+	for _, tr := range tracer.Traces() {
+		for _, s := range tr.Spans {
+			if s.End < s.Start {
+				return nil, fmt.Errorf("scale qps=%g: %s: span %s/%s never closed", qps, tr.Name, s.Layer, s.Name)
+			}
+		}
+	}
+
+	cell := fmt.Sprintf("qps=%g", qps)
+	var rows []SLORow
+	for _, phase := range []string{"steady", "degraded"} {
+		row := SLORow{Cell: cell, Phase: phase, QPS: qps}
+		for _, r := range results {
+			switch r.Label {
+			case phase + "/ok":
+				row.OKs++
+			case phase + "/typed":
+				row.TypedErrors++
+			case phase + "/corrupt", phase + "/untyped":
+				return nil, fmt.Errorf("scale qps=%g: invariant broken: %s outcome", qps, r.Label)
+			default:
+				continue
+			}
+			row.Arrivals++
+		}
+		if row.Arrivals == 0 {
+			continue
+		}
+		slo := workload.SLOOf(results, phase+"/ok")
+		row.P50us = slo.P50.Microseconds()
+		row.P95us = slo.P95.Microseconds()
+		row.P99us = slo.P99.Microseconds()
+		row.MaxUs = slo.Max.Microseconds()
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// scaleRead performs one storm read: deterministic file/range choice from
+// the arrival index, metadata through the federation router, then the vRead
+// path with replica failover in location order. Outcomes: "ok" (correct
+// bytes), "typed" (typed error / all replicas unavailable), "corrupt",
+// "untyped" (both invariant violations).
+func scaleRead(op *sim.Proc, c *cluster.Cluster, router *hdfs.Router,
+	libs []*core.Lib, clients []*hdfs.Client, tracer *trace.Tracer,
+	contents []data.Pattern, blocks [][]hdfs.BlockInfo, sc ScaleConfig, i int) string {
+	fileIdx := i % sc.Files
+	ci := i % sc.Clients
+	size := sc.FileSize
+	off := int64(i*7919) % (size - 1)
+	n := size - off
+	if n > 64<<10 {
+		n = 64 << 10
+	}
+	want := data.NewSlice(contents[fileIdx]).Sub(off, n)
+
+	tr := tracer.Request(fmt.Sprintf("scale-read-%d", i))
+	defer tr.Finish(n)
+
+	// Metadata through the router: bills the RPC and evaluates shard.kill.
+	infos, err := router.GetBlockLocations(op, clients[ci].Kernel(), fmt.Sprintf("/scale/f%d", fileIdx))
+	if err != nil {
+		if errors.Is(err, hdfs.ErrShardDown) {
+			return "typed"
+		}
+		return "untyped"
+	}
+	blk := infos[0] // files are single-block at these sizes
+
+	sawUntyped := false
+	for _, loc := range blk.Locations {
+		vfd, ok := libs[ci].OpenPath(op, tr, loc, hdfs.BlockPath(blk.ID), blk.ID.BlockName())
+		if !ok {
+			continue // replica unreachable (dead rack, crashed daemon) — fail over
+		}
+		got, err := vfd.ReadAt(op, tr, off, n)
+		vfd.Close(op, tr)
+		switch {
+		case err == nil:
+			if data.Equal(got, want) {
+				return "ok"
+			}
+			return "corrupt"
+		case errors.Is(err, core.ErrDaemonFailed), errors.Is(err, core.ErrShortRead),
+			errors.Is(err, core.ErrRingClosed), errors.Is(err, core.ErrBadRange):
+			continue // typed failure — fail over to the next replica
+		default:
+			sawUntyped = true
+		}
+	}
+	if sawUntyped {
+		return "untyped"
+	}
+	return "typed" // every replica failed with a typed error or open miss
+}

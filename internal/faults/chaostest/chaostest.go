@@ -114,7 +114,7 @@ func Run(o Options) Result {
 	// per block in block-ID order, so the counter maps IDs to datanodes.
 	var nextBlock int64
 	blockDN := make(map[int64]string)
-	nn.SetPlacementPolicy(func(string, int) []string {
+	nn.SetPlacementPolicy(func(string, string, int) []string {
 		nextBlock++
 		dn := "dn1"
 		if nextBlock%2 == 0 {

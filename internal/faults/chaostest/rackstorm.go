@@ -1,0 +1,243 @@
+package chaostest
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"vread/internal/cluster"
+	"vread/internal/core"
+	"vread/internal/data"
+	"vread/internal/faults"
+	"vread/internal/hdfs"
+	"vread/internal/metrics"
+	"vread/internal/sim"
+	"vread/internal/trace"
+)
+
+// RackOptions selects one rack-storm chaos run: a federated namespace over a
+// multi-domain topology with replicated blocks, a read storm with replica
+// failover, and a fault plan that may take out a whole rack (rack.kill), a
+// namespace shard (shard.kill) or an inter-domain link (domain.partition)
+// mid-storm.
+type RackOptions struct {
+	Seed      int64
+	Spec      faults.Spec
+	Transport core.Transport
+	// Topology: Domains × RacksPerDomain × HostsPerRack (default 3×2×2).
+	Domains        int
+	RacksPerDomain int
+	HostsPerRack   int
+	Shards         int    // namespace shards (default 4)
+	Replication    int    // replicas per block (default 3)
+	KillRack       string // victim rack for rack.kill (default first rack)
+	Files          int    // files written before the storm (default 4)
+	FileSize       int64  // bytes per file (default 256 KiB)
+	Reads          int    // read operations in the storm (default 40)
+	Deadline       time.Duration
+}
+
+func (o RackOptions) withDefaults() RackOptions {
+	if o.Domains == 0 {
+		o.Domains = 3
+	}
+	if o.RacksPerDomain == 0 {
+		o.RacksPerDomain = 2
+	}
+	if o.HostsPerRack == 0 {
+		o.HostsPerRack = 2
+	}
+	if o.Shards == 0 {
+		o.Shards = 4
+	}
+	if o.Replication == 0 {
+		o.Replication = 3
+	}
+	if o.Files == 0 {
+		o.Files = 4
+	}
+	if o.FileSize == 0 {
+		o.FileSize = 256 << 10
+	}
+	if o.Reads == 0 {
+		o.Reads = 40
+	}
+	if o.Deadline == 0 {
+		o.Deadline = time.Hour
+	}
+	return o
+}
+
+// RunRack executes one rack-storm scenario and returns its outcome under the
+// same invariants as Run: correct-bytes-or-typed-error on every read (with
+// replica failover — a read only counts as failed when every replica failed
+// typed), span balance, full drain, and a deterministic fingerprint.
+func RunRack(o RackOptions) Result {
+	o = o.withDefaults()
+	res := Result{}
+	violate := func(format string, args ...interface{}) {
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+
+	c := cluster.New(o.Seed, cluster.Params{})
+	defer c.Close()
+	plan := faults.NewPlan(c.Env)
+	hosts := c.BuildTopology(cluster.TopologySpec{
+		Domains:        o.Domains,
+		RacksPerDomain: o.RacksPerDomain,
+		HostsPerRack:   o.HostsPerRack,
+	})
+	racks := c.Racks()
+	victim := o.KillRack
+	if victim == "" {
+		victim = racks[0]
+	}
+	c.InjectFaults(plan)
+	c.Fabric.InjectFaults(plan)
+	for _, h := range hosts {
+		h.Disk.InjectFaults(plan)
+	}
+
+	// One datanode VM on the first host of every rack; the client in the
+	// last domain, so the victim rack never takes the reader down with it.
+	dnNames := make([]string, len(racks))
+	for i, rack := range racks {
+		dnNames[i] = fmt.Sprintf("dn%d", i)
+		c.RackHosts(rack)[0].AddVM(dnNames[i], metrics.TagDatanodeApp)
+	}
+	clientVM := hosts[len(hosts)-1].AddVM("client", metrics.TagClientApp)
+
+	router := hdfs.NewRouter(c.Env, hdfs.Config{Replication: o.Replication}, c.Fabric,
+		hdfs.RouterOptions{Shards: o.Shards, RingSeed: o.Seed})
+	router.InjectFaults(plan)
+	for _, dn := range dnNames {
+		hdfs.StartDataNode(c.Env, router, c.VM(dn).Kernel)
+	}
+	cl := hdfs.NewClient(c.Env, router, clientVM.Kernel)
+
+	mgr := core.NewManager(c, router, core.Config{Transport: o.Transport, Faults: plan})
+	for _, dn := range dnNames {
+		mgr.MountDatanode(dn)
+	}
+	lib := mgr.EnableClient("client")
+	cl.SetBlockReader(lib)
+
+	contents := make([]data.Pattern, o.Files)
+	tracer := trace.NewTracer(c.Env, 1)
+	fp := fnv.New64a()
+	record := func(format string, args ...interface{}) {
+		fmt.Fprintf(fp, format, args...)
+	}
+
+	done := false
+	c.Go("rack-storm", func(p *sim.Proc) {
+		for i := range contents {
+			contents[i] = data.Pattern{Seed: uint64(o.Seed)*1000 + uint64(i), Size: o.FileSize}
+			if err := cl.WriteFile(p, fmt.Sprintf("/rack/f%d", i), contents[i]); err != nil {
+				violate("write f%d: %v", i, err)
+				return
+			}
+		}
+		for _, r := range o.Spec {
+			plan.Set(r)
+		}
+
+		rng := c.Env.Rand()
+		for i := 0; i < o.Reads; i++ {
+			res.Reads++
+			if c.MaybeKillRack(victim) {
+				record("%d|rack-kill|%s|%d\n", i, victim, c.Env.Now())
+			}
+			fileIdx := rng.Intn(o.Files)
+			off := int64(rng.Intn(int(o.FileSize - 1)))
+			n := int64(rng.Intn(int(o.FileSize-off))) + 1
+			want := data.NewSlice(contents[fileIdx]).Sub(off, n)
+
+			tr := tracer.Request(fmt.Sprintf("rack-read-%d", i))
+			infos, err := router.GetBlockLocations(p, cl.Kernel(), fmt.Sprintf("/rack/f%d", fileIdx))
+			if err != nil {
+				tr.Finish(0)
+				if errors.Is(err, hdfs.ErrShardDown) {
+					res.TypedErrors++
+					record("%d|f%d|%d|%d|shard-down|%d\n", i, fileIdx, off, n, c.Env.Now())
+				} else {
+					violate("read %d f%d: untyped metadata error %v", i, fileIdx, err)
+					record("%d|f%d|%d|%d|untyped|%d\n", i, fileIdx, off, n, c.Env.Now())
+				}
+				continue
+			}
+			blk := infos[0] // one block per file at these sizes
+
+			outcome := "exhausted"
+			for _, loc := range blk.Locations {
+				vfd, ok := lib.OpenPath(p, tr, loc, hdfs.BlockPath(blk.ID), blk.BlockName())
+				if !ok {
+					res.OpenMisses++
+					record("%d|%s@%s|openmiss|%d\n", i, blk.BlockName(), loc, c.Env.Now())
+					continue // fail over to the next replica
+				}
+				got, rerr := vfd.ReadAt(p, tr, off, n)
+				vfd.Close(p, tr)
+				switch {
+				case rerr == nil:
+					if data.Equal(got, want) {
+						outcome = "ok"
+					} else {
+						outcome = "corrupt"
+					}
+				case errors.Is(rerr, core.ErrDaemonFailed), errors.Is(rerr, core.ErrShortRead),
+					errors.Is(rerr, core.ErrRingClosed):
+					record("%d|%s@%s|err:%v|%d\n", i, blk.BlockName(), loc, rerr, c.Env.Now())
+					continue // typed failure — fail over
+				default:
+					outcome = "untyped:" + rerr.Error()
+				}
+				break
+			}
+			tr.Finish(n)
+			record("%d|%s|%d|%d|%s|%d\n", i, blk.BlockName(), off, n, outcome, c.Env.Now())
+			switch outcome {
+			case "ok":
+				res.OKs++
+			case "exhausted":
+				res.TypedErrors++ // every replica failed with a typed error or miss
+			case "corrupt":
+				violate("read %d %s [%d,%d): silent corruption", i, blk.BlockName(), off, off+n)
+			default:
+				violate("read %d %s: %s", i, blk.BlockName(), outcome)
+			}
+		}
+		done = true
+	})
+
+	start := c.Env.Now()
+	if err := c.Env.RunUntil(start + o.Deadline); err != nil {
+		violate("engine: %v", err)
+		return res
+	}
+	if !done {
+		violate("workload wedged: storm did not finish within %v", o.Deadline)
+		return res
+	}
+	if pend := c.Env.Pending(); pend != 0 {
+		violate("%d events still pending after the storm drained", pend)
+	}
+	if pend := mgr.PendingRemoteReads(); pend != 0 {
+		violate("%d remote reads leaked", pend)
+	}
+	for _, tr := range tracer.Traces() {
+		for _, s := range tr.Spans {
+			if s.End < s.Start {
+				violate("%s: span %s/%s opened at %v never closed", tr.Name, s.Layer, s.Name, s.Start)
+			}
+		}
+	}
+	record("kills=%d routed=%d\n", router.ShardKills(), router.Routed())
+	res.FaultCounts = plan.Counts()
+	for _, pc := range res.FaultCounts {
+		record("fault|%s|%d|%d\n", pc.Point, pc.Evals, pc.Fires)
+	}
+	res.Fingerprint = fp.Sum64()
+	return res
+}

@@ -35,7 +35,14 @@ import (
 //     there would simulate a kernel bug rather than a network fault), and
 //     RDMAQPTeardown per posted work request;
 //   - the daemon evaluates RingDoorbellLost per doorbell, RingStall per
-//     slot-fill batch, and DaemonCrash per dequeued ring request.
+//     slot-fill batch, and DaemonCrash per dequeued ring request;
+//   - cluster evaluates RackKill per load-generator arrival that names a
+//     victim rack (fired = every host in the rack goes dark);
+//   - the hdfs federation router evaluates ShardKill per routed namespace
+//     RPC (fired = that shard refuses RPCs until failover elapses);
+//   - netsim evaluates DomainPartition per inter-domain host/RDMA frame
+//     (fired = the two fault domains stop exchanging such frames for the
+//     rule's delay window; guest TCP is exempt for the NetFrameDrop reason).
 const (
 	DiskReadSlow     = "disk.read.slow"
 	DiskReadError    = "disk.read.error"
@@ -46,6 +53,9 @@ const (
 	RingDoorbellLost = "ring.doorbell.lost"
 	RingStall        = "ring.stall"
 	DaemonCrash      = "daemon.crash"
+	RackKill         = "rack.kill"
+	ShardKill        = "shard.kill"
+	DomainPartition  = "domain.partition"
 )
 
 // Points lists every canonical faultpoint name.
@@ -54,6 +64,7 @@ func Points() []string {
 		DiskReadSlow, DiskReadError, DiskReadTorn,
 		NetFrameDrop, NetFrameDelay, RDMAQPTeardown,
 		RingDoorbellLost, RingStall, DaemonCrash,
+		RackKill, ShardKill, DomainPartition,
 	}
 }
 

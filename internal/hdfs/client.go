@@ -34,7 +34,7 @@ type BlockReader interface {
 type Client struct {
 	env    *sim.Env
 	cfg    Config
-	nn     *NameNode
+	nn     Namespace
 	kernel *guest.Kernel
 	reader BlockReader
 	tracer *trace.Tracer
@@ -45,10 +45,11 @@ type Client struct {
 	preadMu    map[string]*sim.Mutex
 }
 
-// NewClient creates a DFSClient inside the given VM kernel.
-func NewClient(env *sim.Env, nn *NameNode, kernel *guest.Kernel) *Client {
+// NewClient creates a DFSClient inside the given VM kernel, bound to a
+// namespace (a standalone NameNode or a federated Router).
+func NewClient(env *sim.Env, nn Namespace, kernel *guest.Kernel) *Client {
 	return &Client{
-		env: env, cfg: nn.cfg, nn: nn, kernel: kernel,
+		env: env, cfg: nn.Config(), nn: nn, kernel: kernel,
 		preadConns: make(map[string]*guest.Conn),
 		preadMu:    make(map[string]*sim.Mutex),
 	}
@@ -67,8 +68,8 @@ func (c *Client) Tracer() *trace.Tracer { return c.tracer }
 // Kernel returns the client's VM kernel.
 func (c *Client) Kernel() *guest.Kernel { return c.kernel }
 
-// NameNode returns the cluster namenode.
-func (c *Client) NameNode() *NameNode { return c.nn }
+// Namespace returns the metadata service the client is bound to.
+func (c *Client) Namespace() Namespace { return c.nn }
 
 // ---------------------------------------------------------------------------
 // Write path.

@@ -15,7 +15,7 @@ import (
 type DataNode struct {
 	env      *sim.Env
 	cfg      Config
-	nn       *NameNode
+	nn       Namespace
 	kernel   *guest.Kernel
 	listener *guest.Listener
 	blocks   map[BlockID]int64
@@ -24,14 +24,14 @@ type DataNode struct {
 }
 
 // StartDataNode boots a datanode in the given VM kernel and registers it
-// with the namenode.
-func StartDataNode(env *sim.Env, nn *NameNode, kernel *guest.Kernel) *DataNode {
+// with the namespace (a standalone NameNode or a federated Router).
+func StartDataNode(env *sim.Env, nn Namespace, kernel *guest.Kernel) *DataNode {
 	if err := kernel.FS().MkdirAll(DataDir); err != nil {
 		panic(fmt.Sprintf("hdfs: %v", err))
 	}
 	dn := &DataNode{
 		env:    env,
-		cfg:    nn.cfg,
+		cfg:    nn.Config(),
 		nn:     nn,
 		kernel: kernel,
 		blocks: make(map[BlockID]int64),

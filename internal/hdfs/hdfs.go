@@ -142,8 +142,41 @@ type Topology interface {
 	HostOf(vm string) (string, bool)
 }
 
-// PlacementPolicy picks datanodes for a new block's replicas.
-type PlacementPolicy func(clientVM string, replication int) []string
+// DomainTopology extends Topology with the failure topology: which rack and
+// fault domain a host sits in. netsim.Fabric implements it; placement layers
+// that receive a plain Topology fall back to domain-blind behavior.
+type DomainTopology interface {
+	Topology
+	RackOf(host string) (string, bool)
+	DomainOf(host string) (string, bool)
+}
+
+// PlacementPolicy picks datanodes for a new block's replicas. key identifies
+// the block being placed ("<path>#<index>") so consistent-hash policies can
+// spread a file's blocks around the ring; topology-only policies ignore it.
+type PlacementPolicy func(clientVM, key string, replication int) []string
+
+// Namespace is the metadata plane a client, datanode, or vRead manager binds
+// to: a single NameNode or a federated Router of namespace shards. The
+// unexported methods keep implementations inside this package — federation
+// is a property of the metadata service, not something callers compose.
+type Namespace interface {
+	Config() Config
+	DataNodes() []string
+	SetPlacementPolicy(p PlacementPolicy)
+	AddBlockListener(l BlockEventListener)
+	GetBlockLocations(p *sim.Proc, k *guest.Kernel, path string) ([]BlockInfo, error)
+	CreateFile(p *sim.Proc, k *guest.Kernel, path string) error
+	AllocateBlock(p *sim.Proc, k *guest.Kernel, path string) (BlockInfo, error)
+	CompleteFile(p *sim.Proc, k *guest.Kernel, path string) error
+	DeleteFile(p *sim.Proc, k *guest.Kernel, path string) error
+	FileSize(path string) (int64, bool)
+	Exists(path string) bool
+
+	getBlockLocations(p *sim.Proc, k *guest.Kernel, tr *trace.Trace, path string) ([]BlockInfo, error)
+	registerDataNode(dn *DataNode)
+	blockReceived(dn string, id BlockID, size int64)
+}
 
 // BlockEventListener observes block lifecycle on a datanode — the namenode-
 // driven trigger that vRead uses to refresh daemon mount points (§3.2).
@@ -164,10 +197,16 @@ type NameNode struct {
 	files     map[string]*fileMeta
 	datanodes map[string]*DataNode
 	dnOrder   []string
-	nextBlock BlockID
-	placement PlacementPolicy
-	listeners []BlockEventListener
-	rrNext    int
+	nextBlock BlockID // allocation count, not the ID itself
+	// blockBase/blockStride stripe block IDs across federation shards:
+	// shard i of S allocates i+1, i+1+S, i+1+2S, … so IDs stay cluster-
+	// unique without shard coordination. A standalone namenode has
+	// base 0, stride 1 (IDs 1, 2, 3, … as before).
+	blockBase   int64
+	blockStride int64
+	placement   PlacementPolicy
+	listeners   []BlockEventListener
+	rrNext      int
 }
 
 type fileMeta struct {
@@ -176,14 +215,21 @@ type fileMeta struct {
 	complete bool
 }
 
-// NewNameNode creates a namenode.
+// NewNameNode creates a standalone namenode (a federation of one).
 func NewNameNode(env *sim.Env, cfg Config, topo Topology) *NameNode {
+	return newShard(env, cfg, topo, 0, 1)
+}
+
+// newShard creates one namespace shard with a block-ID stripe.
+func newShard(env *sim.Env, cfg Config, topo Topology, base, stride int64) *NameNode {
 	nn := &NameNode{
-		env:       env,
-		cfg:       cfg.WithDefaults(),
-		topo:      topo,
-		files:     make(map[string]*fileMeta),
-		datanodes: make(map[string]*DataNode),
+		env:         env,
+		cfg:         cfg.WithDefaults(),
+		topo:        topo,
+		files:       make(map[string]*fileMeta),
+		datanodes:   make(map[string]*DataNode),
+		blockBase:   base,
+		blockStride: stride,
 	}
 	nn.placement = nn.defaultPlacement
 	return nn
@@ -214,8 +260,8 @@ func (nn *NameNode) registerDataNode(dn *DataNode) {
 func (nn *NameNode) DataNodes() []string { return append([]string(nil), nn.dnOrder...) }
 
 // defaultPlacement prefers a datanode co-located with the client (HVE-style
-// topology awareness), then round-robins the rest.
-func (nn *NameNode) defaultPlacement(clientVM string, replication int) []string {
+// topology awareness), then round-robins the rest. It ignores the block key.
+func (nn *NameNode) defaultPlacement(clientVM, _ string, replication int) []string {
 	clientHost, _ := nn.topo.HostOf(clientVM)
 	var local, remote []string
 	for _, name := range nn.dnOrder {
@@ -311,16 +357,17 @@ func (nn *NameNode) AllocateBlock(p *sim.Proc, k *guest.Kernel, path string) (Bl
 	if !ok {
 		return BlockInfo{}, fmt.Errorf("%w: %s", ErrNotFound, path)
 	}
-	targets := nn.placement(k.Name(), nn.cfg.Replication)
+	targets := nn.placement(k.Name(), fmt.Sprintf("%s#%d", path, len(meta.blocks)), nn.cfg.Replication)
 	if len(targets) == 0 {
 		return BlockInfo{}, ErrNoDatanode
 	}
 	nn.nextBlock++
+	id := BlockID(nn.blockBase + 1 + (int64(nn.nextBlock)-1)*nn.blockStride)
 	var off int64
 	for _, b := range meta.blocks {
 		off += b.Size
 	}
-	info := BlockInfo{ID: nn.nextBlock, FileOffset: off, Locations: targets}
+	info := BlockInfo{ID: id, FileOffset: off, Locations: targets}
 	meta.blocks = append(meta.blocks, info)
 	return info, nil
 }

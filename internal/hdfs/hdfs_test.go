@@ -206,7 +206,7 @@ func TestRemoteRead(t *testing.T) {
 	tc := newTestCluster(t, hdfs.Config{})
 	defer tc.c.Close()
 	// Force placement on the remote datanode only.
-	tc.nn.SetPlacementPolicy(func(string, int) []string { return []string{"dn2"} })
+	tc.nn.SetPlacementPolicy(func(string, string, int) []string { return []string{"dn2"} })
 	content := data.Pattern{Seed: 13, Size: 3 << 20}
 	tc.run(t, 30*time.Second, "writer", func(p *sim.Proc) {
 		if err := tc.cl.WriteFile(p, "/f", content); err != nil {

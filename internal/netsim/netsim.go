@@ -90,14 +90,21 @@ type Endpoint interface {
 // transport).
 type HostHandler func(fr Frame)
 
+// DefaultPartitionWindow is how long a fired domain.partition fault keeps
+// the two domains severed when the rule carries no delay= duration.
+const DefaultPartitionWindow = 10 * time.Millisecond
+
 // Fabric is the LAN: a registry of hosts and VM endpoints plus the switch.
 type Fabric struct {
-	env    *sim.Env
-	cfg    Config
-	nics   map[string]*NIC
-	vms    map[string]vmReg
-	ports  map[hostPort]HostHandler
-	faults *faults.Plan
+	env        *sim.Env
+	cfg        Config
+	nics       map[string]*NIC
+	vms        map[string]vmReg
+	ports      map[hostPort]HostHandler
+	locs       map[string]hostLoc
+	down       map[string]bool
+	partitions map[domPair]time.Duration // severed-until instant per domain pair
+	faults     *faults.Plan
 }
 
 type vmReg struct {
@@ -110,14 +117,34 @@ type hostPort struct {
 	port int
 }
 
+type hostLoc struct {
+	rack   string
+	domain string
+}
+
+// domPair is an unordered domain pair (normalized a <= b).
+type domPair struct {
+	a, b string
+}
+
+func pairOf(d1, d2 string) domPair {
+	if d1 > d2 {
+		d1, d2 = d2, d1
+	}
+	return domPair{d1, d2}
+}
+
 // NewFabric creates an empty LAN.
 func NewFabric(env *sim.Env, cfg Config) *Fabric {
 	return &Fabric{
-		env:   env,
-		cfg:   cfg.withDefaults(),
-		nics:  make(map[string]*NIC),
-		vms:   make(map[string]vmReg),
-		ports: make(map[hostPort]HostHandler),
+		env:        env,
+		cfg:        cfg.withDefaults(),
+		nics:       make(map[string]*NIC),
+		vms:        make(map[string]vmReg),
+		ports:      make(map[hostPort]HostHandler),
+		locs:       make(map[string]hostLoc),
+		down:       make(map[string]bool),
+		partitions: make(map[domPair]time.Duration),
 	}
 }
 
@@ -128,8 +155,10 @@ func (f *Fabric) Config() Config { return f.cfg }
 // every transmit, net.frame.drop on host-terminated frames (the vRead
 // daemons' TCP transport, which carries its own timeout/retry — guest TCP
 // has no retransmit model, so dropping inter-VM frames would simulate a
-// kernel bug rather than a network fault), and rdma.qp.teardown per posted
-// work request. A nil plan disables injection.
+// kernel bug rather than a network fault), rdma.qp.teardown per posted
+// work request, and domain.partition per inter-domain host/RDMA frame (a
+// firing severs the two fault domains for the rule's delay window). A nil
+// plan disables injection.
 func (f *Fabric) InjectFaults(plan *faults.Plan) { f.faults = plan }
 
 // AddHost registers a host NIC. softirq is the host thread that receive
@@ -145,6 +174,73 @@ func (f *Fabric) AddHost(name string, softirq *cpusched.Thread) *NIC {
 
 // NIC returns the registered NIC for host, or nil.
 func (f *Fabric) NIC(host string) *NIC { return f.nics[host] }
+
+// SetHostLocation records a host's rack and fault domain. Hosts with no
+// recorded location (or an empty domain) are exempt from domain partitions.
+func (f *Fabric) SetHostLocation(host, rack, domain string) {
+	f.locs[host] = hostLoc{rack: rack, domain: domain}
+}
+
+// RackOf returns the recorded rack of a host.
+func (f *Fabric) RackOf(host string) (string, bool) {
+	l, ok := f.locs[host]
+	return l.rack, ok
+}
+
+// DomainOf returns the recorded fault domain of a host.
+func (f *Fabric) DomainOf(host string) (string, bool) {
+	l, ok := f.locs[host]
+	return l.domain, ok
+}
+
+// SetHostDown marks a host dark (rack kill): every frame to or from it —
+// guest, daemon TCP, or RDMA — is dropped in flight. Spans still close at
+// the would-have-arrived instant, so tracing invariants hold.
+func (f *Fabric) SetHostDown(host string, down bool) {
+	if down {
+		f.down[host] = true
+	} else {
+		delete(f.down, host)
+	}
+}
+
+// HostDown reports whether the host is marked dark.
+func (f *Fabric) HostDown(host string) bool { return f.down[host] }
+
+// PartitionActive reports whether the two domains are currently severed.
+func (f *Fabric) PartitionActive(d1, d2 string) bool {
+	until, ok := f.partitions[pairOf(d1, d2)]
+	return ok && f.env.Now() < until
+}
+
+// domainBlocked reports whether an inter-domain host/RDMA frame between the
+// two hosts must be dropped. Inside an active partition window every such
+// frame drops without drawing randomness; otherwise the domain.partition
+// faultpoint is evaluated, and a firing severs the pair for the rule's
+// delay= window (DefaultPartitionWindow when unset). Recovery is lazy: the
+// window simply expires, no timers.
+func (f *Fabric) domainBlocked(fr *Frame, src, dst string) bool {
+	ls, okS := f.locs[src]
+	ld, okD := f.locs[dst]
+	if !okS || !okD || ls.domain == "" || ld.domain == "" || ls.domain == ld.domain {
+		return false
+	}
+	pair := pairOf(ls.domain, ld.domain)
+	now := f.env.Now()
+	if until, ok := f.partitions[pair]; ok && now < until {
+		fr.Trace.Event(trace.LayerNet, "fault:domain-partition-drop", 0)
+		return true
+	}
+	if window, ok := f.faults.ShouldDelay(faults.DomainPartition); ok {
+		if window <= 0 {
+			window = DefaultPartitionWindow
+		}
+		f.partitions[pair] = now + window
+		fr.Trace.Event(trace.LayerNet, "fault:domain-partition-drop", 0)
+		return true
+	}
+	return false
+}
 
 // RegisterVM binds a VM name to its host and endpoint.
 func (f *Fabric) RegisterVM(vm, host string, ep Endpoint) {
@@ -227,6 +323,10 @@ func (n *NIC) SendToHost(dstHost string, port int, fr Frame, onSent func()) {
 	}
 	fr.SrcHost = n.host
 	fr.DstHost = dstHost
+	if n.fabric.domainBlocked(&fr, n.host, dstHost) {
+		n.transmit(fr, onSent, nil)
+		return
+	}
 	if n.fabric.faults.Should(faults.NetFrameDrop) {
 		fr.Trace.Event(trace.LayerNet, "fault:frame-drop", 0)
 		n.transmit(fr, onSent, nil)
@@ -252,8 +352,13 @@ func (n *NIC) SendDMA(fr Frame, onSent func(), deliver func(Frame)) {
 // transmit paces the frame through this NIC and schedules arrival. A nil
 // deliver means the frame was dropped in flight: it still occupies the wire
 // and its span still closes (at the instant it would have arrived), it just
-// never reaches the destination.
+// never reaches the destination. Frames touching a down host are dropped
+// here, the single chokepoint every send path funnels through.
 func (n *NIC) transmit(fr Frame, onSent func(), deliver func(Frame)) {
+	if deliver != nil && (n.fabric.down[fr.SrcHost] || n.fabric.down[fr.DstHost]) {
+		fr.Trace.Event(trace.LayerNet, "fault:host-down-drop", 0)
+		deliver = nil
+	}
 	cfg := n.fabric.cfg
 	now := n.fabric.env.Now()
 	start := now
@@ -351,11 +456,20 @@ func (q *QP) PostFrom(host string, fr Frame, onSent func()) {
 	if q.fabric.faults.Should(faults.RDMAQPTeardown) {
 		q.broken = true
 	}
-	if q.broken {
+	unreachable := q.broken
+	switch {
+	case q.broken:
+		fr.Trace.Event(trace.LayerNet, "fault:qp-broken-drop", 0)
+	case q.fabric.down[host] || q.fabric.down[dstHost]:
+		fr.Trace.Event(trace.LayerNet, "fault:host-down-drop", 0)
+		unreachable = true
+	case q.fabric.domainBlocked(&fr, host, dstHost):
+		unreachable = true
+	}
+	if unreachable {
 		// Posting still costs CPU and the sender still sees local
 		// transmit-complete — the loss surfaces only at the reader's
 		// timeout, never as a synchronous error.
-		fr.Trace.Event(trace.LayerNet, "fault:qp-broken-drop", 0)
 		postTh.PostT(cfg.RDMAPostCycles, metrics.TagRDMA, fr.Trace, func() {
 			if onSent != nil {
 				onSent()

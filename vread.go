@@ -133,6 +133,45 @@ func NewDFSClient(env *Env, nn *NameNode, kernel *Kernel) *DFSClient {
 }
 
 // ---------------------------------------------------------------------------
+// Federated namespace (sharded namenodes, consistent-hash placement).
+
+// Namespace is the metadata service interface both the standalone NameNode
+// and the federation NamespaceRouter implement.
+type Namespace = hdfs.Namespace
+
+// NamespaceRouter fronts a federation of namespace shards: a mount table
+// (plus hash routing) maps paths to shards, block IDs are striped so they
+// stay cluster-unique, and a shared consistent-hash ring places replicas
+// across fault domains.
+type NamespaceRouter = hdfs.Router
+
+// RouterOptions tunes a federation (shard count, ring seed, virtual nodes,
+// shard failover delay).
+type RouterOptions = hdfs.RouterOptions
+
+// HashRing is the deterministic consistent-hash ring (virtual nodes,
+// fault-domain-aware replica selection).
+type HashRing = hdfs.Ring
+
+// BlockPlacement describes where one block of a path lives (shard, ring
+// position, replicas with their racks and fault domains).
+type BlockPlacement = hdfs.Placement
+
+// TopologySpec describes a regular datacenter fabric: Domains fault
+// domains × RacksPerDomain racks × HostsPerRack hosts.
+type TopologySpec = cluster.TopologySpec
+
+// NewNamespaceRouter creates a federation of namespace shards over one
+// topology.
+func NewNamespaceRouter(env *Env, cfg HDFSConfig, topo hdfs.Topology, opt RouterOptions) *NamespaceRouter {
+	return hdfs.NewRouter(env, cfg, topo, opt)
+}
+
+// NewHashRing creates an empty consistent-hash ring (vnodes <= 0 selects
+// the default 64 virtual nodes per member).
+func NewHashRing(seed int64, vnodes int) *HashRing { return hdfs.NewRing(seed, vnodes) }
+
+// ---------------------------------------------------------------------------
 // vRead.
 
 // VReadManager assembles vRead over a cluster: image mounts, per-host
@@ -158,7 +197,21 @@ const (
 // Call MountDatanode for each datanode VM, EnableClient for each client VM,
 // and install the returned library with DFSClient.SetBlockReader.
 func NewVReadManager(c *Cluster, nn *NameNode, cfg VReadConfig) *VReadManager {
+	if nn == nil {
+		// An untyped nil avoids handing NewManager a non-nil Namespace
+		// interface wrapping a nil *NameNode.
+		return core.NewManager(c, nil, cfg)
+	}
 	return core.NewManager(c, nn, cfg)
+}
+
+// NewFederatedVReadManager creates the vRead system over a cluster and a
+// federated namespace router.
+func NewFederatedVReadManager(c *Cluster, ro *NamespaceRouter, cfg VReadConfig) *VReadManager {
+	if ro == nil {
+		return core.NewManager(c, nil, cfg)
+	}
+	return core.NewManager(c, ro, cfg)
 }
 
 // DaemonEntity returns the metrics entity that vRead hypervisor work on a
@@ -331,6 +384,25 @@ func NewTestbed(opt Options) *Testbed { return experiments.NewTestbed(opt) }
 // ParseOptions decodes a JSON scenario file (see cmd/vread-sim -config)
 // into Options and a placement Scenario.
 var ParseOptions = experiments.ParseOptions
+
+// ParseScaleOptions decodes a scenario file and reports whether it selects
+// the datacenter-scale path ("scale_out" present).
+var ParseScaleOptions = experiments.ParseScaleOptions
+
+// ScaleConfig describes a datacenter-scale scenario: a federated namespace
+// over a multi-domain topology driven by an open-loop read storm, with an
+// optional mid-storm rack kill.
+type ScaleConfig = experiments.ScaleConfig
+
+// SLORow is one p50/p95/p99 read-latency row of a scale run.
+type SLORow = experiments.SLORow
+
+// RunScale runs one federated scale cell per QPS level and returns SLO rows
+// (byte-identical between serial and parallel runs).
+var RunScale = experiments.RunScale
+
+// RenderSLORows renders SLO rows one per line.
+var RenderSLORows = experiments.RenderSLORows
 
 // Experiment runners, one per paper artifact.
 var (
