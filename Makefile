@@ -5,9 +5,9 @@
 # concurrent callers).
 
 GO ?= go
-RACE_PKGS := ./internal/data ./internal/metrics ./internal/trace ./internal/par ./internal/experiments
+RACE_PKGS := ./internal/data ./internal/metrics ./internal/trace ./internal/par ./internal/experiments ./internal/workload ./internal/cluster ./internal/hdfs
 
-.PHONY: tier1 fmt vet build lint lint-self lint-fix-list lint-report test race bench bench-smoke chaos-smoke scale-smoke
+.PHONY: tier1 fmt vet build lint lint-self lint-fix-list lint-report test race bench bench-smoke bench-gate chaos-smoke scale-smoke
 
 tier1: fmt vet build lint test race
 
@@ -21,9 +21,10 @@ vet:
 build:
 	$(GO) build ./...
 
-# lint runs the simulator's eight invariant analyzers — per-package
+# lint runs the simulator's ten invariant analyzers — per-package
 # (determinism, simdiscipline, lockpair, tracecharge) and interprocedural
-# (hotalloc, lockorder, faultpoint, errdiscipline) — over the whole tree.
+# (hotalloc, lockorder, faultpoint, errdiscipline, guesttaint, unitflow) —
+# over the whole tree.
 # Also usable as a vet tool (per-package analyzers only, vet shows the tool
 # one package at a time):
 #   go vet -vettool=$(PWD)/bin/vread-lint ./...
@@ -79,6 +80,16 @@ bench-smoke:
 	$(GO) build -o bin/vread-bench ./cmd/vread-bench
 	./bin/vread-bench -bench bench-smoke.json -bench-short
 	@cat bench-smoke.json
+
+# bench-gate runs the abbreviated suite and fails on engine regressions
+# against the newest committed BENCH_<n>.json: any allocs_per_op increase, or
+# ns_per_op beyond the gate's threshold. Engine ns/op is per-operation and so
+# comparable across scales; experiment wall clock is not and is not gated.
+bench-gate:
+	$(GO) build -o bin/vread-bench ./cmd/vread-bench
+	$(GO) build -o bin/bench-gate ./cmd/bench-gate
+	./bin/vread-bench -bench bench-gate.json -bench-short
+	./bin/bench-gate -candidate bench-gate.json
 
 # scale-smoke drives the datacenter-scale scenario (federated namespace over
 # a 1000-host multi-domain topology, open-loop storm, mid-storm rack kill)

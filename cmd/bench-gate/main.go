@@ -1,0 +1,189 @@
+// Command bench-gate compares a fresh benchmark run against the newest
+// committed BENCH_<n>.json snapshot and fails on performance regressions in
+// the event-engine microbenchmarks.
+//
+// Usage:
+//
+//	bench-gate -candidate fresh.json [-baseline BENCH_2.json]
+//	           [-max-ns-regress 0.15] [-min-ns-floor 100]
+//
+// Without -baseline the newest BENCH_<n>.json (highest n) in the current
+// directory is used. Only the `engine` entries are compared: their ns_per_op
+// is per-operation and therefore comparable between a full `make bench` run
+// and the abbreviated -bench-short candidate, while experiment wall_ms scales
+// with the dataset and is not.
+//
+// Gate rules, per engine entry matched by name:
+//
+//   - allocs_per_op above the baseline fails outright — allocation counts are
+//     deterministic, so any increase is a real regression.
+//   - ns_per_op above baseline × (1 + max-ns-regress) fails, unless both
+//     sides sit under min-ns-floor nanoseconds, where scheduler jitter
+//     routinely exceeds any ratio threshold.
+//   - an entry present in the baseline but missing from the candidate fails:
+//     a renamed or dropped benchmark silently un-gates itself otherwise.
+//
+// New entries in the candidate pass (they have no baseline yet), and a
+// missing baseline file passes with a note — the first run of a fresh clone
+// has nothing to gate against.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// engineEntry mirrors the engine rows of the BENCH_<n>.json schema written
+// by vread-bench; unrelated fields are ignored on decode.
+type engineEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type benchReport struct {
+	Engine []engineEntry `json:"engine"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench-gate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	baselinePath := flag.String("baseline", "", "baseline BENCH json (default: newest BENCH_<n>.json in the current directory)")
+	candidatePath := flag.String("candidate", "", "fresh benchmark report to gate (required)")
+	maxNsRegress := flag.Float64("max-ns-regress", 0.15, "maximum allowed fractional ns_per_op regression")
+	minNsFloor := flag.Float64("min-ns-floor", 100, "skip the ns_per_op ratio check when both sides are under this many ns")
+	flag.Parse()
+
+	if *candidatePath == "" {
+		return fmt.Errorf("-candidate is required")
+	}
+	if *baselinePath == "" {
+		newest, err := newestBaseline(".")
+		if err != nil {
+			return err
+		}
+		if newest == "" {
+			fmt.Println("bench-gate: no BENCH_<n>.json baseline found — nothing to gate against, passing")
+			return nil
+		}
+		*baselinePath = newest
+	}
+
+	baseline, err := loadReport(*baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	candidate, err := loadReport(*candidatePath)
+	if err != nil {
+		return fmt.Errorf("candidate: %w", err)
+	}
+
+	fmt.Printf("bench-gate: %s (candidate) vs %s (baseline), ns threshold +%.0f%%, floor %gns\n",
+		*candidatePath, *baselinePath, *maxNsRegress*100, *minNsFloor)
+
+	byName := map[string]engineEntry{}
+	for _, e := range candidate.Engine {
+		byName[e.Name] = e
+	}
+
+	failures := 0
+	for _, base := range baseline.Engine {
+		cand, ok := byName[base.Name]
+		if !ok {
+			fmt.Printf("  FAIL %-24s missing from candidate (renamed or dropped?)\n", base.Name)
+			failures++
+			continue
+		}
+		verdict := "ok  "
+		var notes []string
+		if cand.AllocsPerOp > base.AllocsPerOp {
+			verdict = "FAIL"
+			notes = append(notes, fmt.Sprintf("allocs/op %.0f -> %.0f", base.AllocsPerOp, cand.AllocsPerOp))
+			failures++
+		}
+		limit := base.NsPerOp * (1 + *maxNsRegress)
+		if cand.NsPerOp > limit && !(base.NsPerOp < *minNsFloor && cand.NsPerOp < *minNsFloor) {
+			if verdict == "ok  " {
+				failures++
+			}
+			verdict = "FAIL"
+			notes = append(notes, fmt.Sprintf("ns/op %.0f -> %.0f (limit %.0f)", base.NsPerOp, cand.NsPerOp, limit))
+		}
+		line := fmt.Sprintf("  %s %-24s ns/op %6.0f -> %6.0f   allocs/op %2.0f -> %2.0f",
+			verdict, base.Name, base.NsPerOp, cand.NsPerOp, base.AllocsPerOp, cand.AllocsPerOp)
+		for _, n := range notes {
+			line += "   [" + n + "]"
+		}
+		fmt.Println(line)
+	}
+	for _, e := range candidate.Engine {
+		if !inBaseline(baseline.Engine, e.Name) {
+			fmt.Printf("  new  %-24s ns/op %6.0f   allocs/op %2.0f (no baseline yet)\n",
+				e.Name, e.NsPerOp, e.AllocsPerOp)
+		}
+	}
+
+	if failures > 0 {
+		return fmt.Errorf("%d engine benchmark(s) regressed", failures)
+	}
+	fmt.Println("bench-gate: no regressions")
+	return nil
+}
+
+func inBaseline(entries []engineEntry, name string) bool {
+	for _, e := range entries {
+		if e.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func loadReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Engine) == 0 {
+		return nil, fmt.Errorf("%s: no engine entries", path)
+	}
+	return &r, nil
+}
+
+var benchName = regexp.MustCompile(`^BENCH_([0-9]+)\.json$`)
+
+// newestBaseline returns the BENCH_<n>.json with the highest n in dir, or ""
+// if none exists. Numeric order, not mtime: `make bench` numbers snapshots
+// monotonically, and file times do not survive a git checkout.
+func newestBaseline(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		m := benchName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil || n <= bestN {
+			continue
+		}
+		best, bestN = e.Name(), n
+	}
+	return best, nil
+}

@@ -8,13 +8,16 @@
 //	lockorder      sim.Mutex acquisition order is acyclic; no double-acquire
 //	faultpoint     fault-point declarations, Eval sites, and tests agree
 //	errdiscipline  core errors are typed or %w-wrapped; compared with errors.Is
+//	guesttaint     guest-written ring values pass a //lint:sanitizer before sinks
+//	unitflow       cycles reach sim time only via //lint:converter helpers
 //
 // Standalone:
 //
 //	vread-lint ./...                 # lint packages, exit 1 on findings
 //	vread-lint -list ./...           # findings as file:line for editor jumps
-//	vread-lint -json ./...           # findings as a stable JSON array
+//	vread-lint -json ./...           # findings as versioned, stable JSON
 //	vread-lint -run lockpair ./...   # subset of analyzers
+//	vread-lint -unused-allow ./...   # also flag stale //lint:allow comments
 //
 // As a vet tool (the go vet driver handles caching and test packages;
 // whole-program analyzers are skipped because vet shows the tool one
@@ -38,16 +41,17 @@ import (
 )
 
 // version participates in go vet's content-based caching (-V=full).
-const version = "v2"
+const version = "v3"
 
 func main() {
 	flagV := flag.String("V", "", "print version (go vet protocol)")
 	flagFlags := flag.Bool("flags", false, "describe flags as JSON (go vet protocol)")
 	flagList := flag.Bool("list", false, "print findings as file:line only")
-	flagJSON := flag.Bool("json", false, "print findings as a JSON array on stdout")
+	flagJSON := flag.Bool("json", false, "print findings as versioned JSON on stdout")
 	flagRun := flag.String("run", "", "comma-separated analyzer names to run (default all)")
+	flagUnused := flag.Bool("unused-allow", false, "also report //lint:allow comments that suppress nothing (full suite only)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vread-lint [-list] [-json] [-run names] packages...\n")
+		fmt.Fprintf(os.Stderr, "usage: vread-lint [-list] [-json] [-run names] [-unused-allow] packages...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -101,7 +105,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vread-lint:", err)
 		os.Exit(2)
 	}
-	diags, err := analysis.RunSuite(analysis.NewProgram(pkgs), analyzers)
+	run := analysis.RunSuite
+	if *flagUnused {
+		if *flagRun != "" {
+			fmt.Fprintln(os.Stderr, "vread-lint: -unused-allow needs the full suite; drop -run")
+			os.Exit(2)
+		}
+		run = analysis.RunSuiteUnused
+	}
+	diags, err := run(analysis.NewProgram(pkgs), analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vread-lint:", err)
 		os.Exit(2)
@@ -148,7 +160,7 @@ func perPackage(analyzers []*analysis.Analyzer) []*analysis.Analyzer {
 
 func report(diags []analysis.Diagnostic, listOnly, asJSON bool) {
 	if asJSON {
-		os.Stdout.Write(analysis.MarshalDiagnostics(diags))
+		os.Stdout.Write(analysis.MarshalReport(diags))
 		return
 	}
 	for _, d := range diags {

@@ -6,11 +6,13 @@ import (
 	"vread/internal/analysis/determinism"
 	"vread/internal/analysis/errdiscipline"
 	"vread/internal/analysis/faultpoint"
+	"vread/internal/analysis/guesttaint"
 	"vread/internal/analysis/hotalloc"
 	"vread/internal/analysis/lockorder"
 	"vread/internal/analysis/lockpair"
 	"vread/internal/analysis/simdiscipline"
 	"vread/internal/analysis/tracecharge"
+	"vread/internal/analysis/unitflow"
 )
 
 // Analyzers returns the full suite in stable order: the per-package
@@ -25,5 +27,7 @@ func Analyzers() []*analysis.Analyzer {
 		lockorder.Analyzer,
 		faultpoint.Analyzer,
 		errdiscipline.Analyzer,
+		guesttaint.Analyzer,
+		unitflow.Analyzer,
 	}
 }

@@ -58,6 +58,22 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
+// ReportVersion identifies the lint-report.json schema. Bump it whenever a
+// field is added, removed, or reordered, so report diffs across PRs are
+// attributable to findings rather than format drift.
+const ReportVersion = 1
+
+// MarshalReport renders the versioned lint report: a fixed-field-order
+// object wrapping the diagnostics array. The bytes are identical on every
+// run over the same tree — the golden test pins them.
+func MarshalReport(diags []Diagnostic) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "{\"version\":%d,\n\"diagnostics\":", ReportVersion)
+	b.Write(MarshalDiagnostics(diags))
+	b.WriteString("}\n")
+	return []byte(b.String())
+}
+
 // MarshalDiagnostics renders diagnostics as a JSON array with a fixed field
 // order (file, line, col, analyzer, message) and one object per line. The
 // input must already be sorted (RunAnalyzers/RunSuite output is); given the
@@ -147,16 +163,28 @@ func (p *Pass) IsTestFile(pos token.Pos) bool {
 // finding.
 var allowRx = regexp.MustCompile(`^//\s*lint:allow\s+([A-Za-z0-9_-]+)\s*\(([^)]*)\)`)
 
-// suppressions maps analyzer name -> set of suppressed lines per file.
-type suppressions map[string]map[string]map[int]bool
+// allowDirective is one //lint:allow comment: its claim (analyzer, file, the
+// two lines it covers) plus whether any diagnostic actually hit it — the
+// input to the stale-suppression report.
+type allowDirective struct {
+	analyzer string
+	pos      token.Position
+	used     bool
+}
+
+// suppressions indexes //lint:allow directives by analyzer, file, and line.
+type suppressions struct {
+	byKey      map[string]map[string]map[int]*allowDirective
+	directives []*allowDirective // in comment order
+}
 
 // buildSuppressions indexes every //lint:allow directive in the files. A
 // directive suppresses findings of the named analyzer on its own line and on
 // the line immediately below (so it works both as a trailing comment and as
 // a standalone comment above the offending statement). Directives with an
 // empty reason are returned as diagnostics instead.
-func buildSuppressions(fset *token.FileSet, files []*ast.File) (suppressions, []Diagnostic) {
-	sup := suppressions{}
+func buildSuppressions(fset *token.FileSet, files []*ast.File) (*suppressions, []Diagnostic) {
+	sup := &suppressions{byKey: map[string]map[string]map[int]*allowDirective{}}
 	var bad []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -174,30 +202,57 @@ func buildSuppressions(fset *token.FileSet, files []*ast.File) (suppressions, []
 					})
 					continue
 				}
-				byFile := sup[m[1]]
+				d := &allowDirective{analyzer: m[1], pos: pos}
+				sup.directives = append(sup.directives, d)
+				byFile := sup.byKey[m[1]]
 				if byFile == nil {
-					byFile = map[string]map[int]bool{}
-					sup[m[1]] = byFile
+					byFile = map[string]map[int]*allowDirective{}
+					sup.byKey[m[1]] = byFile
 				}
 				lines := byFile[pos.Filename]
 				if lines == nil {
-					lines = map[int]bool{}
+					lines = map[int]*allowDirective{}
 					byFile[pos.Filename] = lines
 				}
-				lines[pos.Line] = true
-				lines[pos.Line+1] = true
+				lines[pos.Line] = d
+				lines[pos.Line+1] = d
 			}
 		}
 	}
 	return sup, bad
 }
 
-func (s suppressions) suppressed(d Diagnostic) bool {
-	byFile := s[d.Analyzer]
+func (s *suppressions) suppressed(d Diagnostic) bool {
+	byFile := s.byKey[d.Analyzer]
 	if byFile == nil {
 		return false
 	}
-	return byFile[d.Pos.Filename][d.Pos.Line]
+	dir := byFile[d.Pos.Filename][d.Pos.Line]
+	if dir == nil {
+		return false
+	}
+	dir.used = true
+	return true
+}
+
+// unused returns a diagnostic for every directive naming one of the ran
+// analyzers that suppressed nothing — a stale //lint:allow whose finding has
+// since been fixed (or whose analyzer name is misspelled). Only meaningful
+// after a full-suite run: a -run subset would mark every other analyzer's
+// allows stale.
+func (s *suppressions) unused(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range s.directives {
+		if d.used || !ran[d.analyzer] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Analyzer: "unused-allow",
+			Pos:      d.pos,
+			Message:  fmt.Sprintf("stale suppression: no %s finding on this line anymore; delete the //lint:allow", d.analyzer),
+		})
+	}
+	return out
 }
 
 // RunAnalyzers applies the analyzers to one type-checked package and returns

@@ -60,6 +60,19 @@ func TestData(t *testing.T) string {
 // the Program — their bodies are not analyzed.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
+	run(t, testdata, analysis.RunSuite, []*analysis.Analyzer{a}, pkgPaths)
+}
+
+// RunUnused is Run under the stale-suppression driver (RunSuiteUnused) with
+// an explicit analyzer list: //lint:allow comments naming a ran analyzer that
+// suppressed nothing must be claimed by "stale suppression" wants.
+func RunUnused(t *testing.T, testdata string, analyzers []*analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	run(t, testdata, analysis.RunSuiteUnused, analyzers, pkgPaths)
+}
+
+func run(t *testing.T, testdata string, drive func(*analysis.Program, []*analysis.Analyzer) ([]analysis.Diagnostic, error), analyzers []*analysis.Analyzer, pkgPaths []string) {
+	t.Helper()
 	fset := token.NewFileSet()
 	imp := &fixtureImporter{
 		fset:    fset,
@@ -76,9 +89,9 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 		pkgs = append(pkgs, pkg)
 	}
 	prog := analysis.NewProgram(pkgs)
-	diags, err := analysis.RunSuite(prog, []*analysis.Analyzer{a})
+	diags, err := drive(prog, analyzers)
 	if err != nil {
-		t.Fatalf("running %s: %v", a.Name, err)
+		t.Fatalf("running analyzers: %v", err)
 	}
 	check(t, fset, prog, diags)
 }

@@ -84,11 +84,19 @@ func (g *CallGraph) Lookup(name string) *FuncNode { return g.byName[name] }
 
 // NodeOf returns the node for a declared function object (resolving generic
 // instantiations to their origin), or nil for functions outside the program.
+// The loader type-checks each package from source but resolves its imports
+// from export data, so a cross-package callee arrives as a different
+// *types.Func than the one its home package defined — the stable node name
+// bridges the two object worlds when the pointer lookup misses.
 func (g *CallGraph) NodeOf(fn *types.Func) *FuncNode {
 	if fn == nil {
 		return nil
 	}
-	return g.byObj[fn.Origin()]
+	fn = fn.Origin()
+	if n := g.byObj[fn]; n != nil {
+		return n
+	}
+	return g.byName[funcName(fn)]
 }
 
 // Callees returns n's direct callees, sorted by name.

@@ -48,6 +48,22 @@ type FlowHooks struct {
 	// set at that point. Events are not added to the held set.
 	Events  func(stmt ast.Stmt, isDefer bool) []Held
 	AtEvent func(ev Held, held []Held)
+	// ClassifyState is Classify with the current held set visible — the
+	// transfer-function form the dataflow layer needs, where what a
+	// statement generates depends on what its operands already carry.
+	// Both hooks may be set; releases apply before acquisitions either way.
+	// ClassifyState is additionally called for range statements (to bind
+	// the iteration variables) before the body is walked.
+	ClassifyState func(stmt ast.Stmt, isDefer bool, held []Held) (acquired []Held, released []interface{})
+	// Cond, when set, is invoked for branch conditions — if and for
+	// conditions, switch tags, and range operands — with the held set at
+	// the branch point. Its effects apply to every outgoing branch; a
+	// condition that launders a resource (a declared sanitizer called in a
+	// guard) retires it for the fall-through state.
+	Cond func(e ast.Expr, held []Held) (acquired []Held, released []interface{})
+	// Init seeds the held set before the first statement — how the dataflow
+	// layer gives parameters their symbolic facts on entry.
+	Init []Held
 }
 
 // WalkPaths runs the pairing walk over a function body.
@@ -57,6 +73,9 @@ func WalkPaths(body *ast.BlockStmt, hooks FlowHooks) {
 	}
 	w := &flowWalker{hooks: hooks, deferred: map[interface{}]bool{}}
 	held := newHeldSet()
+	for _, h := range hooks.Init {
+		held.add(h)
+	}
 	terminated := w.walkList(body.List, held)
 	if !terminated {
 		hooks.AtExit(nil, held.items())
@@ -139,6 +158,11 @@ func (w *flowWalker) classify(s ast.Stmt, isDefer bool, held *heldSet) {
 	if w.hooks.Classify != nil {
 		acq, rel = w.hooks.Classify(s, isDefer)
 	}
+	if w.hooks.ClassifyState != nil {
+		a, r := w.hooks.ClassifyState(s, isDefer, held.items())
+		acq = append(acq, a...)
+		rel = append(rel, r...)
+	}
 	for _, k := range rel {
 		if isDefer {
 			w.deferred[k] = true
@@ -157,6 +181,20 @@ func (w *flowWalker) classify(s ast.Stmt, isDefer bool, held *heldSet) {
 		if w.deferred[h.Key] {
 			continue // a defer already guarantees its release
 		}
+		held.add(h)
+	}
+}
+
+// cond applies the Cond hook to a branch condition.
+func (w *flowWalker) cond(e ast.Expr, held *heldSet) {
+	if w.hooks.Cond == nil || e == nil {
+		return
+	}
+	acq, rel := w.hooks.Cond(e, held.items())
+	for _, k := range rel {
+		held.remove(k)
+	}
+	for _, h := range acq {
 		held.add(h)
 	}
 }
@@ -189,6 +227,7 @@ func (w *flowWalker) walkStmt(s ast.Stmt, held *heldSet) (terminated bool) {
 		if st.Init != nil {
 			w.classify(st.Init, false, held)
 		}
+		w.cond(st.Cond, held)
 		thenHeld := held.clone()
 		thenTerm := w.walkList(st.Body.List, thenHeld)
 		elseHeld := held.clone()
@@ -213,6 +252,9 @@ func (w *flowWalker) walkStmt(s ast.Stmt, held *heldSet) (terminated bool) {
 		if st.Init != nil {
 			w.classify(st.Init, false, held)
 		}
+		if st.Cond != nil {
+			w.cond(st.Cond, held)
+		}
 		body := held.clone()
 		w.walkList(st.Body.List, body)
 		held.union(body)
@@ -220,6 +262,18 @@ func (w *flowWalker) walkStmt(s ast.Stmt, held *heldSet) (terminated bool) {
 		return st.Cond == nil && !hasBreak(st.Body)
 
 	case *ast.RangeStmt:
+		w.cond(st.X, held)
+		if w.hooks.ClassifyState != nil {
+			// Bind the iteration variables (key/value derive from the
+			// ranged operand) before walking the body.
+			acq, rel := w.hooks.ClassifyState(st, false, held.items())
+			for _, k := range rel {
+				held.remove(k)
+			}
+			for _, h := range acq {
+				held.add(h)
+			}
+		}
 		body := held.clone()
 		w.walkList(st.Body.List, body)
 		held.union(body)
@@ -241,6 +295,9 @@ func (w *flowWalker) walkBranches(s ast.Stmt, held *heldSet) bool {
 	case *ast.SwitchStmt:
 		if st.Init != nil {
 			w.classify(st.Init, false, held)
+		}
+		if st.Tag != nil {
+			w.cond(st.Tag, held)
 		}
 		clauses = st.Body.List
 	case *ast.TypeSwitchStmt:

@@ -1,0 +1,13 @@
+package guesttaint_test
+
+import (
+	"testing"
+
+	"vread/internal/analysis/analysistest"
+	"vread/internal/analysis/guesttaint"
+)
+
+func TestGuestTaint(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), guesttaint.Analyzer,
+		"taintfix", "vread/internal/sim")
+}

@@ -1,0 +1,125 @@
+// Package taintfix exercises the guest-taint boundary: values popped off an
+// annotated ring queue are hostile until a declared sanitizer accepts them,
+// and must not reach index, copy-length, map-key, or schedule-delay sinks.
+package taintfix
+
+import (
+	"time"
+
+	"vread/internal/sim"
+)
+
+type req struct {
+	dn  string
+	off int64
+	n   int64
+}
+
+type dev struct {
+	env *sim.Env
+	// reqs is the guest-written descriptor ring.
+	//
+	//lint:source guesttaint(descriptor area is guest-writable)
+	reqs *sim.Queue[req]
+	// trusted is host-internal: pops off it draw no findings.
+	trusted *sim.Queue[req]
+
+	mounts map[string]int
+	slots  []byte
+}
+
+// sanitize launders a descriptor by value.
+//
+//lint:sanitizer guesttaint(bounds-checks the byte range)
+func (d *dev) sanitize(r req) (req, bool) {
+	if r.off < 0 || r.n < 0 || r.off+r.n < 0 {
+		return r, false
+	}
+	return r, true
+}
+
+// valid is the bool-guard sanitizer idiom: the argument itself is laundered.
+//
+//lint:sanitizer guesttaint(rejects negative ranges)
+func (d *dev) valid(r req) bool {
+	return r.off >= 0 && r.n >= 0
+}
+
+// lookup indexes the mount map with its argument; callers feeding it guest
+// data get a call-chain witness.
+func (d *dev) lookup(dn string) int {
+	return d.mounts[dn]
+}
+
+// raw uses a popped descriptor with no sanitizer: every sink fires.
+func (d *dev) raw(p *sim.Proc) {
+	r, ok := d.reqs.Get(p)
+	if !ok {
+		return
+	}
+	_ = d.mounts[r.dn]                            // want `map key d\.mounts\[r\.dn\] without a declared sanitizer`
+	_ = d.slots[r.off]                            // want `slice index d\.slots\[r\.off\] without a declared sanitizer`
+	_ = d.slots[:r.n]                             // want `slice bound`
+	delete(d.mounts, r.dn)                        // want `map key delete\(d\.mounts, r\.dn\)`
+	buf := make([]byte, r.n)                      // want `make size`
+	copy(buf, r.dn)                               // want `copy length`
+	d.env.Schedule(time.Duration(r.n), func() {}) // want `schedule delay`
+	p.Sleep(time.Duration(r.off))                 // want `schedule delay`
+}
+
+// chained reaches the map through a helper: the report cites the chain.
+func (d *dev) chained(p *sim.Proc) {
+	r, ok := d.reqs.TryGet()
+	if !ok {
+		return
+	}
+	_ = p
+	_ = d.lookup(r.dn) // want `map key d\.mounts\[dn\] .*call chain: \(taintfix\.dev\)\.chained → \(taintfix\.dev\)\.lookup`
+}
+
+// sanitized launders the descriptor at the pop: no findings.
+func (d *dev) sanitized(p *sim.Proc) {
+	r, ok := d.reqs.Get(p)
+	if !ok {
+		return
+	}
+	r, ok = d.sanitize(r)
+	if !ok {
+		return
+	}
+	_ = d.mounts[r.dn]
+	_ = d.slots[r.off]
+	d.env.Schedule(time.Duration(r.n), func() {})
+}
+
+// guarded uses the bool-guard idiom: passing r to the sanitizer launders it.
+func (d *dev) guarded(p *sim.Proc) {
+	r, ok := d.reqs.Get(p)
+	if !ok {
+		return
+	}
+	if !d.valid(r) {
+		return
+	}
+	_ = d.slots[r.off]
+}
+
+// hostSide pops an unannotated queue: not guest data, no findings.
+func (d *dev) hostSide(p *sim.Proc) {
+	r, ok := d.trusted.Get(p)
+	if !ok {
+		return
+	}
+	_ = d.mounts[r.dn]
+	_ = d.slots[r.off]
+}
+
+// allowed documents a deliberate exception through the suppression comment.
+func (d *dev) allowed(p *sim.Proc) {
+	r, ok := d.reqs.Get(p)
+	if !ok {
+		return
+	}
+	//lint:allow guesttaint(fixture proves the escape hatch works)
+	_ = d.mounts[r.dn]
+}

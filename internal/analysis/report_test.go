@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"testing"
+)
+
+// TestMarshalReportGolden pins the versioned report's exact bytes: the
+// version field leads, the field order inside each diagnostic is fixed, and
+// repeated marshals of the same input are identical. CI diffs
+// lint-report.json artifacts across builds, so any drift here is a schema
+// change and must come with a ReportVersion bump.
+func TestMarshalReportGolden(t *testing.T) {
+	diags := []Diagnostic{
+		{Analyzer: "guesttaint", Pos: token.Position{Filename: "/repo/a.go", Line: 7, Column: 3}, Message: `tainted "x" hits sink`},
+		{Analyzer: "unitflow", Pos: token.Position{Filename: "/repo/b.go", Line: 12, Column: 9}, Message: "bytes\nmixed"},
+	}
+	want := "{\"version\":1,\n\"diagnostics\":[\n" +
+		"  {\"file\":\"/repo/a.go\",\"line\":7,\"col\":3,\"analyzer\":\"guesttaint\",\"message\":\"tainted \\\"x\\\" hits sink\"},\n" +
+		"  {\"file\":\"/repo/b.go\",\"line\":12,\"col\":9,\"analyzer\":\"unitflow\",\"message\":\"bytes\\nmixed\"}\n" +
+		"]\n}\n"
+	got := MarshalReport(diags)
+	if string(got) != want {
+		t.Fatalf("report bytes drifted from golden:\ngot  %q\nwant %q", got, want)
+	}
+	if again := MarshalReport(diags); !bytes.Equal(got, again) {
+		t.Fatalf("marshal is not byte-stable:\nfirst  %q\nsecond %q", got, again)
+	}
+
+	var decoded struct {
+		Version     int `json:"version"`
+		Diagnostics []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(got, &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, got)
+	}
+	if decoded.Version != ReportVersion {
+		t.Fatalf("version field = %d, want ReportVersion = %d", decoded.Version, ReportVersion)
+	}
+	if len(decoded.Diagnostics) != 2 || decoded.Diagnostics[1].Message != "bytes\nmixed" {
+		t.Fatalf("diagnostics did not round-trip: %+v", decoded.Diagnostics)
+	}
+}
+
+func TestMarshalReportEmpty(t *testing.T) {
+	want := "{\"version\":1,\n\"diagnostics\":[]\n}\n"
+	if got := string(MarshalReport(nil)); got != want {
+		t.Fatalf("empty report = %q, want %q", got, want)
+	}
+}

@@ -103,6 +103,19 @@ func (p *ProgramPass) IsTestFile(pos token.Pos) bool {
 // FileSet, a //lint:allow in pkg/a/util.go can never mask a finding in
 // pkg/b/util.go.
 func RunSuite(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return runSuite(prog, analyzers, false)
+}
+
+// RunSuiteUnused is RunSuite plus stale-suppression reporting: every
+// //lint:allow naming one of the ran analyzers that suppressed nothing comes
+// back as an "unused-allow" diagnostic. Callers should pass the full suite —
+// under a subset, allows for the analyzers that did not run are skipped, not
+// reported.
+func RunSuiteUnused(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return runSuite(prog, analyzers, true)
+}
+
+func runSuite(prog *Program, analyzers []*Analyzer, reportUnused bool) ([]Diagnostic, error) {
 	var all []*ast.File
 	for _, pkg := range prog.Pkgs {
 		all = append(all, pkg.Files...)
@@ -138,6 +151,13 @@ func RunSuite(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 				diags = append(diags, d)
 			}
 		}
+	}
+	if reportUnused {
+		ran := make(map[string]bool, len(analyzers))
+		for _, a := range analyzers {
+			ran[a.Name] = true
+		}
+		diags = append(diags, sup.unused(ran)...)
 	}
 	sortDiagnostics(diags)
 	return diags, nil

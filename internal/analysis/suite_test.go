@@ -3,6 +3,7 @@ package analysis_test
 import (
 	"testing"
 
+	"vread/internal/analysis"
 	"vread/internal/analysis/analysistest"
 	"vread/internal/analysis/simdiscipline"
 )
@@ -18,4 +19,13 @@ import (
 func TestSuppressionFullPath(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), simdiscipline.Analyzer,
 		"supa", "supb", "supc")
+}
+
+// TestUnusedAllow drives the stale-suppression reporter: allowfix holds one
+// used allow (silent), one stale allow for a ran analyzer (reported), and one
+// allow for an analyzer outside the ran set (skipped — its staleness cannot
+// be judged).
+func TestUnusedAllow(t *testing.T) {
+	analysistest.RunUnused(t, analysistest.TestData(t),
+		[]*analysis.Analyzer{simdiscipline.Analyzer}, "allowfix")
 }

@@ -1,0 +1,12 @@
+package unitflow_test
+
+import (
+	"testing"
+
+	"vread/internal/analysis/analysistest"
+	"vread/internal/analysis/unitflow"
+)
+
+func TestUnitFlow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), unitflow.Analyzer, "unitfix")
+}

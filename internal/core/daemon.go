@@ -224,8 +224,13 @@ func (d *Daemon) loop(p *sim.Proc) {
 		if !ok {
 			return
 		}
+		req, valid := d.sanitizeReq(req)
 		// Wake from the guest's doorbell.
 		d.thread.RunT(p, d.cfg.EventFdCycles, metrics.TagOthers, req.tr)
+		if !valid {
+			d.rejectReq(p, req)
+			continue
+		}
 		if d.cfg.Faults.Should(faults.DaemonCrash) {
 			d.crashRestart(p, req)
 			continue
@@ -236,6 +241,52 @@ func (d *Daemon) loop(p *sim.Proc) {
 		case reqRead:
 			d.handleRead(p, req)
 		}
+	}
+}
+
+// maxRingNameBytes bounds the dn and path strings one descriptor may carry,
+// matching the prototype's fixed-size descriptor slots.
+const maxRingNameBytes = 4096
+
+func validRingName(s string) bool { return s != "" && len(s) <= maxRingNameBytes }
+
+// sanitizeReq is the daemon-side validation of one guest-written ring
+// descriptor (§3.3): the opcode must be known, the datanode ID and block
+// path non-empty and bounded, the byte range non-negative without overflow,
+// and an open must carry its reply queue. The raw fields feed map lookups,
+// readahead keys, and offset arithmetic, so nothing downstream may see a
+// descriptor this has not accepted.
+//
+//lint:sanitizer guesttaint(rejects unknown opcodes, unbounded names, and negative or overflowing byte ranges at the pop)
+func (d *Daemon) sanitizeReq(req ringReq) (ringReq, bool) {
+	switch req.kind {
+	case reqOpen:
+		if req.reply == nil {
+			return req, false
+		}
+	case reqRead:
+	default:
+		return req, false
+	}
+	if !validRingName(req.dn) || !validRingName(req.path) {
+		return req, false
+	}
+	if req.off < 0 || req.n < 0 || req.off+req.n < 0 {
+		return req, false
+	}
+	return req, true
+}
+
+// rejectReq fails a malformed descriptor back to the guest without touching
+// any daemon state: opens get an empty reply, reads an error slot. A
+// descriptor with no usable reply channel is dropped, like a corrupt
+// doorbell write.
+func (d *Daemon) rejectReq(p *sim.Proc, req ringReq) {
+	switch {
+	case req.kind == reqOpen && req.reply != nil:
+		req.reply.Put(p, openResult{})
+	case req.kind == reqRead:
+		d.pushError(p, req.tr)
 	}
 }
 

@@ -18,9 +18,14 @@ import (
 type ring struct {
 	cfg   Config
 	reqMu *sim.Mutex
-	reqs  *sim.Queue[ringReq]
-	free  *sim.Queue[struct{}] // slot tokens
-	full  *sim.Queue[ringSlot] // filled slots in order
+	// reqs is the descriptor area. Every field of a popped ringReq was
+	// written by guest code on the far side of the SHM boundary and is
+	// hostile until Daemon.sanitizeReq accepts it.
+	//
+	//lint:source guesttaint(descriptor area is guest-writable shared memory)
+	reqs *sim.Queue[ringReq]
+	free *sim.Queue[struct{}] // slot tokens
+	full *sim.Queue[ringSlot] // filled slots in order
 }
 
 type ringReqKind int

@@ -188,7 +188,11 @@ func (c *CPU) CyclesFor(d time.Duration) int64 {
 }
 
 // DurFor converts cycles into execution time at this CPU's frequency
-// (rounded up so consumption always completes the planned cycles).
+// (rounded up so consumption always completes the planned cycles). It is
+// the canonical cycles→time crossing; everything else must route through
+// it rather than casting cycles to time.Duration directly.
+//
+//lint:converter unitflow(integer cycles over freqHz with round-up is the one blessed cycles→time conversion)
 func (c *CPU) DurFor(cycles int64) time.Duration {
 	ns := (cycles*1e9 + c.freqHz - 1) / c.freqHz
 	return time.Duration(ns)

@@ -114,14 +114,19 @@ func (c Config) CopyCycles(n int64) int64 {
 
 // NetDev is one VM's para-virtual NIC with its vhost-net thread.
 type NetDev struct {
-	env     *sim.Env
-	cfg     Config
-	vmName  string
-	host    string
-	vcpu    *cpusched.Thread
-	vhost   *cpusched.Thread
-	nic     *netsim.NIC
-	fabric  *netsim.Fabric
+	env    *sim.Env
+	cfg    Config
+	vmName string
+	host   string
+	vcpu   *cpusched.Thread
+	vhost  *cpusched.Thread
+	nic    *netsim.NIC
+	fabric *netsim.Fabric
+	// tx is the virtio-net descriptor ring: the guest wrote every popped
+	// frame, so vhostLoop must run it through sanitizeFrame before using
+	// its length or destination on the host side.
+	//
+	//lint:source guesttaint(tx descriptors live in guest memory)
 	tx      *sim.Queue[netsim.Frame]
 	deliver func(fr netsim.Frame) // guest kernel rx hook
 	started bool
@@ -169,9 +174,10 @@ func (d *NetDev) Start() {
 }
 
 // Transmit hands a frame to the device: the caller pays the kick (VM exit)
-// on the vCPU and blocks while the tx ring is full.
-//
-//lint:hotpath
+// on the vCPU and blocks while the tx ring is full. It is not //lint:hotpath:
+// charging the kick posts scheduler work items, so the no-alloc contract
+// cannot hold through its callees (the per-frame cost lives in the cycle
+// model, not in allocator pressure).
 func (d *NetDev) Transmit(p *sim.Proc, fr netsim.Frame) {
 	if fr.Payload.Len() > d.cfg.SegmentBytes {
 		panic(fmt.Sprintf("virtio: frame %d exceeds segment size %d", fr.Payload.Len(), d.cfg.SegmentBytes))
@@ -204,6 +210,24 @@ func (d *NetDev) transmitSRIOV(p *sim.Proc, fr netsim.Frame) {
 	d.nic.SendDMA(fr, d.sriovDone, peer.rxFn)
 }
 
+// sanitizeFrame is the host-side check of one guest-written tx descriptor:
+// the payload length must fit a TSO segment (a corrupt length would inflate
+// the copy charge) and the destination VM must exist in the fabric. Transmit
+// enforces the same bounds guest-side, but vhost must not trust that — the
+// descriptor is re-read from shared memory after the guest could have
+// scribbled on it.
+//
+//lint:sanitizer guesttaint(rejects oversized payloads and unknown destinations before any host-side use)
+func (d *NetDev) sanitizeFrame(fr netsim.Frame) (netsim.Frame, bool) {
+	if fr.Payload.Len() < 0 || fr.Payload.Len() > d.cfg.SegmentBytes {
+		return fr, false
+	}
+	if _, ok := d.fabric.HostOf(fr.DstVM); !ok {
+		return fr, false
+	}
+	return fr, true
+}
+
 // vhostLoop drains the tx ring: per-frame processing, the guest→host copy,
 // then either the direct inter-VM copy (co-located destination) or the
 // physical NIC.
@@ -212,6 +236,12 @@ func (d *NetDev) vhostLoop(p *sim.Proc) {
 		fr, ok := d.tx.Get(p)
 		if !ok {
 			return
+		}
+		fr, ok = d.sanitizeFrame(fr)
+		if !ok {
+			// A malformed descriptor is dropped like a bad skb; the guest
+			// sees it as a lost frame.
+			continue
 		}
 		n := fr.Payload.Len()
 		d.vhost.RunT(p, d.cfg.VhostFrameCycles, metrics.TagVhostNet, fr.Trace)
@@ -286,8 +316,13 @@ type BlkDev struct {
 	vcpu     *cpusched.Thread
 	iothread *cpusched.Thread
 	disk     *storage.Disk
-	reqs     *sim.Queue[blkReq]
-	started  bool
+	// reqs is the virtio-blk descriptor ring: popped requests carry
+	// guest-written sizes that ioLoop must bounds-check via sanitizeBlkReq
+	// before charging copies or issuing disk I/O.
+	//
+	//lint:source guesttaint(blk descriptors live in guest memory)
+	reqs    *sim.Queue[blkReq]
+	started bool
 }
 
 type blkReq struct {
@@ -397,6 +432,19 @@ func (b *BlkDev) transfer(p *sim.Proc, tr *trace.Trace, n int64, write bool) {
 	}
 }
 
+// sanitizeBlkReq is the host-side check of one guest-written block request:
+// the size must be positive and fit one ring request. The guest submit
+// paths clamp to the same bound, but the iothread re-reads the descriptor
+// from the shared ring and must not trust the guest's copy of the check.
+//
+//lint:sanitizer guesttaint(rejects non-positive and oversized request sizes before copy charging and disk I/O)
+func (b *BlkDev) sanitizeBlkReq(req blkReq) (blkReq, bool) {
+	if req.bytes <= 0 || req.bytes > b.cfg.BlkReqBytes {
+		return req, false
+	}
+	return req, true
+}
+
 // ioLoop services block requests: host-side request processing, the device
 // transfer, the virtqueue copy, and completion interrupt.
 func (b *BlkDev) ioLoop(p *sim.Proc) {
@@ -404,6 +452,18 @@ func (b *BlkDev) ioLoop(p *sim.Proc) {
 		req, ok := b.reqs.Get(p)
 		if !ok {
 			return
+		}
+		req, ok = b.sanitizeBlkReq(req)
+		if !ok {
+			// A malformed descriptor completes immediately with no transfer,
+			// like a device rejecting an out-of-range request.
+			onDone := req.onDone
+			b.vcpu.PostT(b.cfg.GuestIRQCycles, metrics.TagOthers, req.tr, func() {
+				if onDone != nil {
+					onDone()
+				}
+			})
+			continue
 		}
 		b.iothread.RunT(p, b.cfg.BlkReqCycles, metrics.TagDiskRead, req.tr)
 		if req.write {

@@ -75,6 +75,8 @@ func (r DFSIOResult) AggregateRate() float64 {
 
 // CPUTime converts consumed cycles to milliseconds at the given frequency
 // (Figure 12's y axis).
+//
+//lint:converter unitflow(reporting-side cycles→time at the caller's frequency; float math matches TestDFSIO's ms precision)
 func (r DFSIOResult) CPUTime(freqHz int64) time.Duration {
 	return time.Duration(float64(r.CPUCycles) / float64(freqHz) * float64(time.Second))
 }
