@@ -1,11 +1,13 @@
 # Tier-1 verification: format, vet, build, the invariant linter, full test
-# suite, and the race detector on the non-simulation packages (the simulator
-# itself is single-threaded by construction; data, metrics, trace and the
-# experiment fan-out in par/experiments are the pieces shared with real
-# concurrent callers).
+# suite, and the race detector on the non-simulation packages (each Env is
+# single-threaded by construction; data, metrics, trace, the experiment
+# fan-out in par/experiments, and the sharded coordinator in sim/shard —
+# which runs whole Envs on concurrent workers — are the pieces shared with
+# real concurrent callers). netsim rides along because the sharded fabric
+# routes frames between concurrently-advancing Envs.
 
 GO ?= go
-RACE_PKGS := ./internal/data ./internal/metrics ./internal/trace ./internal/par ./internal/experiments ./internal/workload ./internal/cluster ./internal/hdfs
+RACE_PKGS := ./internal/data ./internal/metrics ./internal/trace ./internal/par ./internal/sim/shard ./internal/netsim ./internal/experiments ./internal/workload ./internal/cluster ./internal/hdfs
 
 .PHONY: tier1 fmt vet build lint lint-self lint-fix-list lint-report test race bench bench-smoke bench-gate chaos-smoke scale-smoke
 
@@ -57,13 +59,16 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-# bench runs the performance suite (event-engine microbenchmarks plus the
-# Figures 11/12 grid, serial and parallel) and writes the next numbered
-# BENCH_<n>.json so the perf trajectory accumulates across PRs.
+# bench runs the performance suite (event-engine microbenchmarks, the
+# Figures 11/12 grid serial and parallel, and the sharded-engine grid) and
+# writes the next numbered BENCH_<n>.json so the perf trajectory accumulates
+# across PRs. The snapshot is also copied to bench-snapshot.json — a stable
+# name for the CI artifact upload.
 bench:
 	$(GO) build -o bin/vread-bench ./cmd/vread-bench
 	@n=1; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
 		./bin/vread-bench -bench BENCH_$$n.json; \
+		cp BENCH_$$n.json bench-snapshot.json; \
 		echo "wrote BENCH_$$n.json"; cat BENCH_$$n.json
 
 # chaos-smoke runs the deterministic fault-injection suite (the seed × plan

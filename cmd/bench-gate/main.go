@@ -1,17 +1,18 @@
 // Command bench-gate compares a fresh benchmark run against the newest
 // committed BENCH_<n>.json snapshot and fails on performance regressions in
-// the event-engine microbenchmarks.
+// the event-engine microbenchmarks and the parallel-engine speedups.
 //
 // Usage:
 //
 //	bench-gate -candidate fresh.json [-baseline BENCH_2.json]
 //	           [-max-ns-regress 0.15] [-min-ns-floor 100]
+//	           [-max-speedup-regress 0.15]
 //
 // Without -baseline the newest BENCH_<n>.json (highest n) in the current
-// directory is used. Only the `engine` entries are compared: their ns_per_op
-// is per-operation and therefore comparable between a full `make bench` run
-// and the abbreviated -bench-short candidate, while experiment wall_ms scales
-// with the dataset and is not.
+// directory is used. The `engine` entries are always compared: their
+// ns_per_op is per-operation and therefore comparable between a full
+// `make bench` run and the abbreviated -bench-short candidate, while
+// experiment wall_ms scales with the dataset and is not.
 //
 // Gate rules, per engine entry matched by name:
 //
@@ -22,6 +23,14 @@
 //     routinely exceeds any ratio threshold.
 //   - an entry present in the baseline but missing from the candidate fails:
 //     a renamed or dropped benchmark silently un-gates itself otherwise.
+//
+// Experiment entries that recorded a speedup_vs_serial and a shard count
+// (the sharded-engine rows) are gated too, with the same missing-entry rule:
+// the candidate's speedup may not fall more than max-speedup-regress below
+// the baseline's. Speedup is only meaningful when the machine can actually
+// run shards in parallel and when both reports saw the same parallelism, so
+// the check is skipped — with a note — on single-CPU machines and when the
+// rows' go_maxprocs differ.
 //
 // New entries in the candidate pass (they have no baseline yet), and a
 // missing baseline file passes with a note — the first run of a fresh clone
@@ -34,6 +43,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"runtime"
 	"strconv"
 )
 
@@ -45,8 +55,27 @@ type engineEntry struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
+// experimentEntry mirrors the experiment rows; only the speedup-bearing
+// fields matter to the gate.
+type experimentEntry struct {
+	Name            string  `json:"name"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	GoMaxProcs      int     `json:"go_maxprocs"`
+	Shards          int     `json:"shards"`
+}
+
 type benchReport struct {
-	Engine []engineEntry `json:"engine"`
+	Engine      []engineEntry     `json:"engine"`
+	Experiments []experimentEntry `json:"experiments"`
+}
+
+// gateConfig carries the thresholds plus the environment the decision may
+// depend on (CPU count injected so tests can pin it).
+type gateConfig struct {
+	MaxNsRegress      float64
+	MinNsFloor        float64
+	MaxSpeedupRegress float64
+	NumCPU            int
 }
 
 func main() {
@@ -61,6 +90,7 @@ func run() error {
 	candidatePath := flag.String("candidate", "", "fresh benchmark report to gate (required)")
 	maxNsRegress := flag.Float64("max-ns-regress", 0.15, "maximum allowed fractional ns_per_op regression")
 	minNsFloor := flag.Float64("min-ns-floor", 100, "skip the ns_per_op ratio check when both sides are under this many ns")
+	maxSpeedupRegress := flag.Float64("max-speedup-regress", 0.15, "maximum allowed fractional speedup_vs_serial regression on multi-CPU machines")
 	flag.Parse()
 
 	if *candidatePath == "" {
@@ -87,19 +117,38 @@ func run() error {
 		return fmt.Errorf("candidate: %w", err)
 	}
 
-	fmt.Printf("bench-gate: %s (candidate) vs %s (baseline), ns threshold +%.0f%%, floor %gns\n",
-		*candidatePath, *baselinePath, *maxNsRegress*100, *minNsFloor)
+	cfg := gateConfig{
+		MaxNsRegress:      *maxNsRegress,
+		MinNsFloor:        *minNsFloor,
+		MaxSpeedupRegress: *maxSpeedupRegress,
+		NumCPU:            runtime.NumCPU(),
+	}
+	fmt.Printf("bench-gate: %s (candidate) vs %s (baseline), ns threshold +%.0f%%, floor %gns, speedup threshold -%.0f%%\n",
+		*candidatePath, *baselinePath, cfg.MaxNsRegress*100, cfg.MinNsFloor, cfg.MaxSpeedupRegress*100)
 
+	lines, failures := gate(baseline, candidate, cfg)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed", failures)
+	}
+	fmt.Println("bench-gate: no regressions")
+	return nil
+}
+
+// gate applies every rule and returns the report lines plus the failure
+// count. Pure: no flags, clocks, or I/O, so tests drive it directly.
+func gate(baseline, candidate *benchReport, cfg gateConfig) (lines []string, failures int) {
 	byName := map[string]engineEntry{}
 	for _, e := range candidate.Engine {
 		byName[e.Name] = e
 	}
 
-	failures := 0
 	for _, base := range baseline.Engine {
 		cand, ok := byName[base.Name]
 		if !ok {
-			fmt.Printf("  FAIL %-24s missing from candidate (renamed or dropped?)\n", base.Name)
+			lines = append(lines, fmt.Sprintf("  FAIL %-24s missing from candidate (renamed or dropped?)", base.Name))
 			failures++
 			continue
 		}
@@ -110,8 +159,8 @@ func run() error {
 			notes = append(notes, fmt.Sprintf("allocs/op %.0f -> %.0f", base.AllocsPerOp, cand.AllocsPerOp))
 			failures++
 		}
-		limit := base.NsPerOp * (1 + *maxNsRegress)
-		if cand.NsPerOp > limit && !(base.NsPerOp < *minNsFloor && cand.NsPerOp < *minNsFloor) {
+		limit := base.NsPerOp * (1 + cfg.MaxNsRegress)
+		if cand.NsPerOp > limit && !(base.NsPerOp < cfg.MinNsFloor && cand.NsPerOp < cfg.MinNsFloor) {
 			if verdict == "ok  " {
 				failures++
 			}
@@ -123,20 +172,57 @@ func run() error {
 		for _, n := range notes {
 			line += "   [" + n + "]"
 		}
-		fmt.Println(line)
+		lines = append(lines, line)
 	}
 	for _, e := range candidate.Engine {
 		if !inBaseline(baseline.Engine, e.Name) {
-			fmt.Printf("  new  %-24s ns/op %6.0f   allocs/op %2.0f (no baseline yet)\n",
-				e.Name, e.NsPerOp, e.AllocsPerOp)
+			lines = append(lines, fmt.Sprintf("  new  %-24s ns/op %6.0f   allocs/op %2.0f (no baseline yet)",
+				e.Name, e.NsPerOp, e.AllocsPerOp))
 		}
 	}
 
-	if failures > 0 {
-		return fmt.Errorf("%d engine benchmark(s) regressed", failures)
+	sl, sf := gateSpeedups(baseline, candidate, cfg)
+	return append(lines, sl...), failures + sf
+}
+
+// gateSpeedups compares the parallel-engine rows — baseline experiment
+// entries that recorded both a speedup_vs_serial and a shard count.
+func gateSpeedups(baseline, candidate *benchReport, cfg gateConfig) (lines []string, failures int) {
+	byName := map[string]experimentEntry{}
+	for _, e := range candidate.Experiments {
+		byName[e.Name] = e
 	}
-	fmt.Println("bench-gate: no regressions")
-	return nil
+	for _, base := range baseline.Experiments {
+		if base.SpeedupVsSerial == 0 || base.Shards == 0 {
+			continue
+		}
+		cand, ok := byName[base.Name]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("  FAIL %-24s missing from candidate (renamed or dropped?)", base.Name))
+			failures++
+			continue
+		}
+		switch {
+		case cfg.NumCPU <= 1:
+			lines = append(lines, fmt.Sprintf("  skip %-24s speedup %.2fx -> %.2fx (single-CPU machine: parallel speedup not measurable)",
+				base.Name, base.SpeedupVsSerial, cand.SpeedupVsSerial))
+		case cand.GoMaxProcs != base.GoMaxProcs:
+			lines = append(lines, fmt.Sprintf("  skip %-24s speedup %.2fx@%dP -> %.2fx@%dP (go_maxprocs differ: not comparable)",
+				base.Name, base.SpeedupVsSerial, base.GoMaxProcs, cand.SpeedupVsSerial, cand.GoMaxProcs))
+		default:
+			floor := base.SpeedupVsSerial * (1 - cfg.MaxSpeedupRegress)
+			verdict := "ok  "
+			note := ""
+			if cand.SpeedupVsSerial < floor {
+				verdict = "FAIL"
+				note = fmt.Sprintf("   [speedup %.2fx -> %.2fx (floor %.2fx)]", base.SpeedupVsSerial, cand.SpeedupVsSerial, floor)
+				failures++
+			}
+			lines = append(lines, fmt.Sprintf("  %s %-24s speedup %.2fx -> %.2fx   shards %d -> %d%s",
+				verdict, base.Name, base.SpeedupVsSerial, cand.SpeedupVsSerial, base.Shards, cand.Shards, note))
+		}
+	}
+	return lines, failures
 }
 
 func inBaseline(entries []engineEntry, name string) bool {

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func cfg() gateConfig {
+	return gateConfig{MaxNsRegress: 0.15, MinNsFloor: 100, MaxSpeedupRegress: 0.15, NumCPU: 8}
+}
+
+func report(ns, allocs float64, speedup float64, procs, shards int) *benchReport {
+	r := &benchReport{
+		Engine: []engineEntry{{Name: "engine/x", NsPerOp: ns, AllocsPerOp: allocs}},
+	}
+	if speedup != 0 {
+		r.Experiments = []experimentEntry{{
+			Name: "shard-grid/parallel", SpeedupVsSerial: speedup, GoMaxProcs: procs, Shards: shards,
+		}}
+	}
+	return r
+}
+
+func assertFailures(t *testing.T, lines []string, failures, want int) {
+	t.Helper()
+	if failures != want {
+		t.Fatalf("failures = %d, want %d\n%s", failures, want, strings.Join(lines, "\n"))
+	}
+}
+
+func TestGateAllocsIncreaseFails(t *testing.T) {
+	lines, failures := gate(report(500, 0, 0, 0, 0), report(500, 1, 0, 0, 0), cfg())
+	assertFailures(t, lines, failures, 1)
+}
+
+func TestGateNsRegressionFailsAboveFloor(t *testing.T) {
+	lines, failures := gate(report(500, 0, 0, 0, 0), report(600, 0, 0, 0, 0), cfg())
+	assertFailures(t, lines, failures, 1)
+	// Under the floor the same ratio passes: jitter territory.
+	lines, failures = gate(report(50, 0, 0, 0, 0), report(60, 0, 0, 0, 0), cfg())
+	assertFailures(t, lines, failures, 0)
+}
+
+func TestGateMissingEngineEntryFails(t *testing.T) {
+	cand := &benchReport{Engine: []engineEntry{{Name: "engine/other"}}}
+	lines, failures := gate(report(500, 0, 0, 0, 0), cand, cfg())
+	assertFailures(t, lines, failures, 1)
+}
+
+func TestGateSpeedupRegressionFails(t *testing.T) {
+	base := report(500, 0, 3.0, 8, 8)
+	lines, failures := gate(base, report(500, 0, 2.0, 8, 8), cfg())
+	assertFailures(t, lines, failures, 1)
+	// Within the threshold passes.
+	lines, failures = gate(base, report(500, 0, 2.9, 8, 8), cfg())
+	assertFailures(t, lines, failures, 0)
+}
+
+func TestGateSpeedupSkippedOnSingleCPU(t *testing.T) {
+	c := cfg()
+	c.NumCPU = 1
+	lines, failures := gate(report(500, 0, 3.0, 8, 8), report(500, 0, 0.5, 1, 2), c)
+	assertFailures(t, lines, failures, 0)
+	if !strings.Contains(strings.Join(lines, "\n"), "single-CPU") {
+		t.Fatalf("no single-CPU skip note:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestGateSpeedupSkippedOnProcsMismatch(t *testing.T) {
+	lines, failures := gate(report(500, 0, 3.0, 8, 8), report(500, 0, 1.1, 4, 4), cfg())
+	assertFailures(t, lines, failures, 0)
+	if !strings.Contains(strings.Join(lines, "\n"), "go_maxprocs differ") {
+		t.Fatalf("no procs-mismatch skip note:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestGateSpeedupMissingRowFails(t *testing.T) {
+	lines, failures := gate(report(500, 0, 3.0, 8, 8), report(500, 0, 0, 0, 0), cfg())
+	assertFailures(t, lines, failures, 1)
+}
+
+// TestGateBaselineWithoutSpeedupRowsIgnoresCandidate: older snapshots predate
+// the sharded rows; their absence must not fail fresh candidates that have
+// them (new rows pass without a baseline).
+func TestGateBaselineWithoutSpeedupRowsIgnoresCandidate(t *testing.T) {
+	lines, failures := gate(report(500, 0, 0, 0, 0), report(500, 0, 2.5, 8, 8), cfg())
+	assertFailures(t, lines, failures, 0)
+}

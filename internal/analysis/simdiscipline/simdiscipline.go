@@ -25,12 +25,16 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // allowedPkgs may use real concurrency: the engine implements the Proc
-// handoff protocol on goroutines and channels, and par is the one fan-out
+// handoff protocol on goroutines and channels; par is the one fan-out
 // shim that runs independent experiment cells (each a whole, isolated Env)
-// on real OS threads — nothing inside a simulation ever touches it.
+// on real OS threads; and sim/shard is the parallel coordinator that
+// advances whole Envs on par.Gang workers under conservative lookahead —
+// its barrier protocol is exactly the kind of real concurrency the
+// analyzer exists to keep out of simulation code.
 var allowedPkgs = map[string]bool{
-	"vread/internal/sim": true,
-	"vread/internal/par": true,
+	"vread/internal/sim":       true,
+	"vread/internal/sim/shard": true,
+	"vread/internal/par":       true,
 }
 
 // syncTypes are the sync identifiers whose mere mention marks real

@@ -9,5 +9,5 @@ import (
 
 func TestSimDiscipline(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), simdiscipline.Analyzer,
-		"simfix", "vread/internal/sim", "vread/internal/par")
+		"simfix", "shardfix", "vread/internal/sim", "vread/internal/sim/shard", "vread/internal/par")
 }

@@ -1,0 +1,28 @@
+// Package shardfix exercises the boundary of the shard allowlist: the same
+// barrier pattern the coordinator is allowed to use is still a violation in
+// any package outside vread/internal/sim/shard — the allowlist covers the
+// package, not the pattern.
+package shardfix
+
+import "sync"
+
+// Barrier mimics the coordinator's epoch round on raw primitives.
+func Barrier(workers int, fn func(int)) {
+	var wg sync.WaitGroup // want `sync.WaitGroup outside internal/sim`
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() { // want `raw go statement outside internal/sim`
+			defer wg.Done()
+			fn(w)
+		}()
+	}
+	wg.Wait()
+}
+
+// Mailbox mimics the cross-shard handoff on a bare channel.
+func Mailbox() int {
+	ch := make(chan int, 1) // want `bare channel make outside internal/sim`
+	ch <- 42                // want `bare channel send outside internal/sim`
+	return <-ch
+}

@@ -1,0 +1,20 @@
+// Package shard stands in for the parallel coordinator: allowlisted like the
+// engine, because the epoch barrier runs whole Envs on real worker
+// goroutines — channels and goroutines here draw no findings.
+package shard
+
+// Round would trip the go-statement and channel rules anywhere else; here it
+// draws no findings.
+func Round(workers int, fn func(int)) {
+	done := make(chan int)
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() {
+			fn(w)
+			done <- w
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}

@@ -6,6 +6,7 @@ package cluster
 
 import (
 	"fmt"
+	"time"
 
 	"vread/internal/cpusched"
 	"vread/internal/faults"
@@ -14,6 +15,7 @@ import (
 	"vread/internal/metrics"
 	"vread/internal/netsim"
 	"vread/internal/sim"
+	"vread/internal/sim/shard"
 	"vread/internal/storage"
 	"vread/internal/virtio"
 )
@@ -64,13 +66,24 @@ func (p Params) WithDefaults() Params {
 }
 
 // Cluster is the whole simulated testbed.
+//
+// A cluster is either single-env (New: one Env shared by every host and VM,
+// the classic serial regime) or sharded (NewSharded: one Env, metrics
+// registry, and shard.LP per host, advanced in parallel under conservative
+// lookahead). In the sharded regime Env, Reg, and Network are nil — all
+// state is per host — and the VM stack is unavailable: sharded scenarios
+// run host-level daemons whose only cross-host channel is the fabric.
 type Cluster struct {
 	Env     *sim.Env
 	Reg     *metrics.Registry
 	Fabric  *netsim.Fabric
 	Network *guest.Network
 	Params  Params
+	// Coord drives the epoch loop of a sharded cluster; nil otherwise.
+	Coord *shard.Coordinator
 
+	seed      int64
+	sharded   bool
 	hosts     map[string]*Host
 	hostOrder []*Host // insertion order: deterministic iteration + dense IDs
 	racks     map[string][]*Host
@@ -94,6 +107,16 @@ type Host struct {
 	Rack    string
 	Domain  string
 	Cluster *Cluster
+	// Env is the event loop this host's devices and daemons run on: the
+	// cluster Env in the single-env regime, the host's own in the sharded
+	// one.
+	Env *sim.Env
+	// Reg receives this host's metrics. Shared cluster-wide in the
+	// single-env regime, per host when sharded (concurrent shards must not
+	// write one registry).
+	Reg *metrics.Registry
+	// LP is the host's logical process in a sharded cluster; nil otherwise.
+	LP      *shard.LP
 	CPU     *cpusched.CPU
 	Disk    *storage.Disk
 	Cache   *storage.PageCache // host page cache (loop-mount reads)
@@ -129,8 +152,33 @@ func New(seed int64, params Params) *Cluster {
 		Fabric:  netsim.NewFabric(env, params.Net),
 		Network: guest.NewNetwork(env),
 		Params:  params,
+		seed:    seed,
 	}
 }
+
+// NewSharded creates an empty sharded cluster: every host added gets its own
+// Env (seeded deterministically from the cluster seed and the host ID), its
+// own metrics registry, and an LP registered with the coordinator. The
+// fabric's interconnect is wired to the coordinator's mailboxes, with the
+// fabric's minimum link latency as the lookahead window. shards is the
+// worker count K; the run is byte-identical for every K by construction.
+func NewSharded(seed int64, params Params, shards int) *Cluster {
+	params = params.WithDefaults()
+	c := &Cluster{
+		Fabric:  netsim.NewFabric(nil, params.Net),
+		Params:  params,
+		Coord:   shard.New(shard.Config{Shards: shards, Lookahead: params.Net.Lookahead()}),
+		seed:    seed,
+		sharded: true,
+	}
+	c.Fabric.SetInterconnect(func(src, dst string, delay time.Duration, deliver func()) {
+		c.hosts[src].LP.Send(c.hosts[dst].LP, delay, deliver)
+	})
+	return c
+}
+
+// Sharded reports whether the cluster runs one Env per host.
+func (c *Cluster) Sharded() bool { return c.sharded }
 
 // AddHost creates a host with its CPU, SSD, page cache and NIC in the
 // default rack/domain ("r0"/"d0").
@@ -147,19 +195,35 @@ func (c *Cluster) AddHostAt(name, rack, domain string) *Host {
 	if _, ok := c.hosts[name]; ok {
 		panic(fmt.Sprintf("cluster: duplicate host %q", name))
 	}
-	cpu := cpusched.New(c.Env, c.Reg, c.Params.Cores, c.Params.FreqHz, c.Params.Sched)
+	id := len(c.hostOrder)
+	env, reg := c.Env, c.Reg
+	if c.sharded {
+		// Per-host seed: a fixed odd multiplier spreads host IDs across the
+		// seed space; any deterministic injection works, this one keeps
+		// host N's stream stable as hosts are added.
+		env = sim.NewEnv(c.seed*1_000_003 + int64(id) + 1)
+		reg = metrics.NewRegistry()
+	}
+	cpu := cpusched.New(env, reg, c.Params.Cores, c.Params.FreqHz, c.Params.Sched)
 	h := &Host{
 		Name:    name,
-		ID:      len(c.hostOrder),
+		ID:      id,
 		Rack:    rack,
 		Domain:  domain,
 		Cluster: c,
+		Env:     env,
+		Reg:     reg,
 		CPU:     cpu,
-		Disk:    storage.NewDisk(c.Env, name+":ssd", c.Params.Disk),
+		Disk:    storage.NewDisk(env, name+":ssd", c.Params.Disk),
 		Cache:   storage.NewPageCache(name+":pagecache", c.Params.HostCacheBytes, c.Params.CacheChunkBytes),
 		Softirq: cpu.NewThread(name+":softirq", name),
 	}
-	h.NIC = c.Fabric.AddHost(name, h.Softirq)
+	if c.sharded {
+		h.LP = c.Coord.AddLP(env)
+		h.NIC = c.Fabric.AddHostOn(name, h.Softirq, env)
+	} else {
+		h.NIC = c.Fabric.AddHost(name, h.Softirq)
+	}
 	c.Fabric.SetHostLocation(name, rack, domain)
 	c.hosts[name] = h
 	c.hostOrder = append(c.hostOrder, h)
@@ -195,6 +259,29 @@ func (c *Cluster) BuildTopology(spec TopologySpec) []*Host {
 		}
 	}
 	return hosts
+}
+
+// AssignRackShards pins every host's LP to a shard by rack: racks are
+// divided into contiguous blocks, one block per shard, so hosts that share a
+// ToR switch — the cluster's densest communication neighborhood — land on
+// the same worker and their frames cross the mailbox no more often than the
+// topology requires. Call after the topology is built, before the run. A
+// no-op on single-env clusters.
+func (c *Cluster) AssignRackShards() {
+	if !c.sharded {
+		return
+	}
+	k := c.Coord.Shards()
+	nracks := len(c.rackOrder)
+	if nracks == 0 {
+		return
+	}
+	for ri, rack := range c.rackOrder {
+		s := ri * k / nracks
+		for _, h := range c.racks[rack] {
+			h.LP.SetShard(s)
+		}
+	}
 }
 
 // Host returns a host by name, or nil.
@@ -261,6 +348,13 @@ func (c *Cluster) AllVMs() map[string]*VM { return c.vms }
 // metrics.TagDatanodeApp).
 func (h *Host) AddVM(name, appTag string) *VM {
 	c := h.Cluster
+	if c.sharded {
+		// The VM stack (guest kernel, virtio, guest.Network) schedules on
+		// the cluster Env and routes VM traffic through shared registries;
+		// none of it is LP-partitioned yet. Sharded clusters run host-level
+		// daemons only.
+		panic(fmt.Sprintf("cluster: AddVM(%q) on a sharded cluster; the VM stack is single-env only", name))
+	}
 	if c.vms == nil {
 		c.vms = make(map[string]*VM)
 	}
@@ -340,9 +434,24 @@ func (c *Cluster) MigrateVM(vmName string, dst *Host) {
 	dst.VMs = append(dst.VMs, vm)
 }
 
-// Go starts a simulated process (convenience passthrough).
+// Go starts a simulated process (convenience passthrough). Single-env only;
+// sharded clusters start processes on a specific host via Host.Go.
 func (c *Cluster) Go(name string, fn func(p *sim.Proc)) *sim.Proc {
 	return c.Env.Go(name, fn)
+}
+
+// Go starts a simulated process on this host's Env.
+func (h *Host) Go(name string, fn func(p *sim.Proc)) *sim.Proc {
+	return h.Env.Go(name, fn)
+}
+
+// RunUntil advances a sharded cluster through every event with timestamp
+// <= t, leaving all host clocks at exactly t.
+func (c *Cluster) RunUntil(t time.Duration) error {
+	if !c.sharded {
+		return c.Env.RunUntil(t)
+	}
+	return c.Coord.RunUntil(t)
 }
 
 // Close shuts the cluster's devices and aborts residual processes.
@@ -350,6 +459,12 @@ func (c *Cluster) Close() {
 	for _, vm := range c.vms {
 		vm.NetDev.Stop()
 		vm.BlkDev.Stop()
+	}
+	if c.sharded {
+		for _, h := range c.hostOrder {
+			h.Env.Close()
+		}
+		return
 	}
 	c.Env.Close()
 }

@@ -4,11 +4,14 @@ import (
 	"testing"
 	"time"
 
+	"fmt"
 	"vread/internal/cluster"
 	"vread/internal/core"
 	"vread/internal/data"
 	"vread/internal/hdfs"
+
 	"vread/internal/metrics"
+	"vread/internal/netsim"
 	"vread/internal/sim"
 )
 
@@ -127,5 +130,92 @@ func TestMigrateVM(t *testing.T) {
 	}
 	if st := mgr.Daemon("client").Stats(); st.BytesRemote != content.Size {
 		t.Fatalf("remote bytes after migration = %d, want %d", st.BytesRemote, content.Size)
+	}
+}
+
+// TestShardedClusterTopology checks the sharded regime's construction
+// invariants: per-host Envs and registries, LP registration, rack-contiguous
+// shard assignment, and the VM-stack guard.
+func TestShardedClusterTopology(t *testing.T) {
+	c := cluster.NewSharded(7, cluster.Params{}, 3)
+	defer c.Close()
+	hosts := c.BuildTopology(cluster.TopologySpec{Domains: 1, RacksPerDomain: 6, HostsPerRack: 2})
+	if !c.Sharded() {
+		t.Fatal("NewSharded cluster does not report sharded")
+	}
+	if c.Env != nil || c.Reg != nil {
+		t.Fatal("sharded cluster must not expose a global Env/Registry")
+	}
+	seen := map[*sim.Env]bool{}
+	for _, h := range hosts {
+		if h.Env == nil || h.Reg == nil || h.LP == nil {
+			t.Fatalf("host %s missing per-host Env/Reg/LP", h.Name)
+		}
+		if seen[h.Env] {
+			t.Fatalf("host %s shares an Env with another host", h.Name)
+		}
+		seen[h.Env] = true
+		if h.CPU.Env() != h.Env {
+			t.Fatalf("host %s CPU runs on a foreign Env", h.Name)
+		}
+	}
+	c.AssignRackShards()
+	// 6 racks over 3 shards: racks [0,1]->0, [2,3]->1, [4,5]->2 — whole
+	// racks only, contiguous blocks.
+	for ri, rack := range c.Racks() {
+		want := ri / 2
+		for _, h := range c.RackHosts(rack) {
+			if got := h.LP.Shard(); got != want {
+				t.Fatalf("rack %s host %s pinned to shard %d, want %d", rack, h.Name, got, want)
+			}
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddVM on a sharded cluster did not panic")
+		}
+	}()
+	hosts[0].AddVM("vm", metrics.TagClientApp)
+}
+
+// TestShardedClusterCrossHostFrames runs a tiny sharded scenario end to end:
+// a daemon on each host echoes frames, a client host fires requests at every
+// other host, and the completion log must be byte-identical for K=1 and
+// K=4.
+func TestShardedClusterCrossHostFrames(t *testing.T) {
+	run := func(k int) string {
+		c := cluster.NewSharded(42, cluster.Params{}, k)
+		defer c.Close()
+		hosts := c.BuildTopology(cluster.TopologySpec{Domains: 1, RacksPerDomain: 2, HostsPerRack: 2})
+		c.AssignRackShards()
+		for _, h := range hosts {
+			h := h
+			c.Fabric.BindHostPort(h.Name, 7000, func(fr netsim.Frame) {
+				// Echo half the payload back to the requester.
+				h.NIC.SendToHost(fr.SrcHost, 7001, netsim.Frame{Payload: fr.Payload.Sub(0, fr.Payload.Len()/2)}, nil)
+			})
+		}
+		log := ""
+		client := hosts[0]
+		c.Fabric.BindHostPort(client.Name, 7001, func(fr netsim.Frame) {
+			log += fmt.Sprintf("%s echoed %dB @%v\n", fr.SrcHost, fr.Payload.Len(), client.Env.Now())
+		})
+		client.Env.Schedule(time.Microsecond, func() {
+			for _, h := range hosts[1:] {
+				client.NIC.SendToHost(h.Name, 7000, netsim.Frame{Payload: data.NewSlice(data.Zero(8192))}, nil)
+			}
+		})
+		if err := c.RunUntil(5 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	serial := run(1)
+	if serial == "" {
+		t.Fatal("no echoes completed")
+	}
+	if got := run(4); got != serial {
+		t.Fatalf("K=4 diverges from K=1:\n--- K=1 ---\n%s--- K=4 ---\n%s", serial, got)
 	}
 }

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"vread/internal/faults"
+)
+
+// smallGrid keeps the invariance tests fast: 8 hosts, 2 client hosts, short
+// storm. Shard counts cover serial, even split, ragged split, and
+// one-LP-per-shard.
+func smallGrid() ShardGridConfig {
+	return ShardGridConfig{
+		Seed:           11,
+		Domains:        1,
+		RacksPerDomain: 4,
+		HostsPerRack:   2,
+		ClientHosts:    2,
+		StreamsPerHost: 2,
+		ReadsPerStream: 8,
+		ReadSize:       64 << 10,
+		FileSize:       8 << 20,
+		Deadline:       500 * time.Millisecond,
+		Shards:         []int{1, 2, 3, 8},
+	}
+}
+
+// TestShardGridCountInvariance is the tentpole acceptance check at the
+// experiment level: rows, completion logs (via the fingerprint), and event
+// counts are byte-identical for every K. Run under -race this also exercises
+// the full cluster/netsim/storage stack across concurrent shards.
+func TestShardGridCountInvariance(t *testing.T) {
+	cells, err := RunShardGrid(smallGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(cells))
+	}
+	base := cells[0]
+	if base.Shards != 1 {
+		t.Fatalf("cell 0 ran with %d shards, want serial baseline", base.Shards)
+	}
+	if base.Events == 0 || base.Rows[0].OKs == 0 {
+		t.Fatalf("baseline did no work: %+v", base)
+	}
+	wantRows := RenderSLORows(base.Rows)
+	for _, cell := range cells[1:] {
+		if got := RenderSLORows(cell.Rows); got != wantRows {
+			t.Errorf("K=%d rows diverge:\n--- K=1 ---\n%s--- K=%d ---\n%s", cell.Shards, wantRows, cell.Shards, got)
+		}
+		if cell.Fingerprint != base.Fingerprint {
+			t.Errorf("K=%d fingerprint %#x != serial %#x", cell.Shards, cell.Fingerprint, base.Fingerprint)
+		}
+		if cell.Events != base.Events {
+			t.Errorf("K=%d fired %d events, serial fired %d", cell.Shards, cell.Events, base.Events)
+		}
+	}
+}
+
+// TestShardGridChaosInvariance arms latency-shaping faults on per-host plans
+// and requires the chaos run to stay K-invariant too: every fault draw
+// happens on the host's own Env RNG, so injections land identically at any
+// shard count. The chaos fingerprint must also differ from the quiet one —
+// otherwise the faults never fired and the test would be vacuous.
+func TestShardGridChaosInvariance(t *testing.T) {
+	quiet, err := RunShardGrid(smallGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallGrid()
+	cfg.Shards = []int{1, 3, 8}
+	cfg.Faults = faults.Spec{
+		{Point: faults.DiskReadSlow, Prob: 0.3, Delay: 2 * time.Millisecond},
+		{Point: faults.NetFrameDelay, Prob: 0.2, Delay: 500 * time.Microsecond},
+	}
+	cells, err := RunShardGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cells[0]
+	if base.Fingerprint == quiet[0].Fingerprint {
+		t.Fatal("chaos run matches quiet run: faults never fired")
+	}
+	if got := base.Rows[0].Phase; got != "chaos" {
+		t.Fatalf("chaos row phase = %q", got)
+	}
+	for _, cell := range cells[1:] {
+		if cell.Fingerprint != base.Fingerprint {
+			t.Errorf("chaos K=%d fingerprint %#x != serial %#x", cell.Shards, cell.Fingerprint, base.Fingerprint)
+		}
+		if cell.Events != base.Events {
+			t.Errorf("chaos K=%d fired %d events, serial fired %d", cell.Shards, cell.Events, base.Events)
+		}
+	}
+}
+
+// TestShardGridValidation covers the config guards.
+func TestShardGridValidation(t *testing.T) {
+	cfg := smallGrid()
+	cfg.ClientHosts = 8 // == total hosts: no datanodes left
+	if _, err := RunShardGrid(cfg); err == nil {
+		t.Error("all-client topology did not error")
+	}
+	cfg = smallGrid()
+	cfg.ReadSize = 16 << 20
+	cfg.FileSize = 8 << 20
+	if _, err := RunShardGrid(cfg); err == nil {
+		t.Error("read larger than file did not error")
+	}
+}

@@ -62,6 +62,18 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Lookahead returns the minimum latency of any cross-host interaction the
+// fabric can carry — the conservative-lookahead window for the sharded
+// event engine (sim/shard). No frame, RDMA op included, reaches another
+// host in less than this.
+func (c Config) Lookahead() time.Duration {
+	c = c.withDefaults()
+	if c.RDMALatency < c.Latency {
+		return c.RDMALatency
+	}
+	return c.Latency
+}
+
 // Frame is one unit on the wire: a TSO-sized guest segment, a daemon TCP
 // segment, or an RDMA transfer chunk.
 type Frame struct {
@@ -95,6 +107,15 @@ type HostHandler func(fr Frame)
 const DefaultPartitionWindow = 10 * time.Millisecond
 
 // Fabric is the LAN: a registry of hosts and VM endpoints plus the switch.
+//
+// A fabric runs in one of two clock regimes. In the classic single-env
+// regime every NIC shares the fabric's Env and frames schedule directly. In
+// the sharded regime each host's NIC lives on its own Env (AddHostOn) and a
+// frame whose source and destination Envs differ is handed to the
+// interconnect hook (SetInterconnect) — the sharded engine's cross-LP
+// mailbox — instead of being scheduled locally. Everything the receive side
+// does (softirq charge, handler, endpoint delivery) runs inside the
+// delivered closure on the destination Env.
 type Fabric struct {
 	env        *sim.Env
 	cfg        Config
@@ -105,6 +126,8 @@ type Fabric struct {
 	down       map[string]bool
 	partitions map[domPair]time.Duration // severed-until instant per domain pair
 	faults     *faults.Plan
+	hostFaults map[string]*faults.Plan
+	xconnect   func(src, dst string, delay time.Duration, deliver func())
 }
 
 type vmReg struct {
@@ -161,13 +184,69 @@ func (f *Fabric) Config() Config { return f.cfg }
 // plan disables injection.
 func (f *Fabric) InjectFaults(plan *faults.Plan) { f.faults = plan }
 
+// InjectHostFaults arms a per-host fault plan consulted for frames whose
+// send side is host, overriding the global plan for that host. Sharded runs
+// need this: a fault plan draws from its own RNG, so sharing one across
+// concurrently advancing hosts would race and break shard-count invariance.
+// One plan per host, seeded per host, keeps every draw inside its LP.
+func (f *Fabric) InjectHostFaults(host string, plan *faults.Plan) {
+	if f.hostFaults == nil {
+		f.hostFaults = make(map[string]*faults.Plan)
+	}
+	f.hostFaults[host] = plan
+}
+
+// plan returns the fault plan governing sends from host.
+func (f *Fabric) plan(host string) *faults.Plan {
+	if p, ok := f.hostFaults[host]; ok {
+		return p
+	}
+	return f.faults
+}
+
+// SetInterconnect installs the cross-Env frame handoff used when source and
+// destination NICs live on different Envs. delay is always at least the
+// config's Lookahead. Single-env fabrics never invoke it.
+func (f *Fabric) SetInterconnect(fn func(src, dst string, delay time.Duration, deliver func())) {
+	f.xconnect = fn
+}
+
+// envFor returns the Env frames terminating at host run on.
+func (f *Fabric) envFor(host string) *sim.Env {
+	if nic, ok := f.nics[host]; ok {
+		return nic.env
+	}
+	return f.env
+}
+
+// deliverOn schedules fn after delay on dst's Env: directly when dst shares
+// src's Env, through the interconnect otherwise.
+func (f *Fabric) deliverOn(srcEnv *sim.Env, src, dst string, delay time.Duration, fn func()) {
+	dstEnv := f.envFor(dst)
+	if dstEnv == srcEnv {
+		srcEnv.Schedule(delay, fn)
+		return
+	}
+	if f.xconnect == nil {
+		panic(fmt.Sprintf("netsim: hosts %q and %q live on different Envs and no interconnect is set", src, dst))
+	}
+	f.xconnect(src, dst, delay, fn)
+}
+
 // AddHost registers a host NIC. softirq is the host thread that receive
 // processing is charged to; entity/tag attribution follows that thread.
 func (f *Fabric) AddHost(name string, softirq *cpusched.Thread) *NIC {
+	return f.AddHostOn(name, softirq, f.env)
+}
+
+// AddHostOn registers a host NIC that lives on its own Env — the sharded
+// regime, one Env per simulated host. The softirq thread (and everything
+// else the host touches from event context) must run on the same Env.
+func (f *Fabric) AddHostOn(name string, softirq *cpusched.Thread, env *sim.Env) *NIC {
 	if _, ok := f.nics[name]; ok {
 		panic(fmt.Sprintf("netsim: duplicate host %q", name))
 	}
-	nic := &NIC{fabric: f, host: name, softirq: softirq}
+	nic := &NIC{fabric: f, host: name, softirq: softirq, env: env}
 	f.nics[name] = nic
 	return nic
 }
@@ -226,12 +305,15 @@ func (f *Fabric) domainBlocked(fr *Frame, src, dst string) bool {
 		return false
 	}
 	pair := pairOf(ls.domain, ld.domain)
-	now := f.env.Now()
+	now := f.envFor(src).Now()
 	if until, ok := f.partitions[pair]; ok && now < until {
 		fr.Trace.Event(trace.LayerNet, "fault:domain-partition-drop", 0)
 		return true
 	}
-	if window, ok := f.faults.ShouldDelay(faults.DomainPartition); ok {
+	// The severed-until map is fabric-global; domain partitions are a
+	// single-env feature (sharded runs leave fault domains unset, so this
+	// path is never reached from a concurrently advancing host).
+	if window, ok := f.plan(src).ShouldDelay(faults.DomainPartition); ok {
 		if window <= 0 {
 			window = DefaultPartitionWindow
 		}
@@ -279,6 +361,7 @@ func (f *Fabric) BindHostPort(host string, port int, h HostHandler) {
 type NIC struct {
 	fabric    *Fabric
 	host      string
+	env       *sim.Env
 	softirq   *cpusched.Thread
 	busyUntil time.Duration
 	txBytes   int64
@@ -327,7 +410,7 @@ func (n *NIC) SendToHost(dstHost string, port int, fr Frame, onSent func()) {
 		n.transmit(fr, onSent, nil)
 		return
 	}
-	if n.fabric.faults.Should(faults.NetFrameDrop) {
+	if n.fabric.plan(n.host).Should(faults.NetFrameDrop) {
 		fr.Trace.Event(trace.LayerNet, "fault:frame-drop", 0)
 		n.transmit(fr, onSent, nil)
 		return
@@ -360,13 +443,13 @@ func (n *NIC) transmit(fr Frame, onSent func(), deliver func(Frame)) {
 		deliver = nil
 	}
 	cfg := n.fabric.cfg
-	now := n.fabric.env.Now()
+	now := n.env.Now()
 	start := now
 	if n.busyUntil > start {
 		start = n.busyUntil
 	}
 	wire := cfg.Latency
-	if extra, ok := n.fabric.faults.ShouldDelay(faults.NetFrameDelay); ok {
+	if extra, ok := n.fabric.plan(n.host).ShouldDelay(faults.NetFrameDelay); ok {
 		fr.Trace.Event(trace.LayerNet, "fault:frame-delay", 0)
 		wire += extra
 	}
@@ -376,15 +459,23 @@ func (n *NIC) transmit(fr Frame, onSent func(), deliver func(Frame)) {
 	n.txBytes += fr.Payload.Len()
 	n.txFrames++
 	if onSent != nil {
-		n.fabric.env.Schedule(done-now, onSent)
+		n.env.Schedule(done-now, onSent)
 	}
 	sp := fr.Trace.Begin(trace.LayerNet, "wire")
-	n.fabric.env.Schedule(done-now+wire, func() {
+	arrive := func() {
 		fr.Trace.EndSpan(sp, fr.Payload.Len())
 		if deliver != nil {
 			deliver(fr)
 		}
-	})
+	}
+	// Dropped frames (nil deliver) close their span on the sender's Env —
+	// the destination may be down, unregistered, or on another shard, and
+	// nothing observable happens there anyway.
+	if deliver == nil || fr.DstHost == "" {
+		n.env.Schedule(done-now+wire, arrive)
+		return
+	}
+	n.fabric.deliverOn(n.env, n.host, fr.DstHost, done-now+wire, arrive)
 }
 
 // ---------------------------------------------------------------------------
@@ -412,6 +503,12 @@ func (f *Fabric) NewQP(hostA string, threadA *cpusched.Thread, recvA func(Frame)
 	hostB string, threadB *cpusched.Thread, recvB func(Frame)) *QP {
 	if f.nics[hostA] == nil || f.nics[hostB] == nil {
 		panic("netsim: QP hosts must be registered")
+	}
+	if f.nics[hostA].env != f.nics[hostB].env {
+		// A QP's op counters and broken flag are one shared structure
+		// mutated from both ends; splitting them per side is what a
+		// cross-shard QP would need, and nothing needs it yet.
+		panic(fmt.Sprintf("netsim: QP between %q and %q crosses Envs; RDMA endpoints must share a shard", hostA, hostB))
 	}
 	return &QP{
 		fabric: f, hostA: hostA, hostB: hostB,
@@ -453,7 +550,7 @@ func (q *QP) PostFrom(host string, fr Frame, onSent func()) {
 	fr.SrcHost = host
 	fr.DstHost = dstHost
 	nic := q.fabric.nics[host]
-	if q.fabric.faults.Should(faults.RDMAQPTeardown) {
+	if q.fabric.plan(host).Should(faults.RDMAQPTeardown) {
 		q.broken = true
 	}
 	unreachable := q.broken
@@ -479,7 +576,7 @@ func (q *QP) PostFrom(host string, fr Frame, onSent func()) {
 	}
 	sp := fr.Trace.Begin(trace.LayerNet, "rdma")
 	postTh.PostT(cfg.RDMAPostCycles, metrics.TagRDMA, fr.Trace, func() {
-		now := q.fabric.env.Now()
+		now := nic.env.Now()
 		start := now
 		if nic.busyUntil > start {
 			start = nic.busyUntil
@@ -490,9 +587,9 @@ func (q *QP) PostFrom(host string, fr Frame, onSent func()) {
 		nic.txBytes += fr.Payload.Len()
 		nic.txFrames++
 		if onSent != nil {
-			q.fabric.env.Schedule(done-now, onSent)
+			nic.env.Schedule(done-now, onSent)
 		}
-		q.fabric.env.Schedule(done-now+cfg.RDMALatency, func() {
+		q.fabric.deliverOn(nic.env, host, dstHost, done-now+cfg.RDMALatency, func() {
 			complTh.PostT(cfg.RDMACompleteCycles, metrics.TagRDMA, fr.Trace, func() {
 				fr.Trace.EndSpan(sp, fr.Payload.Len())
 				recv(fr)

@@ -9,6 +9,7 @@ import (
 	"vread/internal/faults"
 	"vread/internal/metrics"
 	"vread/internal/sim"
+	"vread/internal/sim/shard"
 )
 
 const ghz = int64(2_000_000_000)
@@ -332,5 +333,83 @@ func TestQPTeardownFault(t *testing.T) {
 	}
 	if fx.env.Pending() != 0 {
 		t.Fatalf("%d events pending after teardown", fx.env.Pending())
+	}
+}
+
+// TestShardedFabricCrossEnvDelivery wires two hosts on separate Envs to a
+// shard coordinator and checks a host-terminated frame crosses through the
+// interconnect: receive softirq and handler run on the destination Env, at
+// the same virtual instant a single-env fabric would deliver, and with
+// shard-count-identical results.
+func TestShardedFabricCrossEnvDelivery(t *testing.T) {
+	run := func(k int) (arrivedAt time.Duration, payload string) {
+		coord := shard.New(shard.Config{Shards: k, Lookahead: Config{}.Lookahead()})
+		reg := metrics.NewRegistry()
+		envA, envB := sim.NewEnv(1), sim.NewEnv(2)
+		lpA, lpB := coord.AddLP(envA), coord.AddLP(envB)
+		lps := map[string]*shard.LP{"hostA": lpA, "hostB": lpB}
+
+		fab := NewFabric(nil, Config{})
+		fab.SetInterconnect(func(src, dst string, delay time.Duration, deliver func()) {
+			lps[src].Send(lps[dst], delay, deliver)
+		})
+		cpuA := cpusched.New(envA, reg, 2, ghz, cpusched.Config{})
+		cpuB := cpusched.New(envB, reg, 2, ghz, cpusched.Config{})
+		nicA := fab.AddHostOn("hostA", cpuA.NewThread("softirqA", "hostA"), envA)
+		fab.AddHostOn("hostB", cpuB.NewThread("softirqB", "hostB"), envB)
+
+		fab.BindHostPort("hostB", 9000, func(fr Frame) {
+			arrivedAt = envB.Now()
+			payload = string(fr.Payload.Bytes())
+		})
+		envA.Schedule(time.Microsecond, func() {
+			nicA.SendToHost("hostB", 9000, Frame{Payload: data.NewSlice(data.Bytes("cross-shard"))}, nil)
+		})
+		if err := coord.RunUntil(time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		return arrivedAt, payload
+	}
+	at1, pay1 := run(1)
+	if pay1 != "cross-shard" {
+		t.Fatalf("payload = %q", pay1)
+	}
+	if at1 <= 21*time.Microsecond { // send instant + wire latency + softirq
+		t.Fatalf("handler ran at %v, before wire latency could have elapsed", at1)
+	}
+	at2, pay2 := run(2)
+	if at2 != at1 || pay2 != pay1 {
+		t.Fatalf("sharded run diverges: (%v, %q) vs (%v, %q)", at2, pay2, at1, pay1)
+	}
+}
+
+// TestShardedFabricRejectsCrossEnvQP pins the guard: RDMA endpoints must
+// share an Env until QP state is split per side.
+func TestShardedFabricRejectsCrossEnvQP(t *testing.T) {
+	reg := metrics.NewRegistry()
+	envA, envB := sim.NewEnv(1), sim.NewEnv(2)
+	fab := NewFabric(nil, Config{})
+	cpuA := cpusched.New(envA, reg, 2, ghz, cpusched.Config{})
+	cpuB := cpusched.New(envB, reg, 2, ghz, cpusched.Config{})
+	thA := cpuA.NewThread("a", "hostA")
+	thB := cpuB.NewThread("b", "hostB")
+	fab.AddHostOn("hostA", thA, envA)
+	fab.AddHostOn("hostB", thB, envB)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-Env QP did not panic")
+		}
+	}()
+	fab.NewQP("hostA", thA, nil, "hostB", thB, nil)
+}
+
+// TestLookaheadIsMinLatency pins the lookahead derivation.
+func TestLookaheadIsMinLatency(t *testing.T) {
+	if got := (Config{}).Lookahead(); got != 8*time.Microsecond {
+		t.Fatalf("default Lookahead = %v, want 8µs (RDMA latency)", got)
+	}
+	cfg := Config{Latency: 5 * time.Microsecond, RDMALatency: 9 * time.Microsecond}
+	if got := cfg.Lookahead(); got != 5*time.Microsecond {
+		t.Fatalf("Lookahead = %v, want the wire latency 5µs", got)
 	}
 }

@@ -97,6 +97,93 @@ func Each(workers, n int, fn func(i int) error) error {
 	return nil
 }
 
+// Gang is a fixed crew of persistent workers driven in lockstep rounds — the
+// epoch-barrier primitive under the sharded event engine. Each Round(fn)
+// runs fn(w) once per worker w in [0, n) and returns only after every call
+// has finished: a full barrier on both sides, so fn bodies from consecutive
+// rounds never overlap and everything written during round r is visible to
+// every worker in round r+1 (channel synchronization orders the memory).
+//
+// Unlike Each, the workers persist across rounds. An epoch loop runs tens of
+// thousands of short windows; respawning goroutines per window would cost
+// more than the window's work.
+//
+// With n <= 1 no goroutines exist at all and Round calls fn(0) inline on the
+// caller's stack — the serial engine stays byte-for-byte the pre-parallelism
+// engine, scheduling included.
+type Gang struct {
+	n    int
+	cmd  []chan func(int) error
+	res  chan gangResult
+	errs []error
+}
+
+type gangResult struct {
+	w   int
+	err error
+}
+
+// NewGang starts n-1 worker goroutines (the zeroth worker is the caller) and
+// returns the gang. n < 1 is treated as 1. Close must be called to release
+// the workers.
+func NewGang(n int) *Gang {
+	if n < 1 {
+		n = 1
+	}
+	g := &Gang{n: n, errs: make([]error, n)}
+	if n == 1 {
+		return g
+	}
+	g.cmd = make([]chan func(int) error, n)
+	g.res = make(chan gangResult, n-1)
+	for w := 1; w < n; w++ {
+		w := w
+		g.cmd[w] = make(chan func(int) error)
+		go func() {
+			for fn := range g.cmd[w] {
+				g.res <- gangResult{w, fn(w)}
+			}
+		}()
+	}
+	return g
+}
+
+// Workers returns the gang's worker count.
+func (g *Gang) Workers() int { return g.n }
+
+// Round runs fn(w) for every worker w in [0, n) — worker 0 on the calling
+// goroutine, the rest on the persistent workers — and returns after all have
+// completed. The error from the lowest failing worker is returned; every
+// worker always runs to completion regardless of other workers' errors, so a
+// failed round still leaves the gang at the barrier, safe to reuse or Close.
+func (g *Gang) Round(fn func(w int) error) error {
+	if g.n == 1 {
+		return fn(0)
+	}
+	for w := 1; w < g.n; w++ {
+		g.cmd[w] <- fn
+	}
+	g.errs[0] = fn(0)
+	for i := 1; i < g.n; i++ {
+		r := <-g.res
+		g.errs[r.w] = r.err
+	}
+	for _, err := range g.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases the worker goroutines. The gang must be outside a Round.
+// Close is not idempotent; call it exactly once.
+func (g *Gang) Close() {
+	for w := 1; w < g.n; w++ {
+		close(g.cmd[w])
+	}
+}
+
 // Counter is an atomic accumulator for totals gathered across concurrently
 // running cells (e.g. simulated-event counts feeding events/sec in the
 // bench report).

@@ -121,3 +121,91 @@ func TestCounter(t *testing.T) {
 		t.Fatalf("Counter = %d, want 4950", got)
 	}
 }
+
+func TestGangRoundsAreBarriers(t *testing.T) {
+	const n = 4
+	g := NewGang(n)
+	defer g.Close()
+	if g.Workers() != n {
+		t.Fatalf("Workers() = %d, want %d", g.Workers(), n)
+	}
+	// Each round increments one slot per worker; after the round returns,
+	// every slot must show the round's value — no straggler may still be
+	// running. Writes from round r must be visible to all workers in r+1
+	// without any synchronization inside fn.
+	counts := make([]int, n)
+	for round := 1; round <= 200; round++ {
+		err := g.Round(func(w int) error {
+			if counts[w] != round-1 {
+				t.Errorf("worker %d entered round %d seeing count %d", w, round, counts[w])
+			}
+			counts[w]++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for w, c := range counts {
+			if c != round {
+				t.Fatalf("after round %d worker %d count = %d", round, w, c)
+			}
+		}
+	}
+}
+
+func TestGangErrorLowestWorkerWins(t *testing.T) {
+	g := NewGang(5)
+	defer g.Close()
+	errA := errors.New("worker 1 failed")
+	errB := errors.New("worker 3 failed")
+	ran := make([]bool, 5)
+	err := g.Round(func(w int) error {
+		ran[w] = true
+		switch w {
+		case 1:
+			return errA
+		case 3:
+			return errB
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("Round error = %v, want lowest-worker error %v", err, errA)
+	}
+	for w, r := range ran {
+		if !r {
+			t.Fatalf("worker %d skipped in a failing round", w)
+		}
+	}
+	// The gang must still be usable after a failed round.
+	if err := g.Round(func(int) error { return nil }); err != nil {
+		t.Fatalf("round after failure: %v", err)
+	}
+}
+
+func TestGangSerialRunsInline(t *testing.T) {
+	before := runtime.NumGoroutine()
+	g := NewGang(1)
+	defer g.Close()
+	if got := runtime.NumGoroutine(); got != before {
+		t.Fatalf("serial gang spawned goroutines: %d -> %d", before, got)
+	}
+	calls := 0
+	if err := g.Round(func(w int) error {
+		if w != 0 {
+			t.Fatalf("serial gang ran worker %d", w)
+		}
+		calls++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("serial round ran fn %d times", calls)
+	}
+	g2 := NewGang(0)
+	defer g2.Close()
+	if g2.Workers() != 1 {
+		t.Fatalf("NewGang(0).Workers() = %d, want 1", g2.Workers())
+	}
+}

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// The in-package twins of the vread-bench engine rows, here so the hot path
+// can be profiled with -cpuprofile without going through the facade binary.
+
+func BenchmarkScheduleFire(b *testing.B) {
+	const batch = 1024
+	fn := func() {}
+	env := NewEnv(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n += batch {
+		k := batch
+		if rem := b.N - n; rem < k {
+			k = rem
+		}
+		for j := 0; j < k; j++ {
+			env.Schedule(time.Duration(j)*time.Nanosecond, fn)
+		}
+		if err := env.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduleCancel(b *testing.B) {
+	const batch = 1024
+	fn := func() {}
+	env := NewEnv(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n += batch {
+		k := batch
+		if rem := b.N - n; rem < k {
+			k = rem
+		}
+		for j := 0; j < k; j++ {
+			tm := env.Schedule(time.Duration(j)*time.Nanosecond, fn)
+			if j%2 == 1 {
+				tm.Cancel()
+			}
+		}
+		if err := env.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTimerWheel(b *testing.B) {
+	const batch = 1024
+	fn := func() {}
+	env := NewEnv(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n += batch {
+		k := batch
+		if rem := b.N - n; rem < k {
+			k = rem
+		}
+		for j := 0; j < k; j++ {
+			env.Schedule(time.Duration(j%200+1)*time.Microsecond, fn)
+		}
+		if err := env.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -206,11 +206,15 @@ func TestCancelHeavyTimeoutWorkload(t *testing.T) {
 func TestCancelEveryPendingTimer(t *testing.T) {
 	env := NewEnv(1)
 	// Exactly minCompact: the last Cancel is the one that trips compaction
-	// (ncancel > len/2 and >= minCompact) with nothing left to keep.
+	// (ncancel > len/2 and >= minCompact) with nothing left to keep. Delays
+	// start beyond the timer-wheel horizon so every timer lands in the heap
+	// lane — compaction only accounts for heap tombstones (wheel tombstones
+	// die for free when their bucket drains).
 	const n = minCompact
+	const beyondHorizon = time.Duration(wheelL1Slots<<l1TickShift) * time.Nanosecond
 	timers := make([]Timer, n)
 	for i := 0; i < n; i++ {
-		timers[i] = env.Schedule(time.Duration(i+1)*time.Millisecond, func() {
+		timers[i] = env.Schedule(beyondHorizon+time.Duration(i+1)*time.Millisecond, func() {
 			t.Errorf("cancelled timer #%d fired", i)
 		})
 	}

@@ -27,6 +27,7 @@ import (
 type Env struct {
 	now     time.Duration
 	events  eventHeap
+	wheel   wheel    // short/mid-delay timers; heap keeps the two tails
 	free    []*event // recycled events; Schedule pops here before allocating
 	live    int      // scheduled events that are neither fired nor cancelled
 	ncancel int      // cancelled events still occupying heap slots
@@ -89,7 +90,10 @@ func (e *Env) Schedule(after time.Duration, fn func()) Timer {
 	ev.at = e.now + after
 	ev.seq = e.nextSeq()
 	ev.fn = fn
-	e.events.push(ev)
+	if !e.scheduleWheel(ev) {
+		ev.lane = laneHeap
+		e.events.push(ev)
+	}
 	e.live++
 	return Timer{env: e, ev: ev, gen: ev.gen}
 }
@@ -154,21 +158,19 @@ func (e *Env) RunFor(d time.Duration) error { return e.RunUntil(e.now + d) }
 func (e *Env) run(deadline time.Duration) error {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.events) == 0 {
-			if e.idleHook != nil {
+		ev, ok := e.popNext(int64(deadline))
+		if !ok {
+			if e.queueEmpty() && e.idleHook != nil {
 				e.idleHook()
-				if len(e.events) > 0 {
+				if !e.queueEmpty() {
 					continue
 				}
 			}
 			break
 		}
-		ev := e.events[0]
-		if deadline >= 0 && ev.at > deadline {
-			break
-		}
-		e.events.pop()
 		if ev.canceled {
+			// Cancelled events surface here only from the heap lane (wheel
+			// tombstones are recycled inside popNext).
 			e.ncancel--
 			e.recycle(ev)
 			continue
@@ -249,6 +251,7 @@ type event struct {
 	gen      uint64
 	fn       func()
 	canceled bool
+	lane     uint8 // container the event currently sits in (heap/L0/L1/due)
 }
 
 // Timer identifies a scheduled callback and allows cancelling it. The zero
@@ -280,12 +283,16 @@ func (t *Timer) Cancel() bool {
 	t.ev.canceled = true
 	e := t.env
 	e.live--
-	e.ncancel++
-	// The cancelled entry stays in the heap until it surfaces or until
-	// cancelled entries outnumber live ones, whichever comes first.
-	if e.ncancel > len(e.events)/2 && e.ncancel >= minCompact {
-		e.compact()
+	if t.ev.lane == laneHeap {
+		e.ncancel++
+		// The cancelled entry stays in the heap until it surfaces or until
+		// cancelled entries outnumber live ones, whichever comes first.
+		if e.ncancel > len(e.events)/2 && e.ncancel >= minCompact {
+			e.compact()
+		}
 	}
+	// Wheel- and due-resident tombstones are recycled for free when their
+	// bucket drains; they never join the heap's compaction accounting.
 	return true
 }
 

@@ -1,0 +1,402 @@
+package sim
+
+import "math/bits"
+
+// The timer wheel is a two-level hierarchical calendar queue in front of the
+// 4-ary heap. The simulation's highest-frequency timers — NIC segment pacing,
+// softirq completion, ring doorbell polls — are short (microseconds to a few
+// hundred microseconds) and fire in bulk; pushing each through the heap costs
+// a full sift against every other pending event. The wheel gives those
+// events O(1) insertion into a time bucket and amortizes ordering into one
+// batch sort when the bucket's window arrives, while the heap keeps serving
+// the two tails the wheel cannot improve on: events due in the current or
+// next tick (a bucket round-trip would cost more than a shallow sift) and
+// events beyond the outer horizon.
+//
+// Order is exactly the engine's (at, seq) total order regardless of which
+// container an event rode in: a bucket is sorted by (at, seq) when drained,
+// and the run loop always compares the drained batch, the heap top, and the
+// earliest occupied bucket's window start before firing anything. A
+// simulation therefore cannot observe whether the wheel is present — same
+// pops, same clock, same seeds, byte-identical runs.
+//
+// Geometry (powers of two so the hot path is shifts and masks):
+//
+//	L0: 256 buckets × 1024 ns  — covers ~262 µs of near future
+//	L1:  64 buckets × 262 µs   — covers ~16.8 ms, cascades into L0
+//	heap: delays inside the current or next tick, or beyond the L1 horizon
+const (
+	tickShift   = 10 // 1024 ns per L0 tick
+	wheelL0Bits = 8  // 256 L0 slots
+	wheelL1Bits = 6  // 64 L1 slots
+
+	wheelL0Slots = 1 << wheelL0Bits
+	wheelL1Slots = 1 << wheelL1Bits
+	l1TickShift  = tickShift + wheelL0Bits // one L1 slot spans a full L0 window
+)
+
+// lane records which container an event currently sits in, so Cancel can
+// keep the heap's tombstone-compaction accounting separate from wheel
+// tombstones (which die for free when their bucket drains).
+const (
+	laneHeap uint8 = iota
+	laneL0
+	laneL1
+	laneDue
+)
+
+// wheel is the Env's two-level timer wheel plus the drained-batch buffer.
+type wheel struct {
+	l0 [wheelL0Slots][]*event
+	l1 [wheelL1Slots][]*event
+	// occ0/occ1 are occupancy bitmaps: bit i set ⇔ slot i non-empty. Finding
+	// the earliest occupied bucket is a handful of TrailingZeros64 scans.
+	occ0 [wheelL0Slots / 64]uint64
+	occ1 uint64
+	// cursor is the first L0 tick (absolute, at>>tickShift) that has not
+	// been drained yet. Every occupied L0 slot holds ticks in
+	// [cursor, cursor+wheelL0Slots); every occupied L1 slot is strictly
+	// after the cursor's L1 slot.
+	cursor uint64
+	// due is the batch drained from the most recent bucket, sorted by
+	// (at, seq); di is the consumption index. The backing array is reused
+	// across drains.
+	due []*event
+	di  int
+	// count is the number of events (including cancelled tombstones)
+	// resident in L0+L1 buckets — not in due.
+	count int
+	// minTick caches nextBucketTick's answer while minValid. Inserts only
+	// ever lower it in place; a drain removes the minimum bucket and
+	// invalidates, so the bitmap scan runs once per drained bucket instead
+	// of once per pop (the run loop asks for the earliest bucket on every
+	// heap fire while any bucket is occupied).
+	minTick  uint64
+	minValid bool
+}
+
+// scheduleWheel files ev into the wheel if its timestamp lands in a bucket
+// that has not been drained, and reports whether it did. Events for the
+// current or next tick (or one already passed by the cursor) and events
+// beyond the L1 horizon stay on the heap.
+//
+//lint:hotpath
+func (e *Env) scheduleWheel(ev *event) bool {
+	w := &e.wheel
+	if w.count == 0 {
+		// An empty wheel pins nothing: snap the cursor to the clock. The
+		// cursor otherwise only advances on drains, so a heap-only stretch
+		// (sub-tick event storms) would leave it behind `now` and near-now
+		// events would start landing in buckets again once their tick drifted
+		// past cursor+1.
+		if nowTick := uint64(e.now) >> tickShift; nowTick > w.cursor {
+			w.cursor = nowTick
+		}
+	}
+	tickAt := uint64(ev.at) >> tickShift
+	if tickAt <= w.cursor+1 {
+		// Due now, in an already-drained bucket, or in the very next tick:
+		// heap lane. Near-now events would only bounce through a bucket —
+		// insert, scan, drain, sort — before firing almost immediately; the
+		// heap handles a shallow working set of them at pure-heap cost, which
+		// keeps sub-tick event storms as fast as the wheel-less engine.
+		return false
+	}
+	if tickAt-w.cursor < wheelL0Slots {
+		slot := tickAt & (wheelL0Slots - 1)
+		ev.lane = laneL0
+		w.l0[slot] = append(w.l0[slot], ev) //lint:allow hotalloc(bucket growth amortized: capacity tracks the per-tick working set)
+		w.occ0[slot>>6] |= 1 << (slot & 63)
+		w.count++
+		// An insert may lower a valid cache or seed one for an empty wheel;
+		// an invalidated cache over occupied buckets must stay invalid (the
+		// true minimum could be an existing bucket, not this event).
+		if w.minValid {
+			if tickAt < w.minTick {
+				w.minTick = tickAt
+			}
+		} else if w.count == 1 {
+			w.minTick, w.minValid = tickAt, true
+		}
+		return true
+	}
+	l1At := tickAt >> wheelL0Bits
+	l1Cursor := w.cursor >> wheelL0Bits
+	if l1At-l1Cursor < wheelL1Slots {
+		slot := l1At & (wheelL1Slots - 1)
+		ev.lane = laneL1
+		w.l1[slot] = append(w.l1[slot], ev) //lint:allow hotalloc(bucket growth amortized: capacity tracks the per-window working set)
+		w.occ1 |= 1 << slot
+		w.count++
+		// An L1 slot's earliest possible tick is its window start (always
+		// ahead of the cursor: l1At > l1Cursor). Same cache rule as L0.
+		if tick := l1At << wheelL0Bits; w.minValid {
+			if tick < w.minTick {
+				w.minTick = tick
+			}
+		} else if w.count == 1 {
+			w.minTick, w.minValid = tick, true
+		}
+		return true
+	}
+	return false // beyond the horizon: heap lane
+}
+
+// nextBucketTick returns the absolute L0 tick of the earliest occupied
+// bucket (L0 slot or the first tick of an occupied L1 slot), or false when
+// both levels are empty.
+func (w *wheel) nextBucketTick() (uint64, bool) {
+	if w.minValid {
+		return w.minTick, true
+	}
+	best := uint64(0)
+	found := false
+	// L0: occupied slots all map to ticks in [cursor, cursor+slots); the
+	// tick for slot s is cursor + ((s - cursor) mod slots).
+	cslot := w.cursor & (wheelL0Slots - 1)
+	for i := 0; i < len(w.occ0); i++ {
+		word := w.occ0[i]
+		for word != 0 {
+			s := uint64(i<<6) + uint64(bits.TrailingZeros64(word))
+			word &= word - 1
+			tick := w.cursor + ((s - cslot) & (wheelL0Slots - 1))
+			if !found || tick < best {
+				best, found = tick, true
+			}
+		}
+	}
+	// L1: occupied slots map to L1 indices in [l1Cursor, l1Cursor+slots).
+	// The cursor's own L1 window can be occupied when an L0 drain carried the
+	// cursor across the window boundary before the slot cascaded; its window
+	// start then lies at or before the cursor, but every member tick is still
+	// >= cursor, so the cursor itself is the tight lower bound.
+	l1Cursor := w.cursor >> wheelL0Bits
+	c1 := l1Cursor & (wheelL1Slots - 1)
+	for word := w.occ1; word != 0; {
+		s := uint64(bits.TrailingZeros64(word))
+		word &= word - 1
+		l1 := l1Cursor + ((s - c1) & (wheelL1Slots - 1))
+		tick := l1 << wheelL0Bits
+		if tick < w.cursor {
+			tick = w.cursor
+		}
+		if !found || tick < best {
+			best, found = tick, true
+		}
+	}
+	if found {
+		w.minTick, w.minValid = best, true
+	}
+	return best, found
+}
+
+// drainTo advances the cursor to tick (the earliest occupied bucket, as
+// returned by nextBucketTick) and drains that bucket: an L1 bucket cascades
+// into L0; an L0 bucket becomes the sorted due batch.
+func (e *Env) drainTo(tick uint64) {
+	w := &e.wheel
+	// Either branch removes the minimum bucket (the cascade also refills L0
+	// slots without min maintenance); the next nextBucketTick rescans.
+	w.minValid = false
+	if l1 := tick >> wheelL0Bits; l1 >= w.cursor>>wheelL0Bits {
+		slot := l1 & (wheelL1Slots - 1)
+		if w.occ1&(1<<slot) != 0 {
+			// tick's L1 window holds an undrained bucket: cascade it into L0
+			// before any L0 drain in that window. The cursor advances to the
+			// window start at most (never backward — the window may already
+			// be current when an L0 drain carried the cursor across the
+			// boundary); either way every member tick is >= cursor and
+			// within the cursor's 256-tick L0 span.
+			if start := l1 << wheelL0Bits; start > w.cursor {
+				w.cursor = start
+			}
+			evs := w.l1[slot]
+			w.l1[slot] = evs[:0]
+			w.occ1 &^= 1 << slot
+			for _, ev := range evs {
+				t := uint64(ev.at) >> tickShift
+				s := t & (wheelL0Slots - 1)
+				ev.lane = laneL0
+				w.l0[s] = append(w.l0[s], ev) //lint:allow hotalloc(cascade reuses L0 bucket capacity)
+				w.occ0[s>>6] |= 1 << (s & 63)
+			}
+			for i := range evs {
+				evs[i] = nil
+			}
+			return // L0 now occupied at or after cursor; caller loops
+		}
+	}
+	slot := tick & (wheelL0Slots - 1)
+	evs := w.l0[slot]
+	w.l0[slot] = evs[:0]
+	w.occ0[slot>>6] &^= 1 << (slot & 63)
+	w.cursor = tick + 1
+	w.due = w.due[:0]
+	w.di = 0
+	w.due = append(w.due, evs...) //lint:allow hotalloc(due batch reuses its backing array across drains)
+	for i := range evs {
+		evs[i] = nil
+	}
+	w.count -= len(w.due)
+	for i := range w.due {
+		w.due[i].lane = laneDue
+	}
+	sortEvents(w.due)
+}
+
+// dueHead returns the next un-cancelled event of the due batch without
+// consuming it, recycling any cancelled tombstones it walks over.
+func (e *Env) dueHead() *event {
+	w := &e.wheel
+	for w.di < len(w.due) {
+		ev := w.due[w.di]
+		if !ev.canceled {
+			return ev
+		}
+		w.due[w.di] = nil
+		w.di++
+		e.recycle(ev)
+	}
+	return nil
+}
+
+// popNext removes and returns the globally next event — minimum (at, seq)
+// across the due batch, the heap, and the wheel buckets — restricted to
+// at <= deadline when deadline >= 0. Cancelled heap events are returned
+// as-is (the run loop recycles them, exactly as before the wheel existed);
+// cancelled wheel events are recycled internally.
+//
+//lint:hotpath
+func (e *Env) popNext(deadline int64) (*event, bool) {
+	w := &e.wheel
+	for {
+		d := e.dueHead()
+		var h *event
+		if len(e.events) > 0 {
+			h = e.events[0]
+		}
+		if d != nil && (h == nil || lessEv(d, h)) {
+			if deadline >= 0 && int64(d.at) > deadline {
+				return nil, false
+			}
+			w.due[w.di] = nil
+			w.di++
+			return d, true
+		}
+		bucket, occupied := uint64(0), false
+		if w.count > 0 {
+			bucket, occupied = w.nextBucketTick()
+		}
+		if h != nil {
+			// The heap top fires only if no undrained bucket could hold an
+			// earlier-or-tied event; a tie on the bucket's window start must
+			// drain the bucket first, since a member could carry a smaller
+			// seq at the same timestamp.
+			if !occupied || uint64(h.at)>>tickShift < bucket {
+				if deadline >= 0 && int64(h.at) > deadline {
+					return nil, false
+				}
+				e.events.pop()
+				return h, true
+			}
+			e.drainTo(bucket)
+			continue
+		}
+		if occupied {
+			if deadline >= 0 && int64(bucket)<<tickShift > deadline {
+				// Window-start lower bound already beyond the deadline: every
+				// bucket event is later still.
+				return nil, false
+			}
+			e.drainTo(bucket)
+			continue
+		}
+		return nil, false
+	}
+}
+
+// queueEmpty reports whether no events remain in any lane (live or
+// tombstoned) — the run loop's idle condition.
+func (e *Env) queueEmpty() bool {
+	w := &e.wheel
+	return len(e.events) == 0 && w.count == 0 && w.di >= len(w.due)
+}
+
+// NextAt returns a lower bound on the timestamp of the next pending event
+// across every lane, and whether any event is pending at all. For heap and
+// due events the bound is exact; for wheel-resident events it is the
+// earliest occupied bucket's window start (the shard coordinator only needs
+// a conservative bound to size an epoch window — running the window then
+// refines the bound by draining the bucket, so progress is guaranteed).
+// Cancelled tombstones count: their bound is still conservative, and they
+// drain for free. The bound never trails the clock: a bucket's window start
+// can fall behind now once RunUntil pins the clock mid-window, and a stale
+// bound would let the coordinator open an epoch entirely in the past.
+func (e *Env) NextAt() (int64, bool) {
+	w := &e.wheel
+	best := int64(-1)
+	if w.di < len(w.due) {
+		best = int64(w.due[w.di].at)
+	}
+	if len(e.events) > 0 && (best < 0 || int64(e.events[0].at) < best) {
+		best = int64(e.events[0].at)
+	}
+	if w.count > 0 {
+		if tick, ok := w.nextBucketTick(); ok {
+			if at := int64(tick) << tickShift; best < 0 || at < best {
+				best = at
+			}
+		}
+	}
+	if best >= 0 && best < int64(e.now) {
+		best = int64(e.now)
+	}
+	return best, best >= 0
+}
+
+// sortEvents orders evs by (at, seq) in place without allocating: insertion
+// sort for the typical small bucket, heapsort above that (deterministic —
+// the key is unique — and O(n log n) worst case for poll storms that pile
+// hundreds of timers into one tick).
+func sortEvents(evs []*event) {
+	if len(evs) <= 16 {
+		for i := 1; i < len(evs); i++ {
+			ev := evs[i]
+			j := i - 1
+			for j >= 0 && lessEv(ev, evs[j]) {
+				evs[j+1] = evs[j]
+				j--
+			}
+			evs[j+1] = ev
+		}
+		return
+	}
+	// Max-heapify then repeatedly swap the max to the tail.
+	n := len(evs)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownMax(evs, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		evs[0], evs[end] = evs[end], evs[0]
+		siftDownMax(evs, 0, end)
+	}
+}
+
+func siftDownMax(evs []*event, i, n int) {
+	ev := evs[i]
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && lessEv(evs[c], evs[c+1]) {
+			c++
+		}
+		if !lessEv(ev, evs[c]) {
+			break
+		}
+		evs[i] = evs[c]
+		i = c
+	}
+	evs[i] = ev
+}

@@ -404,6 +404,19 @@ var RunScale = experiments.RunScale
 // RenderSLORows renders SLO rows one per line.
 var RenderSLORows = experiments.RenderSLORows
 
+// ShardGridConfig describes a sharded read-storm scenario: a topology of
+// single-Env-per-host LPs advanced in parallel under conservative lookahead,
+// with closed-loop client streams reading from datanode hosts.
+type ShardGridConfig = experiments.ShardGridConfig
+
+// ShardGridCell is one shard count's run of the grid: K-invariant rows and
+// fingerprint plus the wall clock that the shards are meant to shrink.
+type ShardGridCell = experiments.ShardGridCell
+
+// RunShardGrid runs the sharded read storm once per configured shard count.
+// Rows, fingerprints, and event counts are byte-identical across counts.
+var RunShardGrid = experiments.RunShardGrid
+
 // Experiment runners, one per paper artifact.
 var (
 	RunFig2       = experiments.RunFig2
