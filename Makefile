@@ -7,9 +7,9 @@
 # routes frames between concurrently-advancing Envs.
 
 GO ?= go
-RACE_PKGS := ./internal/data ./internal/metrics ./internal/trace ./internal/par ./internal/sim/shard ./internal/netsim ./internal/experiments ./internal/workload ./internal/cluster ./internal/hdfs
+RACE_PKGS := ./internal/data ./internal/metrics ./internal/trace ./internal/par ./internal/sim/shard ./internal/netsim ./internal/experiments ./internal/workload ./internal/cluster ./internal/hdfs ./internal/faults ./internal/faults/chaostest
 
-.PHONY: tier1 fmt vet build lint lint-self lint-fix-list lint-report test race bench bench-smoke bench-gate chaos-smoke scale-smoke
+.PHONY: tier1 fmt vet build lint lint-self lint-fix-list lint-report test race bench bench-smoke bench-gate chaos-smoke scale-smoke migrate-smoke
 
 tier1: fmt vet build lint test race
 
@@ -71,11 +71,14 @@ bench:
 		cp BENCH_$$n.json bench-snapshot.json; \
 		echo "wrote BENCH_$$n.json"; cat BENCH_$$n.json
 
-# chaos-smoke runs the deterministic fault-injection suite (the seed × plan
-# smoke matrix plus the byte-identical-replay check). On an invariant
-# violation the failing (seed, plan) pairs are written to chaos-failures.json
-# — each pair is a complete reproducer: re-run the same seed and spec locally
-# and the run replays byte-identically.
+# chaos-smoke runs the deterministic fault-injection suite: the seed × plan
+# smoke matrix, the hostile-guest profile (forged descriptors, stale keys,
+# doorbell storms, held slots — per-VM isolation checked at shard counts 1
+# and >1 with byte-identical fingerprints), the live-migration storms, and
+# the byte-identical-replay checks. On an invariant violation the failing
+# (seed, plan) pairs are written to chaos-failures.json — each pair is a
+# complete reproducer: re-run the same seed and spec locally and the run
+# replays byte-identically.
 chaos-smoke:
 	CHAOS_REPORT=chaos-failures.json $(GO) test ./internal/faults/chaostest/ -count=1 -run 'TestChaos' -v
 
@@ -103,3 +106,12 @@ bench-gate:
 scale-smoke:
 	$(GO) build -o bin/vread-sim ./cmd/vread-sim
 	./bin/vread-sim -config scenarios/scale-smoke.json -slo slo-report.json
+
+# migrate-smoke drives the live-mount-migration blackout sweep (a datanode
+# mount migrated out from under concurrent reader streams, one cell per
+# in-flight depth) and writes the blackout rows to blackout-report.json for
+# artifact upload. Zero lost or corrupted reads is the exit status; the rows
+# replay byte-identically from (seed, config).
+migrate-smoke:
+	$(GO) build -o bin/vread-sim ./cmd/vread-sim
+	./bin/vread-sim -config scenarios/migrate-smoke.json -blackout blackout-report.json

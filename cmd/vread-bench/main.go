@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	vread-bench -exp fig2|fig3|fig6|fig7|fig8|fig9|fig11|fig12|fig13|table2|table3|ablations|faults|all
+//	vread-bench -exp fig2|fig3|fig6|fig7|fig8|fig9|fig11|fig12|fig13|table2|table3|ablations|faults|migrate|all
 //	            [-scale 0.05] [-seed 1] [-transport rdma|tcp] [-parallel 0]
 //	            [-trace out.json] [-trace-every 1]
 //	vread-bench -bench BENCH.json [-bench-scale 0.02] [-bench-short]
@@ -122,6 +122,13 @@ func run() error {
 			return vread.FormatTable3(rows), err
 		},
 		"ablations": ablationRunner(csvOut),
+		"migrate": func(o vread.Options) (string, error) {
+			rows, err := vread.RunMigrationSweep(o, vread.MigrationConfig{Seed: o.Seed})
+			if csvOut {
+				return vread.CSVMigration(rows), err
+			}
+			return vread.FormatMigration(rows), err
+		},
 		"faults": func(o vread.Options) (string, error) {
 			rows, err := vread.RunFaultSweep(o)
 			if csvOut {
@@ -131,7 +138,7 @@ func run() error {
 		},
 	}
 
-	order := []string{"fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig11", "fig13", "table2", "table3", "ablations", "faults"}
+	order := []string{"fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig11", "fig13", "table2", "table3", "ablations", "faults", "migrate"}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = order

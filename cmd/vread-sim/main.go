@@ -45,6 +45,7 @@ func run() error {
 	faultSpec := flag.String("faults", "", "deterministic fault plan (point[:p=..,after=..,max=..,delay=..];...)")
 	configPath := flag.String("config", "", "JSON scenario file (overrides the other flags)")
 	sloPath := flag.String("slo", "", "write scale-out SLO rows as JSON to this file (scale_out scenarios)")
+	blackoutPath := flag.String("blackout", "", "write migration blackout rows as JSON to this file (migrate scenarios)")
 	flag.Parse()
 
 	var opt vread.Options
@@ -62,6 +63,15 @@ func run() error {
 		}
 		if scaleOut {
 			return runScale(opt, sc, *sloPath)
+		}
+		var mc vread.MigrationConfig
+		var migrate bool
+		opt, mc, migrate, err = vread.ParseMigrateOptions(raw)
+		if err != nil {
+			return fmt.Errorf("config %s: %w", *configPath, err)
+		}
+		if migrate {
+			return runMigrate(opt, mc, *blackoutPath)
 		}
 		_, place, err = vread.ParseOptions(raw)
 		if err != nil {
@@ -193,6 +203,31 @@ func runScale(opt vread.Options, sc vread.ScaleConfig, sloPath string) error {
 		return err
 	}
 	fmt.Printf("wrote %s (%d rows)\n", sloPath, len(rows))
+	return nil
+}
+
+// runMigrate drives the live-mount-migration blackout sweep: one cell per
+// in-flight depth, every read correct or the sweep errors, blackout rows
+// printed (and, with -blackout, written as JSON for CI artifacts).
+func runMigrate(opt vread.Options, mc vread.MigrationConfig, blackoutPath string) error {
+	rows, err := vread.RunMigrationSweep(opt, mc)
+	if err != nil {
+		return err
+	}
+	fmt.Print(vread.FormatMigration(rows))
+	if blackoutPath == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(struct {
+		Rows []vread.MigrationRow `json:"rows"`
+	}{rows}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(blackoutPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d rows)\n", blackoutPath, len(rows))
 	return nil
 }
 

@@ -4,8 +4,8 @@
 //   - every faultpoint registered in the faults package's Points() list is
 //     evaluated (Plan.Should / Plan.ShouldDelay) at least once, in the layer
 //     its name prefix declares (disk.* in storage or core, net.*/rdma.* in
-//     netsim, ring.*/daemon.* in core, rack.* in cluster, shard.* in hdfs,
-//     domain.* in netsim);
+//     netsim, ring.*/daemon.*/mount.* in core, rack.* in cluster, shard.* in
+//     hdfs, domain.* in netsim);
 //   - every registered point is armed by at least one test — a fixture that
 //     names the point, as a string (possibly inside a spec string) or
 //     through its constant;
@@ -55,6 +55,7 @@ var layerTable = []struct {
 	{"rdma.", []string{"netsim"}},
 	{"ring.", []string{"core"}},
 	{"daemon.", []string{"core"}},
+	{"mount.", []string{"core"}},
 	{"rack.", []string{"cluster"}},
 	{"shard.", []string{"hdfs"}},
 	{"domain.", []string{"netsim"}},

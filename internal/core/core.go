@@ -125,9 +125,31 @@ type Config struct {
 	// DaemonRestartDelay is how long a crashed daemon takes to come back.
 	// Default 5ms.
 	DaemonRestartDelay time.Duration
+	// MountTableShards is the shard count of each host's mount table.
+	// Default 8.
+	MountTableShards int
+	// RingRevokeThreshold revokes a client VM's ring after this many
+	// consecutive rejected descriptors (malformed or stale-keyed) — the
+	// SIVSHM-style isolation response to a misbehaving peer. 0 disables
+	// revocation (the default): every rejection is answered typed and the
+	// ring stays attached.
+	RingRevokeThreshold int
+	// MigrateRemountDelay is the image re-attach cost during a live mount
+	// migration (losetup/kpartx + FS snapshot on the target host), charged
+	// between the source unmount and the target mount. Default 3ms.
+	MigrateRemountDelay time.Duration
+	// SlotHeldSpinCycles is the daemon CPU burned per ring.slotheld firing:
+	// a guest holding a slot spinlock makes the daemon spin, not sleep.
+	// Default 20000.
+	SlotHeldSpinCycles int64
+	// DoorbellStormBurst is how many junk no-reply descriptors one
+	// ring.doorbellstorm firing floods the descriptor area with. Default 4.
+	DoorbellStormBurst int
 	// Faults is the fault-injection plan evaluated at the core faultpoints
 	// (disk.read.error, disk.read.torn, ring.doorbell.lost, ring.stall,
-	// daemon.crash). Nil disables injection.
+	// ring.slotheld, daemon.crash, mount.migrate, and — on the guest side —
+	// ring.badslot, ring.doorbellstorm, ring.stalekey). Nil disables
+	// injection. Manager.InjectGuestFaults overrides it per client VM.
 	Faults *faults.Plan
 }
 
@@ -204,6 +226,18 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.DaemonRestartDelay == 0 {
 		c.DaemonRestartDelay = 5 * time.Millisecond
+	}
+	if c.MountTableShards == 0 {
+		c.MountTableShards = 8
+	}
+	if c.MigrateRemountDelay == 0 {
+		c.MigrateRemountDelay = 3 * time.Millisecond
+	}
+	if c.SlotHeldSpinCycles == 0 {
+		c.SlotHeldSpinCycles = 20000
+	}
+	if c.DoorbellStormBurst == 0 {
+		c.DoorbellStormBurst = 4
 	}
 	return c
 }

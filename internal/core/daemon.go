@@ -22,6 +22,11 @@ type DaemonStats struct {
 	Crashes       int64 // injected daemon crash/restart cycles
 	RemoteRetries int64 // remote windows re-requested after timeout/gap
 	DoorbellsLost int64 // doorbells recovered by the guest watchdog
+	RingRejects   int64 // descriptors the sanitizer refused (malformed, stale key, revoked)
+	StaleKeys     int64 // rejects specifically for a stale ring key
+	Revocations   int64 // ring permission revocations (at most 1 per ring)
+	Replayed      int64 // captured descriptors replayed after a RingRestore
+	QuiesceHolds  int64 // descriptors captured into the pending set while quiesced
 }
 
 // Daemon event names (the reduced stream DaemonStats is derived from).
@@ -33,6 +38,11 @@ const (
 	evCrash        = "crash"
 	evRemoteRetry  = "remote-retry"
 	evDoorbellLost = "doorbell-lost"
+	evRingReject   = "ring-reject"
+	evStaleKey     = "ring-stale-key"
+	evRevoke       = "ring-revoke"
+	evReplay       = "ring-replay"
+	evQuiesceHold  = "ring-quiesce-hold"
 )
 
 // Daemon is the per-VM hypervisor daemon (§3.2): it owns the shared-memory
@@ -47,6 +57,15 @@ type Daemon struct {
 	ring   *ring
 	hr     *hostReader
 	events *trace.Counter
+	// faults is the plan evaluated at this daemon's (and its guest's)
+	// faultpoints — the manager-wide plan unless InjectGuestFaults armed a
+	// per-VM one, so a hostile-guest storm can target a single ring.
+	faults *faults.Plan
+	// busy is true while one descriptor is being served; idle broadcasts on
+	// every return to the pop loop. RingSnapshot waits on it to let the
+	// in-service request drain before the blackout starts.
+	busy bool
+	idle *sim.Signal
 }
 
 func newDaemon(mgr *Manager, vm *cluster.VM) *Daemon {
@@ -57,13 +76,21 @@ func newDaemon(mgr *Manager, vm *cluster.VM) *Daemon {
 		vm:     vm,
 		host:   vm.Host,
 		thread: thread,
-		ring:   newRing(mgr.env, mgr.cfg),
+		ring:   newRing(mgr.env, mgr.cfg, vm.Name),
 		hr:     newHostReader(mgr.cfg, vm.Host, thread),
 		events: trace.NewCounter(),
+		faults: mgr.cfg.Faults,
+		idle:   sim.NewSignal(mgr.env),
 	}
 	mgr.env.Go("vread-daemon:"+vm.Name, d.loop)
 	return d
 }
+
+// RingState exposes the ring's permission state (tests and tooling).
+func (d *Daemon) RingState() string { return d.ring.state.String() }
+
+// RingKey exposes the current ring key (tests and tooling).
+func (d *Daemon) RingKey() uint64 { return d.ring.key }
 
 // emit records one daemon event in the always-on counter and, when the
 // request is sampled, as an instantaneous mark on its trace.
@@ -214,33 +241,84 @@ func (d *Daemon) Stats() DaemonStats {
 		Crashes:       d.events.Get(evCrash),
 		RemoteRetries: d.events.Get(evRemoteRetry),
 		DoorbellsLost: d.events.Get(evDoorbellLost),
+		RingRejects:   d.events.Get(evRingReject),
+		StaleKeys:     d.events.Get(evStaleKey),
+		Revocations:   d.events.Get(evRevoke),
+		Replayed:      d.events.Get(evReplay),
+		QuiesceHolds:  d.events.Get(evQuiesceHold),
 	}
 }
 
-// loop services ring requests, one at a time (the ring serializes).
+// loop services ring requests, one at a time (the ring serializes). The
+// state machine sits here: a resume kick replays the pending set, a quiesced
+// ring captures instead of serving, and everything else goes through serve.
 func (d *Daemon) loop(p *sim.Proc) {
 	for {
 		req, ok := d.ring.reqs.Get(p)
 		if !ok {
 			return
 		}
-		req, valid := d.sanitizeReq(req)
-		// Wake from the guest's doorbell.
-		d.thread.RunT(p, d.cfg.EventFdCycles, metrics.TagOthers, req.tr)
-		if !valid {
-			d.rejectReq(p, req)
+		if req.kind == reqResume {
+			// Only the restore path knows the freshly rotated key; a guest
+			// forging the kind fails this guard and is dropped like a
+			// corrupt doorbell write.
+			if req.key == d.ring.key && d.ring.state == ringAttached {
+				d.replayPending(p)
+			}
 			continue
 		}
-		if d.cfg.Faults.Should(faults.DaemonCrash) {
-			d.crashRestart(p, req)
+		if d.ring.state == ringQuiesced {
+			d.ring.pending = append(d.ring.pending, req)
+			d.emit(req.tr, evQuiesceHold, 1)
 			continue
 		}
-		switch req.kind {
-		case reqOpen:
-			d.handleOpen(p, req)
-		case reqRead:
-			d.handleRead(p, req)
+		d.busy = true
+		d.serve(p, req)
+		d.busy = false
+		d.idle.Broadcast()
+	}
+}
+
+// replayPending serves the descriptors captured across a quiesce, in arrival
+// order, re-stamped with the rotated key (the restore re-admits them — the
+// old key is dead). A re-quiesce mid-replay re-captures the remainder.
+func (d *Daemon) replayPending(p *sim.Proc) {
+	pend := d.ring.pending
+	d.ring.pending = nil
+	d.busy = true
+	for i, pr := range pend {
+		if d.ring.state != ringAttached {
+			d.ring.pending = append(d.ring.pending, pend[i:]...)
+			break
 		}
+		pr.key = d.ring.key
+		d.emit(pr.tr, evReplay, 1)
+		d.serve(p, pr)
+	}
+	d.busy = false
+	d.idle.Broadcast()
+}
+
+// serve handles one descriptor: sanitize, evaluate the crash fault, then
+// dispatch.
+func (d *Daemon) serve(p *sim.Proc, req ringReq) {
+	req, verdict := d.sanitizeReq(req)
+	// Wake from the guest's doorbell.
+	d.thread.RunT(p, d.cfg.EventFdCycles, metrics.TagOthers, req.tr)
+	if verdict != reqAccept {
+		d.rejectReq(p, req, verdict)
+		return
+	}
+	d.ring.badStreak = 0
+	if d.faults.Should(faults.DaemonCrash) {
+		d.crashRestart(p, req)
+		return
+	}
+	switch req.kind {
+	case reqOpen:
+		d.handleOpen(p, req)
+	case reqRead:
+		d.handleRead(p, req)
 	}
 }
 
@@ -250,43 +328,86 @@ const maxRingNameBytes = 4096
 
 func validRingName(s string) bool { return s != "" && len(s) <= maxRingNameBytes }
 
+// reqVerdict is sanitizeReq's ruling on one descriptor.
+type reqVerdict int
+
+const (
+	reqAccept    reqVerdict = iota
+	reqMalformed            // bad opcode, unbounded name, or bad byte range
+	reqStaleKey             // key does not match the ring's current epoch
+	reqDenied               // ring permission revoked
+)
+
 // sanitizeReq is the daemon-side validation of one guest-written ring
-// descriptor (§3.3): the opcode must be known, the datanode ID and block
-// path non-empty and bounded, the byte range non-negative without overflow,
-// and an open must carry its reply queue. The raw fields feed map lookups,
+// descriptor (§3.3 hardened per SIVSHM): the ring must not be revoked, the
+// descriptor's key must match the ring's current epoch key (checked on every
+// doorbell), the opcode must be known, the datanode ID and block path
+// non-empty and bounded, the byte range non-negative without overflow, and
+// an open must carry its reply queue. The raw fields feed map lookups,
 // readahead keys, and offset arithmetic, so nothing downstream may see a
 // descriptor this has not accepted.
 //
-//lint:sanitizer guesttaint(rejects unknown opcodes, unbounded names, and negative or overflowing byte ranges at the pop)
-func (d *Daemon) sanitizeReq(req ringReq) (ringReq, bool) {
+//lint:sanitizer guesttaint(rejects revoked rings, stale keys, unknown opcodes, unbounded names, and negative or overflowing byte ranges at the pop)
+func (d *Daemon) sanitizeReq(req ringReq) (ringReq, reqVerdict) {
+	if d.ring.state == ringRevoked {
+		return req, reqDenied
+	}
+	if req.key != d.ring.key {
+		return req, reqStaleKey
+	}
 	switch req.kind {
 	case reqOpen:
 		if req.reply == nil {
-			return req, false
+			return req, reqMalformed
 		}
 	case reqRead:
 	default:
-		return req, false
+		return req, reqMalformed
 	}
 	if !validRingName(req.dn) || !validRingName(req.path) {
-		return req, false
+		return req, reqMalformed
 	}
 	if req.off < 0 || req.n < 0 || req.off+req.n < 0 {
-		return req, false
+		return req, reqMalformed
 	}
-	return req, true
+	return req, reqAccept
 }
 
-// rejectReq fails a malformed descriptor back to the guest without touching
-// any daemon state: opens get an empty reply, reads an error slot. A
-// descriptor with no usable reply channel is dropped, like a corrupt
-// doorbell write.
-func (d *Daemon) rejectReq(p *sim.Proc, req ringReq) {
+// rejectReq fails a refused descriptor back to the guest without touching
+// any daemon state, and advances the revocation streak. Liveness contract:
+// any descriptor with a reply queue gets an empty reply, any other shape
+// gets an error slot — except an open-like descriptor with no reply channel,
+// which is dropped like a corrupt doorbell write (nothing is waiting on it;
+// an error slot would poison the next real read's stream).
+func (d *Daemon) rejectReq(p *sim.Proc, req ringReq, verdict reqVerdict) {
+	d.emit(req.tr, evRingReject, 1)
+	code := slotFailed
+	switch verdict {
+	case reqStaleKey:
+		code = slotBadKey
+		d.emit(req.tr, evStaleKey, 1)
+		req.tr.Event(trace.LayerRing, "ring-reject:stale-key", 0)
+	case reqDenied:
+		code = slotRevoked
+		req.tr.Event(trace.LayerRing, "ring-reject:revoked", 0)
+	default:
+		req.tr.Event(trace.LayerRing, "ring-reject:malformed", 0)
+	}
+	if d.ring.state != ringRevoked {
+		d.ring.badStreak++
+		if t := d.cfg.RingRevokeThreshold; t > 0 && d.ring.badStreak >= t {
+			d.ring.state = ringRevoked
+			d.emit(req.tr, evRevoke, 1)
+			req.tr.Event(trace.LayerRing, "ring-revoked", 0)
+		}
+	}
 	switch {
-	case req.kind == reqOpen && req.reply != nil:
+	case req.reply != nil:
 		req.reply.Put(p, openResult{})
-	case req.kind == reqRead:
-		d.pushError(p, req.tr)
+	case req.kind == reqOpen:
+		// Junk no-reply open: dropped; no reader is blocked on it.
+	default:
+		d.pushErrorCode(p, req.tr, code)
 	}
 }
 
@@ -307,6 +428,10 @@ func (d *Daemon) crashRestart(p *sim.Proc, req ringReq) {
 	}
 	p.Sleep(d.cfg.DaemonRestartDelay)
 }
+
+// InjectFaults arms a plan on this daemon's faultpoints (per-VM targeting;
+// the manager-wide plan is the default).
+func (d *Daemon) InjectFaults(plan *faults.Plan) { d.faults = plan }
 
 // handleOpen resolves a block file against the mount hash (local) or a peer
 // daemon (remote) and replies through the ring.
@@ -374,7 +499,7 @@ func (d *Daemon) readLocal(p *sim.Proc, req ringReq) {
 		}
 		d.hr.read(p, req.tr, obj, key, e.Size, off, want)
 		s, err := m.ReadAt(req.path, off, want)
-		if err == nil && d.cfg.Faults.Should(faults.DiskReadError) {
+		if err == nil && d.faults.Should(faults.DiskReadError) {
 			req.tr.Event(trace.LayerDaemon, "fault:disk-error", 0)
 			err = fsim.ErrStale
 		}
@@ -383,7 +508,7 @@ func (d *Daemon) readLocal(p *sim.Proc, req ringReq) {
 			d.pushError(p, req.tr)
 			return
 		}
-		if want > 1 && d.cfg.Faults.Should(faults.DiskReadTorn) {
+		if want > 1 && d.faults.Should(faults.DiskReadTorn) {
 			// Torn read: a prefix lands in the ring, then the stream ends.
 			// libvread's byte-count check turns it into ErrShortRead and
 			// retries — never silent truncation.
@@ -462,12 +587,19 @@ func (d *Daemon) readRemote(p *sim.Proc, dnHost string, req ringReq) {
 // as one batched charge (the per-byte copy into the ring is part of
 // loopReadCycles locally, and of the transport cost remotely).
 func (d *Daemon) fillSlots(p *sim.Proc, tr *trace.Trace, s data.Slice, last bool) {
-	if stall, ok := d.cfg.Faults.ShouldDelay(faults.RingStall); ok {
+	if stall, ok := d.faults.ShouldDelay(faults.RingStall); ok {
 		// Ring stall: the guest stops draining for a while. With the free
 		// queue exhausted the daemon blocks on slot tokens — the ring's
 		// natural backpressure — until the guest resumes.
 		tr.Event(trace.LayerRing, "fault:ring-stall", 0)
 		p.Sleep(stall)
+	}
+	if hold, ok := d.faults.ShouldDelay(faults.RingSlotHeld); ok {
+		// Slot spinlock held by the guest: unlike a stall, the daemon burns
+		// CPU spinning on the lock, then waits out the hold.
+		tr.Event(trace.LayerRing, "fault:slot-held", 0)
+		d.thread.RunT(p, d.cfg.SlotHeldSpinCycles, metrics.TagOthers, tr)
+		p.Sleep(hold)
 	}
 	d.thread.RunT(p, d.cfg.SlotLockCycles*d.ring.slotsFor(s.Len()), metrics.TagOthers, tr)
 	for off := int64(0); off < s.Len(); {
@@ -488,7 +620,7 @@ func (d *Daemon) fillSlots(p *sim.Proc, tr *trace.Trace, s data.Slice, last bool
 // filled slots — DoorbellWatchdog of extra latency, never a hang.
 func (d *Daemon) doorbell(p *sim.Proc, tr *trace.Trace) {
 	d.thread.RunT(p, d.cfg.EventFdCycles, metrics.TagOthers, tr)
-	if d.cfg.Faults.Should(faults.RingDoorbellLost) {
+	if d.faults.Should(faults.RingDoorbellLost) {
 		d.emit(tr, evDoorbellLost, 1)
 		tr.Event(trace.LayerRing, "fault:doorbell-lost", 0)
 		d.mgr.env.Schedule(d.cfg.DoorbellWatchdog, func() {
@@ -501,7 +633,13 @@ func (d *Daemon) doorbell(p *sim.Proc, tr *trace.Trace) {
 
 // pushError aborts the in-flight read on the guest side.
 func (d *Daemon) pushError(p *sim.Proc, tr *trace.Trace) {
+	d.pushErrorCode(p, tr, slotFailed)
+}
+
+// pushErrorCode aborts the in-flight read with a specific slot code, so
+// libvread can surface the matching typed error.
+func (d *Daemon) pushErrorCode(p *sim.Proc, tr *trace.Trace, code slotCode) {
 	d.ring.free.Get(p)
-	d.ring.full.Put(p, ringSlot{err: true, last: true})
+	d.ring.full.Put(p, ringSlot{code: code, last: true})
 	d.doorbell(p, tr)
 }

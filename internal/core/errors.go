@@ -21,9 +21,26 @@ var (
 	// ErrBadRange means the caller asked for offsets outside the block —
 	// a programming error in the caller, never retryable.
 	ErrBadRange = errors.New("core: range outside block")
+	// ErrStaleKey means the descriptor carried a ring key from a previous
+	// epoch — the ring was restored (key rotated) under the caller, or the
+	// guest replayed an old descriptor. Retryable: libvread stamps the
+	// current key on the re-issued request.
+	ErrStaleKey = errors.New("core: stale ring key")
+	// ErrRingRevoked means the daemon revoked this VM's ring permission
+	// (a misbehaving guest crossed the revocation threshold). Not
+	// retryable: the ring stays revoked until the VM is torn down.
+	ErrRingRevoked = errors.New("core: ring permission revoked")
+	// ErrBadQuiesce means a RingSnapshot or RingRestore was refused: the
+	// named client is unknown, the ring is in the wrong state for the
+	// operation, or the snapshot's epoch no longer matches the ring.
+	ErrBadQuiesce = errors.New("core: invalid ring quiesce")
+	// ErrBadMigration means a MigrateMount was refused before any ring was
+	// touched: unknown VM or host, wrong source host, or no mount to move.
+	ErrBadMigration = errors.New("core: invalid mount migration")
 )
 
 // retryableRead reports whether libvread should re-issue the request.
 func retryableRead(err error) bool {
-	return errors.Is(err, ErrDaemonFailed) || errors.Is(err, ErrShortRead)
+	return errors.Is(err, ErrDaemonFailed) || errors.Is(err, ErrShortRead) ||
+		errors.Is(err, ErrStaleKey)
 }

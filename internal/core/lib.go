@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"vread/internal/cluster"
 	"vread/internal/data"
+	"vread/internal/faults"
 	"vread/internal/guest"
 	"vread/internal/hdfs"
 	"vread/internal/metrics"
@@ -30,12 +32,58 @@ type Lib struct {
 	daemon *Daemon
 	vfds   map[string]*VFD
 	stats  LibStats
+	// faults is the plan evaluated at the guest-side hostile-ring
+	// faultpoints (ring.badslot, ring.stalekey, ring.doorbellstorm) — the
+	// manager-wide plan unless InjectGuestFaults armed a per-VM one.
+	faults *faults.Plan
 }
 
 var _ hdfs.BlockReader = (*Lib)(nil)
 
 func newLib(mgr *Manager, vm *cluster.VM, d *Daemon) *Lib {
-	return &Lib{mgr: mgr, vm: vm, daemon: d, vfds: make(map[string]*VFD)}
+	return &Lib{mgr: mgr, vm: vm, daemon: d, vfds: make(map[string]*VFD), faults: mgr.cfg.Faults}
+}
+
+// forgeHostile evaluates the hostile-guest faultpoints on one outgoing
+// descriptor. These model a misbehaving (or compromised) guest driver, so
+// they run on the guest side of the SHM boundary, right before the Put:
+//
+//   - ring.badslot corrupts the descriptor — an unknown opcode, a negative
+//     or overflowing byte range, or an unbounded name, rotating through the
+//     variants so a multi-fire plan covers every sanitizer arm;
+//   - ring.stalekey stamps the previous epoch's key instead of the current
+//     one (a guest replaying descriptors across a restore);
+//   - ring.doorbellstorm floods the descriptor area with junk no-reply
+//     descriptors ahead of the real one — each costs the daemon a wakeup and
+//     advances its revocation streak, but none carries a reply channel, so
+//     the real request's slot stream stays exact.
+func (l *Lib) forgeHostile(p *sim.Proc, req *ringReq, tr *trace.Trace) {
+	f := l.faults
+	if f.Should(faults.RingBadSlot) {
+		tr.Event(trace.LayerRing, "fault:bad-slot", 0)
+		switch f.Fired(faults.RingBadSlot) % 4 {
+		case 1:
+			req.kind = ringReqKind(99)
+		case 2:
+			req.off = -1
+		case 3:
+			req.off = 1 << 62
+			req.n = 1 << 62
+		default:
+			req.dn = strings.Repeat("x", maxRingNameBytes+1)
+		}
+	}
+	if f.Should(faults.RingStaleKey) {
+		tr.Event(trace.LayerRing, "fault:stale-key", 0)
+		req.key = mintRingKey(l.vm.Name, l.daemon.ring.epoch-1)
+	}
+	if f.Should(faults.RingDoorbellStorm) {
+		tr.Event(trace.LayerRing, "fault:doorbell-storm", 0)
+		for i := 0; i < l.mgr.cfg.DoorbellStormBurst; i++ {
+			l.vm.VCPU.RunT(p, l.mgr.cfg.EventFdCycles, metrics.TagOthers, tr)
+			l.daemon.ring.reqs.Put(p, ringReq{kind: reqOpen, dn: "storm", path: "storm", key: req.key})
+		}
+	}
 }
 
 // Stats returns a copy of the library counters.
@@ -69,7 +117,9 @@ func (l *Lib) OpenPath(p *sim.Proc, tr *trace.Trace, dn, path, key string) (*VFD
 	l.daemon.ring.reqMu.Lock(p)
 	vcpu.RunT(p, cfg.EventFdCycles, metrics.TagOthers, tr)
 	reply := sim.NewQueue[openResult](l.mgr.env, 0)
-	l.daemon.ring.reqs.Put(p, ringReq{kind: reqOpen, dn: dn, path: path, reply: reply, tr: tr})
+	req := ringReq{kind: reqOpen, dn: dn, path: path, key: l.daemon.ring.key, reply: reply, tr: tr}
+	l.forgeHostile(p, &req, tr)
+	l.daemon.ring.reqs.Put(p, req)
 	res, _ := reply.Get(p)
 	l.daemon.ring.reqMu.Unlock()
 	tr.EndSpan(sp, 0)
@@ -172,7 +222,9 @@ func (v *VFD) readOnce(p *sim.Proc, tr *trace.Trace, off, n int64) (data.Slice, 
 	ring.reqMu.Lock(p)
 	defer ring.reqMu.Unlock()
 	vcpu.RunT(p, cfg.EventFdCycles, metrics.TagOthers, tr)
-	ring.reqs.Put(p, ringReq{kind: reqRead, dn: v.dn, path: v.path, off: off, n: n, tr: tr})
+	req := ringReq{kind: reqRead, dn: v.dn, path: v.path, off: off, n: n, key: ring.key, tr: tr}
+	l.forgeHostile(p, &req, tr)
+	ring.reqs.Put(p, req)
 
 	rsp := tr.Begin(trace.LayerRing, "ring-drain")
 	var parts data.Concat
@@ -192,10 +244,17 @@ func (v *VFD) readOnce(p *sim.Proc, tr *trace.Trace, off, n int64) (data.Slice, 
 			tr.EndSpan(rsp, got)
 			return data.Slice{}, fmt.Errorf("%w under %s", ErrRingClosed, v.blockName)
 		}
-		if slot.err {
+		if slot.code != slotOK {
 			ring.free.Put(p, struct{}{})
 			tr.EndSpan(rsp, got)
-			return data.Slice{}, fmt.Errorf("%w reading %s", ErrDaemonFailed, v.blockName)
+			switch slot.code {
+			case slotBadKey:
+				return data.Slice{}, fmt.Errorf("%w reading %s", ErrStaleKey, v.blockName)
+			case slotRevoked:
+				return data.Slice{}, fmt.Errorf("%w reading %s", ErrRingRevoked, v.blockName)
+			default:
+				return data.Slice{}, fmt.Errorf("%w reading %s", ErrDaemonFailed, v.blockName)
+			}
 		}
 		parts = append(parts, slot.s.Content())
 		got += slot.s.Len()

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"vread/internal/cluster"
+	"vread/internal/faults"
 	"vread/internal/fsim"
 	"vread/internal/hdfs"
 	"vread/internal/metrics"
@@ -28,6 +29,7 @@ type Manager struct {
 
 	mounts         map[string]*mountTable // host → sharded datanode→mount table
 	daemons        map[string]*Daemon     // client VM → daemon
+	clientOrder    []string               // client VMs in EnableClient order (deterministic iteration)
 	libs           map[string]*Lib
 	servers        map[string]*hostServer
 	qps            map[string]*netsim.QP
@@ -100,7 +102,7 @@ func (m *Manager) MountDatanode(vmName string) {
 	m.ensureServer(vm.Host)
 	tab := m.mounts[vm.Host.Name]
 	if tab == nil {
-		tab = &mountTable{}
+		tab = newMountTable(m.cfg.MountTableShards)
 		m.mounts[vm.Host.Name] = tab
 	}
 	if tab.get(vmName) != nil {
@@ -135,9 +137,24 @@ func (m *Manager) EnableClient(vmName string) *Lib {
 	m.ensureServer(vm.Host)
 	d := newDaemon(m, vm)
 	m.daemons[vmName] = d
+	m.clientOrder = append(m.clientOrder, vmName)
 	lib := newLib(m, vm, d)
 	m.libs[vmName] = lib
 	return lib
+}
+
+// InjectGuestFaults arms a per-VM fault plan on one client's ring endpoints —
+// libvread's descriptor forging and its daemon's serving path — so a hostile-
+// guest storm targets a single ring while every other VM keeps the manager-
+// wide plan. This is the isolation test lever: the harness arms the hostile
+// points on one VM and asserts its neighbours' reads stay clean.
+func (m *Manager) InjectGuestFaults(vmName string, plan *faults.Plan) {
+	if d := m.daemons[vmName]; d != nil {
+		d.InjectFaults(plan)
+	}
+	if l := m.libs[vmName]; l != nil {
+		l.faults = plan
+	}
 }
 
 // Daemon returns a client VM's daemon (nil if not enabled).

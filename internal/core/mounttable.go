@@ -4,8 +4,8 @@ import (
 	"vread/internal/fsim"
 )
 
-// mountTableShards is the shard count of each host's mount table.
-const mountTableShards = 8
+// defaultMountTableShards is the shard count when the config leaves it zero.
+const defaultMountTableShards = 8
 
 // mountTable is one host's datanode→mount map, sharded by datanode-name
 // hash. Two things scale with it on a host serving dozens of mounts:
@@ -17,8 +17,19 @@ const mountTableShards = 8
 //     daemon-thread task, and every event that lands before it runs rides
 //     the same wakeup (each op still pays its RefreshCycles, but a write
 //     burst costs one scheduling round trip instead of one per block).
+//
+// The shard count K comes from Config.MountTableShards; the hostile-guest
+// harness runs its storms at K=1 and K>1 to prove the fold (and everything
+// behind it) is shard-count-agnostic.
 type mountTable struct {
-	shards [mountTableShards]mountShard
+	shards []mountShard
+}
+
+func newMountTable(shards int) *mountTable {
+	if shards <= 0 {
+		shards = defaultMountTableShards
+	}
+	return &mountTable{shards: make([]mountShard, shards)}
 }
 
 type mountShard struct {
@@ -33,22 +44,22 @@ type refreshOp struct {
 	path  string
 }
 
-// dnShard hashes a datanode name to its shard (FNV-1a 32). The fold onto
-// mountTableShards makes any input — including a hostile one — land on a
-// valid shard index, so this doubles as the taint barrier for datanode
-// names used to index the shard array.
+// dnShard hashes a datanode name to its shard (FNV-1a 32). The fold onto the
+// shard count makes any input — including a hostile one — land on a valid
+// shard index, so this doubles as the taint barrier for datanode names used
+// to index the shard slice.
 //
-//lint:sanitizer guesttaint(FNV hash folded into [0,mountTableShards) — every input maps to a valid shard index)
-func dnShard(dn string) int {
+//lint:sanitizer guesttaint(FNV hash folded into [0,shards) — every input maps to a valid shard index)
+func dnShard(dn string, shards int) int {
 	h := uint32(2166136261)
 	for i := 0; i < len(dn); i++ {
 		h ^= uint32(dn[i])
 		h *= 16777619
 	}
-	return int(h % mountTableShards)
+	return int(h % uint32(shards))
 }
 
-func (t *mountTable) shard(dn string) *mountShard { return &t.shards[dnShard(dn)] }
+func (t *mountTable) shard(dn string) *mountShard { return &t.shards[dnShard(dn, len(t.shards))] }
 
 func (t *mountTable) get(dn string) *fsim.HostMount {
 	if t == nil {

@@ -6,6 +6,54 @@ import (
 	"vread/internal/trace"
 )
 
+// ringState is a ring's permission state. The ring is the trust boundary
+// between a guest and the hypervisor daemon, and — SIVSHM-style — each peer's
+// segment carries its own state so one misbehaving VM never degrades
+// another's channel.
+type ringState int
+
+const (
+	// ringAttached is the normal serving state.
+	ringAttached ringState = iota
+	// ringQuiesced holds the channel for a snapshot: the daemon captures
+	// popped descriptors into the pending set instead of serving them, and
+	// guests block on their replies until a restore replays the set.
+	ringQuiesced
+	// ringRevoked is the isolation terminal state: every descriptor is
+	// rejected with a revocation error until the VM is torn down.
+	ringRevoked
+)
+
+func (s ringState) String() string {
+	switch s {
+	case ringQuiesced:
+		return "quiesced"
+	case ringRevoked:
+		return "revoked"
+	default:
+		return "attached"
+	}
+}
+
+// mintRingKey derives a VM's ring key for one epoch (FNV-1a over the VM name
+// and the epoch). Keys are deterministic — (seed, plan) replay depends on it —
+// and never zero, so an unstamped descriptor can never pass the check.
+func mintRingKey(vm string, epoch int64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(vm); i++ {
+		h ^= uint64(vm[i])
+		h *= 1099511628211
+	}
+	for i := 0; i < 8; i++ {
+		h ^= uint64(epoch>>(8*i)) & 0xff
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
 // ring is the guest↔daemon shared-memory channel (§3.3): a POSIX SHM object
 // surfaced to the guest as a virtual PCI device and divided into fixed-size
 // slots. Requests travel guest→daemon through a small descriptor area;
@@ -15,6 +63,12 @@ import (
 //
 // Requests are serialized per ring (the prototype's HDFS input streams read
 // one range at a time), enforced by reqMu.
+//
+// Isolation state: the ring belongs to one VM and carries a per-epoch key
+// minted at attach time. Every descriptor must be stamped with the current
+// key — the daemon checks it on every doorbell — and the key rotates on every
+// RingRestore, so descriptors captured across a quiesce are re-admitted
+// explicitly rather than replaying by accident.
 type ring struct {
 	cfg   Config
 	reqMu *sim.Mutex
@@ -26,6 +80,18 @@ type ring struct {
 	reqs *sim.Queue[ringReq]
 	free *sim.Queue[struct{}] // slot tokens
 	full *sim.Queue[ringSlot] // filled slots in order
+
+	vm    string // owning client VM
+	epoch int64  // key epoch; bumped by every restore
+	key   uint64 // current ring key (mintRingKey(vm, epoch))
+	state ringState
+	// pending is the replayable set of descriptors captured while quiesced:
+	// drained from the descriptor area at snapshot time plus any that arrive
+	// during the blackout. RingRestore re-stamps and replays them in order.
+	pending []ringReq
+	// badStreak counts consecutive rejected descriptors toward the
+	// revocation threshold; any accepted descriptor resets it.
+	badStreak int
 }
 
 type ringReqKind int
@@ -33,17 +99,24 @@ type ringReqKind int
 const (
 	reqOpen ringReqKind = iota
 	reqRead
+	// reqResume is the daemon-internal restore kick: RingRestore pushes one
+	// after rotating the key, and the daemon replays the pending set when it
+	// pops it. A guest forging the kind fails the key-or-state guard and the
+	// descriptor is dropped like a corrupt doorbell write.
+	reqResume
 )
 
 // ringReq is one descriptor written by libvread. tr is the request trace the
 // descriptor belongs to (nil when untraced); the daemon charges its work to
-// it.
+// it. key must match the ring's current epoch key or the daemon rejects the
+// descriptor unserved.
 type ringReq struct {
 	kind  ringReqKind
 	dn    string // datanode ID
 	path  string // block file path
 	off   int64
 	n     int64
+	key   uint64
 	reply *sim.Queue[openResult] // open only
 	tr    *trace.Trace
 }
@@ -53,25 +126,45 @@ type openResult struct {
 	size int64
 }
 
+// slotCode classifies a response slot, so libvread can map daemon-side
+// rejections to distinct typed errors.
+type slotCode int
+
+const (
+	slotOK      slotCode = iota
+	slotFailed           // stream failed (ErrDaemonFailed); guest aborts the read
+	slotBadKey           // descriptor carried a stale ring key (ErrStaleKey)
+	slotRevoked          // ring permission revoked (ErrRingRevoked)
+)
+
 // ringSlot is one filled data slot.
 type ringSlot struct {
 	s    data.Slice
-	err  bool // stream failed; guest aborts the read
+	code slotCode
 	last bool
 }
 
-func newRing(env *sim.Env, cfg Config) *ring {
+func newRing(env *sim.Env, cfg Config, vm string) *ring {
 	r := &ring{
 		cfg:   cfg,
 		reqMu: sim.NewMutex(env),
 		reqs:  sim.NewQueue[ringReq](env, 64),
 		free:  sim.NewQueue[struct{}](env, cfg.RingSlots),
 		full:  sim.NewQueue[ringSlot](env, cfg.RingSlots),
+		vm:    vm,
+		epoch: 1,
 	}
+	r.key = mintRingKey(vm, r.epoch)
 	for i := 0; i < cfg.RingSlots; i++ {
 		r.free.TryPut(struct{}{})
 	}
 	return r
+}
+
+// rotateKey advances the epoch and mints the next key (RingRestore).
+func (r *ring) rotateKey() {
+	r.epoch++
+	r.key = mintRingKey(r.vm, r.epoch)
 }
 
 // slotsFor returns how many slots a byte range occupies.

@@ -14,7 +14,7 @@ import (
 func TestRingSlotTokensConserved(t *testing.T) {
 	env := sim.NewEnv(1)
 	cfg := Config{}.WithDefaults()
-	r := newRing(env, cfg)
+	r := newRing(env, cfg, "vm1")
 	if r.free.Len() != cfg.RingSlots {
 		t.Fatalf("initial free slots = %d, want %d", r.free.Len(), cfg.RingSlots)
 	}
@@ -44,7 +44,7 @@ func TestRingSlotTokensConserved(t *testing.T) {
 
 func TestRingSlotsFor(t *testing.T) {
 	env := sim.NewEnv(1)
-	r := newRing(env, Config{SlotBytes: 4096}.WithDefaults())
+	r := newRing(env, Config{SlotBytes: 4096}.WithDefaults(), "vm1")
 	cases := []struct {
 		n    int64
 		want int64
@@ -62,7 +62,7 @@ func TestRingSlotsFor(t *testing.T) {
 // never wastes a whole slot.
 func TestRingSlotsForProperty(t *testing.T) {
 	env := sim.NewEnv(1)
-	r := newRing(env, Config{}.WithDefaults())
+	r := newRing(env, Config{}.WithDefaults(), "vm1")
 	f := func(raw uint32) bool {
 		n := int64(raw)
 		s := r.slotsFor(n)
@@ -81,7 +81,7 @@ func TestRingSlotsForProperty(t *testing.T) {
 func TestRingRequestSerialization(t *testing.T) {
 	env := sim.NewEnv(1)
 	cfg := Config{}.WithDefaults()
-	r := newRing(env, cfg)
+	r := newRing(env, cfg, "vm1")
 	inCritical := 0
 	maxInCritical := 0
 	for i := 0; i < 4; i++ {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"vread/internal/core"
 	"vread/internal/faults"
@@ -35,6 +36,9 @@ type OptionsJSON struct {
 	// ScaleOut, when present, selects the datacenter-scale scenario (RunScale)
 	// instead of the two-host figure testbed.
 	ScaleOut *ScaleOutJSON `json:"scale_out,omitempty"`
+	// Migrate, when present, selects the live-mount-migration blackout sweep
+	// (RunMigrationSweep) instead of the two-host figure testbed.
+	Migrate *MigrateJSON `json:"migrate,omitempty"`
 }
 
 // ScaleOutJSON is the serializable form of ScaleConfig: the federated
@@ -55,6 +59,45 @@ type ScaleOutJSON struct {
 	// KillRack names the rack a rack.kill firing (armed via "faults") takes
 	// down mid-storm.
 	KillRack string `json:"kill_rack,omitempty"`
+}
+
+// MigrateJSON is the serializable form of MigrationConfig: the in-flight
+// depths to sweep and the per-stream storm a live mount migration cuts
+// through.
+type MigrateJSON struct {
+	Depths         []int `json:"depths,omitempty"`
+	ReadsPerStream int   `json:"reads_per_stream,omitempty"`
+	ReadKB         int   `json:"read_kb,omitempty"`
+	FileKB         int   `json:"file_kb,omitempty"`
+	// TriggerAfterUS is the virtual delay, in microseconds, from storm start
+	// to the migration firing.
+	TriggerAfterUS int `json:"trigger_after_us,omitempty"`
+}
+
+// ParseMigrateOptions decodes a scenario file and reports whether it selects
+// the migration sweep ("migrate" present).
+func ParseMigrateOptions(raw []byte) (Options, MigrationConfig, bool, error) {
+	opt, _, err := ParseOptions(raw)
+	if err != nil {
+		return Options{}, MigrationConfig{}, false, err
+	}
+	var j OptionsJSON
+	if err := json.Unmarshal(raw, &j); err != nil {
+		return Options{}, MigrationConfig{}, false, err
+	}
+	if j.Migrate == nil {
+		return opt, MigrationConfig{}, false, nil
+	}
+	m := j.Migrate
+	mc := MigrationConfig{
+		Seed:           j.Seed,
+		Depths:         m.Depths,
+		ReadsPerStream: m.ReadsPerStream,
+		ReadSize:       int64(m.ReadKB) << 10,
+		FileSize:       int64(m.FileKB) << 10,
+		TriggerAfter:   time.Duration(m.TriggerAfterUS) * time.Microsecond,
+	}
+	return opt, mc, true, nil
 }
 
 // ParseScaleOptions decodes a scenario file and reports whether it selects

@@ -187,7 +187,8 @@ func Run(o Options) Result {
 					res.OKs++
 					record("%d|blk%d|%d|%d|ok|%d\n", i, blk, off, n, c.Env.Now())
 				}
-			case errors.Is(err, core.ErrDaemonFailed), errors.Is(err, core.ErrShortRead), errors.Is(err, core.ErrRingClosed):
+			case errors.Is(err, core.ErrDaemonFailed), errors.Is(err, core.ErrShortRead), errors.Is(err, core.ErrRingClosed),
+				errors.Is(err, core.ErrStaleKey), errors.Is(err, core.ErrRingRevoked):
 				res.TypedErrors++
 				record("%d|blk%d|%d|%d|err:%v|%d\n", i, blk, off, n, err, c.Env.Now())
 			default:

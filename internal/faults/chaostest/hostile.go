@@ -1,0 +1,333 @@
+package chaostest
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"time"
+
+	"vread/internal/cluster"
+	"vread/internal/core"
+	"vread/internal/data"
+	"vread/internal/faults"
+	"vread/internal/hdfs"
+	"vread/internal/metrics"
+	"vread/internal/sim"
+	"vread/internal/trace"
+)
+
+// hostileGuestPoints are the faultpoints that model a misbehaving guest on
+// its own ring. RunHostile arms these on the hostile VM only (via
+// InjectGuestFaults), so the storm proves per-VM isolation: the victims'
+// rings never see the forgeries.
+var hostileGuestPoints = map[string]bool{
+	faults.RingBadSlot:       true,
+	faults.RingStaleKey:      true,
+	faults.RingDoorbellStorm: true,
+	faults.RingSlotHeld:      true,
+}
+
+// HostileOptions selects one hostile-guest chaos run: one hostile client VM
+// whose ring endpoints forge descriptors per the spec's hostile points, plus
+// victim client VMs reading the same blocks cleanly, all on a two-host
+// topology with alternating block placement.
+type HostileOptions struct {
+	Seed      int64
+	Spec      faults.Spec
+	Transport core.Transport
+	// Shards is the mount-table shard count K; the suite runs every storm at
+	// K=1 and K>1 and asserts byte-identical fingerprints (the fold and
+	// everything behind it must be shard-count-agnostic).
+	Shards int
+	// Victims is how many well-behaved client VMs read alongside the hostile
+	// one (default 2).
+	Victims int
+	// RevokeThreshold, when > 0, arms the daemon's auto-revocation after that
+	// many consecutive rejects on the hostile ring.
+	RevokeThreshold int
+	Files           int
+	FileSize        int64
+	Reads           int // read rounds; each round is one hostile + one read per victim
+	Deadline        time.Duration
+}
+
+func (o HostileOptions) withDefaults() HostileOptions {
+	if o.Shards == 0 {
+		o.Shards = 1
+	}
+	if o.Victims == 0 {
+		o.Victims = 2
+	}
+	if o.Files == 0 {
+		o.Files = 3
+	}
+	if o.FileSize == 0 {
+		o.FileSize = 1 << 20
+	}
+	if o.Reads == 0 {
+		o.Reads = 25
+	}
+	if o.Deadline == 0 {
+		o.Deadline = time.Hour
+	}
+	return o
+}
+
+// HostileResult extends Result with per-cohort outcome counts.
+type HostileResult struct {
+	Result
+	HostileOKs    int // hostile reads that still returned correct bytes
+	HostileErrors int // hostile reads refused with a typed error
+	HostileMisses int // hostile opens denied (e.g. after revocation)
+	VictimOKs     int
+	VictimErrors  int
+	Migrations    int  // live mount migrations fired by mount.migrate
+	Revoked       bool // the hostile ring ended the storm revoked
+}
+
+// hostileOnly reports whether every armed point is a per-VM ring forgery or
+// the migration action — the plans under which victim reads have no excuse to
+// fail (per-VM isolation is the property under test).
+func hostileOnly(spec faults.Spec) bool {
+	for _, r := range spec {
+		if !hostileGuestPoints[r.Point] && !strings.HasPrefix(r.Point, "mount.") {
+			return false
+		}
+	}
+	return true
+}
+
+// RunHostile executes one hostile-guest scenario. On top of Run's invariants
+// (correct-bytes-or-typed-error, span balance, full drain, deterministic
+// fingerprint) it checks per-VM isolation: when the spec arms only hostile
+// ring points and migrations, every victim read must return correct bytes.
+// When the spec arms mount.migrate, each round ping-pongs dn2's mount
+// between the two hosts mid-storm.
+func RunHostile(o HostileOptions) HostileResult {
+	o = o.withDefaults()
+	res := HostileResult{}
+	violate := func(format string, args ...interface{}) {
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+
+	c := cluster.New(o.Seed, cluster.Params{})
+	defer c.Close()
+	plan := faults.NewPlan(c.Env)
+	hostilePlan := faults.NewPlan(c.Env)
+	h1 := c.AddHost("host1")
+	h2 := c.AddHost("host2")
+	c.Fabric.InjectFaults(plan)
+	h1.Disk.InjectFaults(plan)
+	h2.Disk.InjectFaults(plan)
+	hostileVM := h1.AddVM("hostile", metrics.TagClientApp)
+	victims := make([]string, o.Victims)
+	for i := range victims {
+		victims[i] = fmt.Sprintf("victim%d", i)
+		h1.AddVM(victims[i], metrics.TagClientApp)
+	}
+	dn1VM := h1.AddVM("dn1", metrics.TagDatanodeApp)
+	dn2VM := h2.AddVM("dn2", metrics.TagDatanodeApp)
+
+	nn := hdfs.NewNameNode(c.Env, hdfs.Config{BlockSize: 4 << 20}, c.Fabric)
+	hdfs.StartDataNode(c.Env, nn, dn1VM.Kernel)
+	hdfs.StartDataNode(c.Env, nn, dn2VM.Kernel)
+	writer := hdfs.NewClient(c.Env, nn, hostileVM.Kernel)
+
+	// Alternate placement, as in Run: both ring-local and remote reads.
+	var nextBlock int64
+	blockDN := make(map[int64]string)
+	nn.SetPlacementPolicy(func(string, string, int) []string {
+		nextBlock++
+		dn := "dn1"
+		if nextBlock%2 == 0 {
+			dn = "dn2"
+		}
+		blockDN[nextBlock] = dn
+		return []string{dn}
+	})
+
+	mgr := core.NewManager(c, nn, core.Config{
+		Transport:           o.Transport,
+		Faults:              plan,
+		MountTableShards:    o.Shards,
+		RingRevokeThreshold: o.RevokeThreshold,
+	})
+	mgr.MountDatanode("dn1")
+	mgr.MountDatanode("dn2")
+	hostileLib := mgr.EnableClient("hostile")
+	writer.SetBlockReader(hostileLib)
+	victimLibs := make([]*core.Lib, o.Victims)
+	for i, v := range victims {
+		victimLibs[i] = mgr.EnableClient(v)
+	}
+	// The isolation lever: the hostile plan owns exactly this VM's ring
+	// endpoints. Victim rings keep the manager-wide plan.
+	mgr.InjectGuestFaults("hostile", hostilePlan)
+
+	migrating := false
+	for _, r := range o.Spec {
+		if r.Point == faults.MountMigrate {
+			migrating = true
+		}
+	}
+
+	contents := make([]data.Pattern, o.Files)
+	tracer := trace.NewTracer(c.Env, 1)
+	fp := fnv.New64a()
+	record := func(format string, args ...interface{}) {
+		fmt.Fprintf(fp, format, args...)
+	}
+
+	// One read through one lib, classified. Victim blocks may live on a
+	// mount that is mid-quiesce when a migration fires — the read simply
+	// blocks through the blackout, which is exactly the property under test.
+	readOnce := func(p *sim.Proc, lib *core.Lib, who string, i int, rng interface{ Intn(int) int }) string {
+		blk := int64(rng.Intn(int(nextBlock))) + 1
+		fileIdx := int(blk-1) % o.Files
+		want := data.NewSlice(contents[fileIdx])
+		off := int64(rng.Intn(int(o.FileSize - 1)))
+		n := int64(rng.Intn(int(o.FileSize-off))) + 1
+
+		tr := tracer.Request(fmt.Sprintf("%s-read-%d", who, i))
+		vfd, ok := lib.OpenPath(p, tr, blockDN[blk], hdfs.BlockPath(hdfs.BlockID(blk)), fmt.Sprintf("blk_%d", blk))
+		if !ok {
+			tr.Finish(0)
+			record("%d|%s|blk%d|%d|%d|openmiss|%d\n", i, who, blk, off, n, c.Env.Now())
+			return "miss"
+		}
+		got, err := vfd.ReadAt(p, tr, off, n)
+		vfd.Close(p, tr)
+		tr.Finish(n)
+		switch {
+		case err == nil:
+			if !data.Equal(got, want.Sub(off, n)) {
+				record("%d|%s|blk%d|%d|%d|corrupt|%d\n", i, who, blk, off, n, c.Env.Now())
+				return "corrupt"
+			}
+			record("%d|%s|blk%d|%d|%d|ok|%d\n", i, who, blk, off, n, c.Env.Now())
+			return "ok"
+		case errors.Is(err, core.ErrDaemonFailed), errors.Is(err, core.ErrShortRead), errors.Is(err, core.ErrRingClosed),
+			errors.Is(err, core.ErrStaleKey), errors.Is(err, core.ErrRingRevoked):
+			record("%d|%s|blk%d|%d|%d|err:%v|%d\n", i, who, blk, off, n, err, c.Env.Now())
+			return "typed"
+		default:
+			record("%d|%s|blk%d|%d|%d|untyped:%v|%d\n", i, who, blk, off, n, err, c.Env.Now())
+			return "untyped"
+		}
+	}
+
+	done := false
+	c.Go("hostile-storm", func(p *sim.Proc) {
+		for i := range contents {
+			contents[i] = data.Pattern{Seed: uint64(o.Seed)*1000 + uint64(i), Size: o.FileSize}
+			if err := writer.WriteFile(p, fmt.Sprintf("/hostile/f%d", i), contents[i]); err != nil {
+				violate("write f%d: %v", i, err)
+				return
+			}
+		}
+		// Split the spec: hostile ring forgeries arm on the hostile VM's plan,
+		// everything else manager-wide.
+		for _, r := range o.Spec {
+			if hostileGuestPoints[r.Point] {
+				hostilePlan.Set(r)
+			} else {
+				plan.Set(r)
+			}
+		}
+
+		rng := c.Env.Rand()
+		for i := 0; i < o.Reads; i++ {
+			if migrating {
+				dst := "host1"
+				if c.VM("dn2").Host.Name == "host1" {
+					dst = "host2"
+				}
+				mig, fired, err := mgr.MaybeMigrateMount(p, "dn2", dst)
+				if err != nil {
+					violate("round %d: migration: %v", i, err)
+				} else if fired {
+					res.Migrations++
+					record("%d|migrate|%s->%s|%d|%d\n", i, mig.SrcHost, mig.DstHost, mig.Captured, c.Env.Now())
+				}
+			}
+			res.Reads++
+			switch readOnce(p, hostileLib, "hostile", i, rng) {
+			case "ok":
+				res.OKs++
+				res.HostileOKs++
+			case "typed":
+				res.TypedErrors++
+				res.HostileErrors++
+			case "miss":
+				res.OpenMisses++
+				res.HostileMisses++
+			case "corrupt":
+				violate("hostile read %d: silent corruption", i)
+			case "untyped":
+				violate("hostile read %d: untyped error", i)
+			}
+			for v := range victimLibs {
+				res.Reads++
+				switch readOnce(p, victimLibs[v], victims[v], i, rng) {
+				case "ok":
+					res.OKs++
+					res.VictimOKs++
+				case "typed":
+					res.TypedErrors++
+					res.VictimErrors++
+				case "miss":
+					res.OpenMisses++
+					violate("victim %d round %d: open denied", v, i)
+				case "corrupt":
+					violate("victim %d read %d: silent corruption", v, i)
+				case "untyped":
+					violate("victim %d read %d: untyped error", v, i)
+				}
+			}
+		}
+		done = true
+	})
+
+	start := c.Env.Now()
+	if err := c.Env.RunUntil(start + o.Deadline); err != nil {
+		violate("engine: %v", err)
+		return res
+	}
+	if !done {
+		violate("workload wedged: storm did not finish within %v", o.Deadline)
+		return res
+	}
+	if pend := c.Env.Pending(); pend != 0 {
+		violate("%d events still pending after the storm drained", pend)
+	}
+	if pend := mgr.PendingRemoteReads(); pend != 0 {
+		violate("%d remote reads leaked", pend)
+	}
+	for _, tr := range tracer.Traces() {
+		for _, s := range tr.Spans {
+			if s.End < s.Start {
+				violate("%s: span %s/%s opened at %v never closed", tr.Name, s.Layer, s.Name, s.Start)
+			}
+		}
+	}
+	// Per-VM isolation: under a purely hostile (plus migration) plan the
+	// victims must come through spotless.
+	if hostileOnly(o.Spec) && res.VictimErrors != 0 {
+		violate("%d victim reads failed under a hostile-only plan: isolation broken", res.VictimErrors)
+	}
+	res.Revoked = mgr.Daemon("hostile").RingState() == "revoked"
+	for _, v := range victims {
+		if st := mgr.Daemon(v).RingState(); st != "attached" {
+			violate("victim %s ring ended the storm %s", v, st)
+		}
+	}
+	hs := mgr.DaemonStats("hostile")
+	record("rejects=%d stale=%d revoked=%v migrations=%d\n", hs.RingRejects, hs.StaleKeys, res.Revoked, res.Migrations)
+	res.FaultCounts = append(plan.Counts(), hostilePlan.Counts()...)
+	for _, pc := range res.FaultCounts {
+		record("fault|%s|%d|%d\n", pc.Point, pc.Evals, pc.Fires)
+	}
+	res.Fingerprint = fp.Sum64()
+	return res
+}

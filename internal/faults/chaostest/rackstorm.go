@@ -32,10 +32,15 @@ type RackOptions struct {
 	Shards         int    // namespace shards (default 4)
 	Replication    int    // replicas per block (default 3)
 	KillRack       string // victim rack for rack.kill (default first rack)
-	Files          int    // files written before the storm (default 4)
-	FileSize       int64  // bytes per file (default 256 KiB)
-	Reads          int    // read operations in the storm (default 40)
-	Deadline       time.Duration
+	// MigrateDN composes the migration storm with the rack storm: when set
+	// (and the spec arms mount.migrate), each read round may ping-pong this
+	// datanode's mount between its home host and the client's host mid-kill.
+	// Pick a datanode outside the victim rack.
+	MigrateDN string
+	Files     int   // files written before the storm (default 4)
+	FileSize  int64 // bytes per file (default 256 KiB)
+	Reads     int   // read operations in the storm (default 40)
+	Deadline  time.Duration
 }
 
 func (o RackOptions) withDefaults() RackOptions {
@@ -143,11 +148,28 @@ func RunRack(o RackOptions) Result {
 			plan.Set(r)
 		}
 
+		var migHome, migAway string
+		if o.MigrateDN != "" {
+			migHome = c.VM(o.MigrateDN).Host.Name
+			migAway = clientVM.Host.Name
+		}
 		rng := c.Env.Rand()
 		for i := 0; i < o.Reads; i++ {
 			res.Reads++
 			if c.MaybeKillRack(victim) {
 				record("%d|rack-kill|%s|%d\n", i, victim, c.Env.Now())
+			}
+			if o.MigrateDN != "" {
+				dst := migAway
+				if c.VM(o.MigrateDN).Host.Name == migAway {
+					dst = migHome
+				}
+				mig, fired, err := mgr.MaybeMigrateMount(p, o.MigrateDN, dst)
+				if err != nil {
+					violate("round %d: migration of %s: %v", i, o.MigrateDN, err)
+				} else if fired {
+					record("%d|migrate|%s->%s|%d|%d\n", i, mig.SrcHost, mig.DstHost, mig.Captured, c.Env.Now())
+				}
 			}
 			fileIdx := rng.Intn(o.Files)
 			off := int64(rng.Intn(int(o.FileSize - 1)))
@@ -187,7 +209,8 @@ func RunRack(o RackOptions) Result {
 						outcome = "corrupt"
 					}
 				case errors.Is(rerr, core.ErrDaemonFailed), errors.Is(rerr, core.ErrShortRead),
-					errors.Is(rerr, core.ErrRingClosed):
+					errors.Is(rerr, core.ErrRingClosed), errors.Is(rerr, core.ErrStaleKey),
+					errors.Is(rerr, core.ErrRingRevoked):
 					record("%d|%s@%s|err:%v|%d\n", i, blk.BlockName(), loc, rerr, c.Env.Now())
 					continue // typed failure — fail over
 				default:

@@ -42,29 +42,61 @@ import (
 //     RPC (fired = that shard refuses RPCs until failover elapses);
 //   - netsim evaluates DomainPartition per inter-domain host/RDMA frame
 //     (fired = the two fault domains stop exchanging such frames for the
-//     rule's delay window; guest TCP is exempt for the NetFrameDrop reason).
+//     rule's delay window; guest TCP is exempt for the NetFrameDrop reason);
+//   - libvread (the guest side of the ring, also in core) evaluates the
+//     hostile-guest points per submitted descriptor: RingBadSlot forges a
+//     malformed descriptor (bad opcode, negative or overflowing range,
+//     oversized name), RingStaleKey stamps the previous epoch's ring key,
+//     and RingDoorbellStorm floods the descriptor area with junk no-reply
+//     descriptors before the real one;
+//   - the daemon evaluates RingSlotHeld per slot-fill batch (the guest holds
+//     a slot spinlock — the daemon burns CPU spinning, distinct from
+//     RingStall's passive backpressure);
+//   - the vRead manager evaluates MountMigrate per MaybeMigrateMount call
+//     (fired = a live mount migration: quiesce every client ring, re-mount
+//     the datanode image on the target host, replay captured descriptors).
 const (
-	DiskReadSlow     = "disk.read.slow"
-	DiskReadError    = "disk.read.error"
-	DiskReadTorn     = "disk.read.torn"
-	NetFrameDrop     = "net.frame.drop"
-	NetFrameDelay    = "net.frame.delay"
-	RDMAQPTeardown   = "rdma.qp.teardown"
-	RingDoorbellLost = "ring.doorbell.lost"
-	RingStall        = "ring.stall"
-	DaemonCrash      = "daemon.crash"
-	RackKill         = "rack.kill"
-	ShardKill        = "shard.kill"
-	DomainPartition  = "domain.partition"
+	DiskReadSlow      = "disk.read.slow"
+	DiskReadError     = "disk.read.error"
+	DiskReadTorn      = "disk.read.torn"
+	NetFrameDrop      = "net.frame.drop"
+	NetFrameDelay     = "net.frame.delay"
+	RDMAQPTeardown    = "rdma.qp.teardown"
+	RingDoorbellLost  = "ring.doorbell.lost"
+	RingStall         = "ring.stall"
+	RingBadSlot       = "ring.badslot"
+	RingDoorbellStorm = "ring.doorbellstorm"
+	RingSlotHeld      = "ring.slotheld"
+	RingStaleKey      = "ring.stalekey"
+	DaemonCrash       = "daemon.crash"
+	RackKill          = "rack.kill"
+	ShardKill         = "shard.kill"
+	DomainPartition   = "domain.partition"
+	MountMigrate      = "mount.migrate"
 )
 
-// Points lists every canonical faultpoint name.
+// Points lists every canonical faultpoint name, sorted: the list feeds error
+// messages and reports, so its order is part of the observable output and
+// must not depend on registration order.
 func Points() []string {
 	return []string{
-		DiskReadSlow, DiskReadError, DiskReadTorn,
-		NetFrameDrop, NetFrameDelay, RDMAQPTeardown,
-		RingDoorbellLost, RingStall, DaemonCrash,
-		RackKill, ShardKill, DomainPartition,
+		DaemonCrash,
+		DiskReadError,
+		DiskReadSlow,
+		DiskReadTorn,
+		DomainPartition,
+		MountMigrate,
+		NetFrameDelay,
+		NetFrameDrop,
+		RackKill,
+		RDMAQPTeardown,
+		RingBadSlot,
+		RingDoorbellLost,
+		RingDoorbellStorm,
+		RingSlotHeld,
+		RingStaleKey,
+		RingStall,
+		ShardKill,
 	}
 }
 

@@ -1,11 +1,67 @@
 package faults
 
 import (
+	"sort"
+	"strings"
 	"testing"
 	"time"
 
 	"vread/internal/sim"
 )
+
+// TestPointsSortedGolden locks the Points() list: sorted, complete, and
+// exactly these names. The list feeds ParseSpec's unknown-point error and
+// every registry report, so its content and order are observable output —
+// adding a faultpoint means updating this golden alongside it.
+func TestPointsSortedGolden(t *testing.T) {
+	want := []string{
+		"daemon.crash",
+		"disk.read.error",
+		"disk.read.slow",
+		"disk.read.torn",
+		"domain.partition",
+		"mount.migrate",
+		"net.frame.delay",
+		"net.frame.drop",
+		"rack.kill",
+		"rdma.qp.teardown",
+		"ring.badslot",
+		"ring.doorbell.lost",
+		"ring.doorbellstorm",
+		"ring.slotheld",
+		"ring.stalekey",
+		"ring.stall",
+		"shard.kill",
+	}
+	got := Points()
+	if !sort.StringsAreSorted(got) {
+		t.Fatalf("Points() is not sorted: %v", got)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Points() has %d entries, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Points()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestUnknownPointErrorListsSortedPoints pins the ParseSpec error shape: the
+// known-point listing is the sorted Points() joined with ", ".
+func TestUnknownPointErrorListsSortedPoints(t *testing.T) {
+	// Assembled at runtime so the faultpoint analyzer's spec-literal grammar
+	// check doesn't trip over a point that is deliberately unknown.
+	bogus := "bogus" + ".point"
+	_, err := ParseSpec(bogus)
+	if err == nil {
+		t.Fatal("ParseSpec accepted an unknown point")
+	}
+	wantList := strings.Join(Points(), ", ")
+	if !strings.Contains(err.Error(), wantList) {
+		t.Fatalf("error %q does not list the sorted points %q", err, wantList)
+	}
+}
 
 func TestNilPlanNeverFires(t *testing.T) {
 	var p *Plan

@@ -190,3 +190,101 @@ func TestSoakChaosStorm(t *testing.T) {
 	t.Logf("chaos soak: %d ok / %d typed errors / %d open misses; %d faultpoints fired",
 		res.OKs, res.TypedErrors, res.OpenMisses, res.DistinctFired())
 }
+
+// TestSoakHostileStorm soaks the ring trust boundary: a seed × plan matrix of
+// long hostile-guest storms — forged descriptors, stale keys, doorbell
+// storms, held slots, live migrations, and all of them at once — with the
+// per-VM isolation invariant on top of the usual four: the victim cohort
+// must read perfectly no matter what the hostile guest does. Every new ring
+// faultpoint must fire somewhere in the matrix, and every cell must replay
+// byte-identically from its seed.
+func TestSoakHostileStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hostile soak skipped in -short mode")
+	}
+	plans := []struct {
+		name string
+		spec string
+	}{
+		{"forgery", "ring.badslot:p=0.25;ring.stalekey:p=0.25"},
+		{"pressure", "ring.doorbellstorm:p=0.2;ring.slotheld:p=0.25,delay=300us"},
+		{"migrate", "mount.migrate:p=0.15"},
+		{"everything", "ring.badslot:p=0.15;ring.stalekey:p=0.15;ring.doorbellstorm:p=0.1;" +
+			"ring.slotheld:p=0.1,delay=200us;mount.migrate:p=0.1"},
+	}
+	seeds := []int64{2025, 909}
+	fired := make(map[string]bool)
+	for _, plan := range plans {
+		spec, err := vread.ParseFaultSpec(plan.spec)
+		if err != nil {
+			t.Fatalf("plan %s: %v", plan.name, err)
+		}
+		for _, seed := range seeds {
+			o := chaostest.HostileOptions{
+				Seed: seed, Spec: spec, Reads: 60, Deadline: 8 * time.Hour,
+			}
+			res := chaostest.RunHostile(o)
+			for _, v := range res.Violations {
+				t.Errorf("plan %s seed %d: %s", plan.name, seed, v)
+			}
+			if res.VictimOKs == 0 {
+				t.Errorf("plan %s seed %d: no victim read survived", plan.name, seed)
+			}
+			for _, pc := range res.FaultCounts {
+				if pc.Fires > 0 {
+					fired[pc.Point] = true
+				}
+			}
+			if again := chaostest.RunHostile(o); again.Fingerprint != res.Fingerprint {
+				t.Errorf("plan %s seed %d does not replay: %016x vs %016x",
+					plan.name, seed, res.Fingerprint, again.Fingerprint)
+			}
+		}
+	}
+	for _, point := range []string{
+		"ring.badslot", "ring.stalekey", "ring.doorbellstorm", "ring.slotheld", "mount.migrate",
+	} {
+		if !fired[point] {
+			t.Errorf("faultpoint %s never fired across the hostile soak matrix", point)
+		}
+	}
+}
+
+// TestSoakMigrationStorm soaks live mount migration under concurrent load:
+// the blackout sweep at greater depths and storm lengths than the smoke
+// config. RunMigrationSweep errors on any lost, failed, or corrupted read, so
+// a nil error IS the durability assertion; on top of it the blackout must be
+// finite and the rows must replay byte-identically.
+func TestSoakMigrationStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("migration soak skipped in -short mode")
+	}
+	mc := vread.MigrationConfig{
+		Seed:           2025,
+		Depths:         []int{1, 4, 8, 12},
+		ReadsPerStream: 20,
+	}
+	rows, err := vread.RunMigrationSweep(vread.Options{Seed: 2025}, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Blackout <= 0 || r.Blackout > time.Minute {
+			t.Errorf("depth %d: blackout %v out of range", r.Depth, r.Blackout)
+		}
+		if r.Captured == 0 {
+			t.Errorf("depth %d: no in-flight descriptor rode through the cutover", r.Depth)
+		}
+		t.Logf("depth %2d: blackout %v, %d captured, worst in/out %v/%v",
+			r.Depth, r.Blackout, r.Captured, r.WorstIn, r.WorstOut)
+	}
+	again, err := vread.RunMigrationSweep(vread.Options{Seed: 2025}, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if rows[i] != again[i] {
+			t.Errorf("row %d does not replay: %+v vs %+v", i, rows[i], again[i])
+		}
+	}
+}

@@ -226,6 +226,16 @@ type DaemonStats = core.DaemonStats
 // VReadManager.LibStats(vmName).
 type LibStats = core.LibStats
 
+// RingSnapshot is a quiesced ring's captured state: the in-flight request
+// descriptors VReadManager.RingSnapshot drained, replayable after a
+// VReadManager.RingRestore.
+type RingSnapshot = core.RingSnapshot
+
+// MountMigration reports one live mount migration: the hosts involved, the
+// read blackout it imposed, and how many rings and descriptors rode through
+// it. Produced by VReadManager.MigrateMount.
+type MountMigration = core.MountMigration
+
 // ---------------------------------------------------------------------------
 // Tracing: the per-request observability spine. Install a Tracer on a
 // DFSClient or QFSClient with SetTracer; every layer of the read path then
@@ -403,6 +413,30 @@ var RunScale = experiments.RunScale
 
 // RenderSLORows renders SLO rows one per line.
 var RenderSLORows = experiments.RenderSLORows
+
+// MigrationConfig describes the live-mount-migration blackout sweep: reader
+// depths, the per-stream storm, and when the cutover fires.
+type MigrationConfig = experiments.MigrationConfig
+
+// MigrationRow is one depth's blackout measurement: quiesce window, captured
+// in-flight descriptors, and worst read latency inside vs outside it.
+type MigrationRow = experiments.MigrationRow
+
+// RunMigrationSweep live-migrates a datanode's mount out from under
+// concurrent reader streams, one cell per depth. Zero lost or corrupted reads
+// is the contract; rows are byte-identical between serial and parallel runs.
+var RunMigrationSweep = experiments.RunMigrationSweep
+
+// CSVMigration renders migration sweep rows as CSV; FormatMigration as an
+// aligned table.
+var (
+	CSVMigration    = experiments.CSVMigration
+	FormatMigration = experiments.FormatMigration
+)
+
+// ParseMigrateOptions decodes a scenario file and reports whether it selects
+// the migration sweep ("migrate" present).
+var ParseMigrateOptions = experiments.ParseMigrateOptions
 
 // ShardGridConfig describes a sharded read-storm scenario: a topology of
 // single-Env-per-host LPs advanced in parallel under conservative lookahead,
