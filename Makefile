@@ -9,7 +9,7 @@
 GO ?= go
 RACE_PKGS := ./internal/data ./internal/metrics ./internal/trace ./internal/par ./internal/sim/shard ./internal/netsim ./internal/experiments ./internal/workload ./internal/cluster ./internal/hdfs ./internal/faults ./internal/faults/chaostest
 
-.PHONY: tier1 fmt vet build lint lint-self lint-fix-list lint-report test race bench bench-smoke bench-gate chaos-smoke scale-smoke migrate-smoke
+.PHONY: tier1 fmt vet build lint lint-self lint-audit lint-fix-list lint-report test race bench bench-smoke bench-gate chaos-smoke scale-smoke migrate-smoke
 
 tier1: fmt vet build lint test race
 
@@ -23,10 +23,10 @@ vet:
 build:
 	$(GO) build ./...
 
-# lint runs the simulator's ten invariant analyzers — per-package
+# lint runs the simulator's eleven invariant analyzers — per-package
 # (determinism, simdiscipline, lockpair, tracecharge) and interprocedural
-# (hotalloc, lockorder, faultpoint, errdiscipline, guesttaint, unitflow) —
-# over the whole tree.
+# (hotalloc, lockorder, faultpoint, errdiscipline, guesttaint, unitflow,
+# lpowner) — over the whole tree.
 # Also usable as a vet tool (per-package analyzers only, vet shows the tool
 # one package at a time):
 #   go vet -vettool=$(PWD)/bin/vread-lint ./...
@@ -39,6 +39,12 @@ lint:
 lint-self:
 	$(GO) build -o bin/vread-lint ./cmd/vread-lint
 	./bin/vread-lint ./internal/analysis/... ./cmd/vread-lint
+
+# lint-audit is lint plus stale-suppression reporting: a //lint:allow that
+# suppresses nothing is lint debt and fails CI until it is deleted.
+lint-audit:
+	$(GO) build -o bin/vread-lint ./cmd/vread-lint
+	./bin/vread-lint -unused-allow ./...
 
 # lint-fix-list prints findings as file:line for editor quickfix lists.
 lint-fix-list:

@@ -10,6 +10,7 @@
 //	errdiscipline  core errors are typed or %w-wrapped; compared with errors.Is
 //	guesttaint     guest-written ring values pass a //lint:sanitizer before sinks
 //	unitflow       cycles reach sim time only via //lint:converter helpers
+//	lpowner        LP state stays on its Env; cross-LP only via LP.Send/coordinator
 //
 // Standalone:
 //
@@ -34,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"vread/internal/analysis"
@@ -41,7 +43,7 @@ import (
 )
 
 // version participates in go vet's content-based caching (-V=full).
-const version = "v3"
+const version = "v4"
 
 func main() {
 	flagV := flag.String("V", "", "print version (go vet protocol)")
@@ -85,7 +87,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "vread-lint:", err)
 			os.Exit(1)
 		}
-		report(diags, *flagList, *flagJSON)
+		report(diags, nil, *flagList, *flagJSON)
 		if len(diags) > 0 {
 			os.Exit(2)
 		}
@@ -105,20 +107,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vread-lint:", err)
 		os.Exit(2)
 	}
-	run := analysis.RunSuite
-	if *flagUnused {
-		if *flagRun != "" {
-			fmt.Fprintln(os.Stderr, "vread-lint: -unused-allow needs the full suite; drop -run")
-			os.Exit(2)
-		}
-		run = analysis.RunSuiteUnused
+	if *flagUnused && *flagRun != "" {
+		fmt.Fprintln(os.Stderr, "vread-lint: -unused-allow needs the full suite; drop -run")
+		os.Exit(2)
 	}
-	diags, err := run(analysis.NewProgram(pkgs), analyzers)
+	diags, timings, err := analysis.RunSuiteTimed(analysis.NewProgram(pkgs), analyzers, *flagUnused)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vread-lint:", err)
 		os.Exit(2)
 	}
-	report(diags, *flagList, *flagJSON)
+	report(diags, timings, *flagList, *flagJSON)
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
@@ -135,6 +133,7 @@ func selectAnalyzers(runFlag string) ([]*analysis.Analyzer, error) {
 		byName[a.Name] = a
 		names = append(names, a.Name)
 	}
+	sort.Strings(names) // the "have:" listing is user-facing; keep it scannable
 	var picked []*analysis.Analyzer
 	for _, name := range strings.Split(runFlag, ",") {
 		a, ok := byName[strings.TrimSpace(name)]
@@ -158,9 +157,9 @@ func perPackage(analyzers []*analysis.Analyzer) []*analysis.Analyzer {
 	return out
 }
 
-func report(diags []analysis.Diagnostic, listOnly, asJSON bool) {
+func report(diags []analysis.Diagnostic, timings []analysis.AnalyzerTiming, listOnly, asJSON bool) {
 	if asJSON {
-		os.Stdout.Write(analysis.MarshalReport(diags))
+		os.Stdout.Write(analysis.MarshalReport(diags, timings))
 		return
 	}
 	for _, d := range diags {

@@ -10,6 +10,7 @@ import (
 	"vread/internal/analysis/hotalloc"
 	"vread/internal/analysis/lockorder"
 	"vread/internal/analysis/lockpair"
+	"vread/internal/analysis/lpowner"
 	"vread/internal/analysis/simdiscipline"
 	"vread/internal/analysis/tracecharge"
 	"vread/internal/analysis/unitflow"
@@ -29,5 +30,6 @@ func Analyzers() []*analysis.Analyzer {
 		errdiscipline.Analyzer,
 		guesttaint.Analyzer,
 		unitflow.Analyzer,
+		lpowner.Analyzer,
 	}
 }

@@ -60,15 +60,38 @@ func (d Diagnostic) String() string {
 
 // ReportVersion identifies the lint-report.json schema. Bump it whenever a
 // field is added, removed, or reordered, so report diffs across PRs are
-// attributable to findings rather than format drift.
-const ReportVersion = 1
+// attributable to findings rather than format drift. Version 2 added the
+// per-analyzer timing rows.
+const ReportVersion = 2
+
+// AnalyzerTiming is one analyzer's wall-clock cost and surviving finding
+// count for the report's timing rows.
+type AnalyzerTiming struct {
+	Analyzer string
+	Millis   int64
+	Findings int
+}
 
 // MarshalReport renders the versioned lint report: a fixed-field-order
-// object wrapping the diagnostics array. The bytes are identical on every
-// run over the same tree — the golden test pins them.
-func MarshalReport(diags []Diagnostic) []byte {
+// object wrapping the timing and diagnostics arrays. The diagnostics bytes
+// are identical on every run over the same tree — the golden test pins
+// them; the timing rows are the report's one wall-clock-dependent part
+// (their ms values vary run to run, their order and fields do not).
+func MarshalReport(diags []Diagnostic, timings []AnalyzerTiming) []byte {
 	var b strings.Builder
-	fmt.Fprintf(&b, "{\"version\":%d,\n\"diagnostics\":", ReportVersion)
+	fmt.Fprintf(&b, "{\"version\":%d,\n\"timings\":[", ReportVersion)
+	for i, tr := range timings {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n  ")
+		fmt.Fprintf(&b, `{"analyzer":%s,"ms":%d,"findings":%d}`,
+			jsonString(tr.Analyzer), tr.Millis, tr.Findings)
+	}
+	if len(timings) > 0 {
+		b.WriteString("\n")
+	}
+	b.WriteString("],\n\"diagnostics\":")
 	b.Write(MarshalDiagnostics(diags))
 	b.WriteString("}\n")
 	return []byte(b.String())

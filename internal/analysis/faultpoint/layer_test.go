@@ -1,0 +1,55 @@
+package faultpoint
+
+import (
+	"strings"
+	"testing"
+
+	"vread/internal/faults"
+)
+
+// TestLayerTableGolden pins the layer→package table: adding a faultpoint
+// family is a one-line change here and a one-line change to the golden, and
+// any drift (a renamed package, a dropped family) fails loudly instead of
+// silently exempting the family from the layer check.
+func TestLayerTableGolden(t *testing.T) {
+	const golden = `disk. -> core, storage
+net. -> netsim
+rdma. -> netsim
+ring. -> core
+daemon. -> core
+mount. -> core
+rack. -> cluster
+shard. -> hdfs
+domain. -> netsim
+`
+	var b strings.Builder
+	for _, e := range layerTable {
+		b.WriteString(e.prefix + " -> " + strings.Join(e.pkgs, ", ") + "\n")
+	}
+	if b.String() != golden {
+		t.Fatalf("layer table drifted from golden:\ngot:\n%swant:\n%s", b.String(), golden)
+	}
+}
+
+// TestLayerTableCoversEveryPoint checks no canonical faultpoint family is
+// silently exempt from the layer check: every registered point name must
+// resolve to a table entry.
+func TestLayerTableCoversEveryPoint(t *testing.T) {
+	for _, p := range faults.Points() {
+		if allowedPkgs(p) == nil {
+			t.Errorf("faultpoint %q matches no layerTable prefix — its family is exempt from the layer check", p)
+		}
+	}
+}
+
+// TestLayerTablePrefixesDisjoint guards the lookup's first-match semantics:
+// no prefix may shadow another.
+func TestLayerTablePrefixesDisjoint(t *testing.T) {
+	for i, a := range layerTable {
+		for j, b := range layerTable {
+			if i != j && strings.HasPrefix(b.prefix, a.prefix) {
+				t.Errorf("layerTable prefix %q shadows %q", a.prefix, b.prefix)
+			}
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package lpowner_test
+
+import (
+	"testing"
+
+	"vread/internal/analysis/analysistest"
+	"vread/internal/analysis/lpowner"
+)
+
+func TestLPOwner(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lpowner.Analyzer,
+		"lpfix", "lpmisuse", "vread/internal/sim", "vread/internal/sim/shard")
+}

@@ -1,0 +1,119 @@
+// Package lpfix exercises the LP-ownership invariant: LP context must not
+// call coordinator phases or mutate shared/coordinator state, and handles
+// that may belong to another LP must not reach its Env-affine state without
+// passing through a boundary channel or a declared sanitizer.
+package lpfix
+
+import (
+	"time"
+
+	"vread/internal/sim"
+	"vread/internal/sim/shard"
+)
+
+type worker struct {
+	env   *sim.Env
+	inbox *sim.Queue[int]
+	// pending is this worker's run-queue depth.
+	//
+	//lint:owner(lp: touched only by the owning Env's callbacks)
+	pending int
+}
+
+type engine struct {
+	// topo is the host topology.
+	//
+	//lint:shared(frozen before the clock starts)
+	topo map[string]int
+	// epoch is the coordinator's epoch counter.
+	//
+	//lint:owner(coordinator: bumped only between epochs)
+	epoch int
+	// peers indexes workers by name; a lookup may cross hosts.
+	//
+	//lint:source lpowner(a peer may live on another host's Env)
+	peers map[string]*worker
+}
+
+// peer resolves a name to a worker that may live anywhere.
+//
+//lint:source lpowner(the worker may live on another host's Env)
+func (e *engine) peer(name string) *worker { return e.peers[name] }
+
+// local resolves a name to a worker pinned to the caller's Env.
+//
+//lint:sanitizer lpowner(callers pass co-located names only)
+func (e *engine) local(name string) *worker { return e.peers[name] }
+
+// drain runs between epochs, while every LP is quiesced.
+//
+//lint:owner(coordinator: runs while every LP is quiesced)
+func (e *engine) drain() {
+	e.epoch++ // coordinator body — exempt
+}
+
+// forward is the sanctioned cross-LP channel; values passed through it
+// arrive laundered on the destination Env.
+//
+//lint:owner(boundary: rides LP.Send under the fabric lookahead)
+func (e *engine) forward(lp *shard.LP, w *worker, fn func()) {
+	lp.Send(lp, time.Millisecond, fn)
+}
+
+// start wires tick into the clock: tick and everything it calls runs in LP
+// context.
+func (e *engine) start(env *sim.Env) {
+	env.Schedule(time.Millisecond, e.tick)
+}
+
+func (e *engine) tick() {
+	e.drain()       // want `coordinator-phase function drain .* called from LP context`
+	e.topo["x"] = 1 // want `write to //lint:shared state e\.topo .* from LP context`
+	e.epoch++       // want `write to coordinator-owned state e\.epoch .* from LP context`
+	e.helper()
+}
+
+// helper is reached from tick, so it is LP context too — the report carries
+// the call-chain witness.
+func (e *engine) helper() {
+	delete(e.topo, "y") // want `write to //lint:shared state e\.topo .* call chain`
+}
+
+// badSchedule schedules straight onto a possibly-remote Env.
+func (e *engine) badSchedule() {
+	w := e.peer("b")
+	w.env.Schedule(time.Millisecond, func() {}) // want `possibly-remote handle .* reaches cross-Env schedule`
+}
+
+// badField reads the annotated source field directly, then pokes the
+// worker's LP-owned counter.
+func (e *engine) badField() {
+	w := e.peers["c"]
+	_ = w.pending // want `possibly-remote handle .* reaches lp-owned field w\.pending`
+}
+
+// badQueue blocks on a possibly-remote worker's queue.
+func (e *engine) badQueue(p *sim.Proc) {
+	w := e.peer("d")
+	w.inbox.Put(p, 1) // want `possibly-remote handle .* reaches cross-Env queue op`
+}
+
+// viaSanitizer uses the same-Env escape hatch: no facts, no findings.
+func (e *engine) viaSanitizer() {
+	w := e.local("self")
+	w.env.Schedule(time.Millisecond, func() {})
+	_ = w.pending
+}
+
+// viaBoundary launders the handle through the boundary channel; the closure
+// delivered on the destination Env touches only laundered state.
+func (e *engine) viaBoundary(lp *shard.LP) {
+	w := e.peer("far")
+	e.forward(lp, w, func() { w.pending++ })
+}
+
+// pinned is suppressed: the deployment pins both ends to one shard.
+func (e *engine) pinned() {
+	w := e.peer("near")
+	w.env.Schedule(time.Millisecond, func() {}) //lint:allow lpowner(both ends pinned to one shard by rack assignment)
+}

@@ -1,0 +1,26 @@
+// Package lpmisuse exercises the annotation-validation diagnostics: unknown
+// owner classes, missing reasons, conflicting declarations, and directives
+// on things that are not state.
+package lpmisuse
+
+type state struct {
+	//lint:owner(host: no such class) // want `unknown owner class "host" on state`
+	a int
+	//lint:owner(lp) // want `ownership annotation needs a reason`
+	b int
+	// c carries two contradictory declarations.
+	//
+	//lint:owner(lp: first)
+	//lint:shared(second) // want `conflicting ownership for c: already declared lp`
+	c int
+}
+
+//lint:owner(lp: functions are coordinator or boundary) // want `unknown owner class "lp" on a function`
+func wrongClass() {}
+
+func local() {
+	//lint:owner(lp: locals are not state) // want `ownership directives apply to struct fields, package-level vars, and function declarations`
+	x := 0
+	_ = x
+	_ = state{}
+}

@@ -1,0 +1,11 @@
+// Package shard stands in for the sharded engine: lpowner treats LP.Send as
+// both an LP-context root and the sanctioned cross-LP channel.
+package shard
+
+import "time"
+
+// LP is the logical-process stub.
+type LP struct{}
+
+// Send delivers fn onto dst after delay.
+func (lp *LP) Send(dst *LP, delay time.Duration, fn func()) {}

@@ -1,0 +1,30 @@
+// Package sim stands in for the engine package: lpowner matches scheduling
+// sinks (Env.Schedule/Go, Queue ops) and LP-context roots by import path,
+// so fixtures import this stub at the real path.
+package sim
+
+import "time"
+
+// Env is the event-loop stub.
+type Env struct{}
+
+// Schedule runs fn after d.
+func (e *Env) Schedule(d time.Duration, fn func()) {}
+
+// Go starts a process.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc { return &Proc{} }
+
+// Proc is the process stub.
+type Proc struct{}
+
+// Queue is the bounded queue stub.
+type Queue[T any] struct{ zero T }
+
+// NewQueue creates a queue.
+func NewQueue[T any](env *Env, capacity int) *Queue[T] { return &Queue[T]{} }
+
+// Put pushes one element.
+func (q *Queue[T]) Put(p *Proc, v T) {}
+
+// Get pops one element.
+func (q *Queue[T]) Get(p *Proc) (T, bool) { return q.zero, false }

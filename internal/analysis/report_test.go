@@ -17,20 +17,32 @@ func TestMarshalReportGolden(t *testing.T) {
 		{Analyzer: "guesttaint", Pos: token.Position{Filename: "/repo/a.go", Line: 7, Column: 3}, Message: `tainted "x" hits sink`},
 		{Analyzer: "unitflow", Pos: token.Position{Filename: "/repo/b.go", Line: 12, Column: 9}, Message: "bytes\nmixed"},
 	}
-	want := "{\"version\":1,\n\"diagnostics\":[\n" +
+	timings := []AnalyzerTiming{
+		{Analyzer: "guesttaint", Millis: 42, Findings: 1},
+		{Analyzer: "unitflow", Millis: 3, Findings: 1},
+	}
+	want := "{\"version\":2,\n\"timings\":[\n" +
+		"  {\"analyzer\":\"guesttaint\",\"ms\":42,\"findings\":1},\n" +
+		"  {\"analyzer\":\"unitflow\",\"ms\":3,\"findings\":1}\n" +
+		"],\n\"diagnostics\":[\n" +
 		"  {\"file\":\"/repo/a.go\",\"line\":7,\"col\":3,\"analyzer\":\"guesttaint\",\"message\":\"tainted \\\"x\\\" hits sink\"},\n" +
 		"  {\"file\":\"/repo/b.go\",\"line\":12,\"col\":9,\"analyzer\":\"unitflow\",\"message\":\"bytes\\nmixed\"}\n" +
 		"]\n}\n"
-	got := MarshalReport(diags)
+	got := MarshalReport(diags, timings)
 	if string(got) != want {
 		t.Fatalf("report bytes drifted from golden:\ngot  %q\nwant %q", got, want)
 	}
-	if again := MarshalReport(diags); !bytes.Equal(got, again) {
+	if again := MarshalReport(diags, timings); !bytes.Equal(got, again) {
 		t.Fatalf("marshal is not byte-stable:\nfirst  %q\nsecond %q", got, again)
 	}
 
 	var decoded struct {
-		Version     int `json:"version"`
+		Version int `json:"version"`
+		Timings []struct {
+			Analyzer string `json:"analyzer"`
+			Millis   int64  `json:"ms"`
+			Findings int    `json:"findings"`
+		} `json:"timings"`
 		Diagnostics []struct {
 			File     string `json:"file"`
 			Line     int    `json:"line"`
@@ -48,11 +60,14 @@ func TestMarshalReportGolden(t *testing.T) {
 	if len(decoded.Diagnostics) != 2 || decoded.Diagnostics[1].Message != "bytes\nmixed" {
 		t.Fatalf("diagnostics did not round-trip: %+v", decoded.Diagnostics)
 	}
+	if len(decoded.Timings) != 2 || decoded.Timings[0].Millis != 42 || decoded.Timings[1].Analyzer != "unitflow" {
+		t.Fatalf("timing rows did not round-trip: %+v", decoded.Timings)
+	}
 }
 
 func TestMarshalReportEmpty(t *testing.T) {
-	want := "{\"version\":1,\n\"diagnostics\":[]\n}\n"
-	if got := string(MarshalReport(nil)); got != want {
+	want := "{\"version\":2,\n\"timings\":[],\n\"diagnostics\":[]\n}\n"
+	if got := string(MarshalReport(nil, nil)); got != want {
 		t.Fatalf("empty report = %q, want %q", got, want)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Program is one loaded set of packages plus the interprocedural state the
@@ -103,7 +104,8 @@ func (p *ProgramPass) IsTestFile(pos token.Pos) bool {
 // FileSet, a //lint:allow in pkg/a/util.go can never mask a finding in
 // pkg/b/util.go.
 func RunSuite(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
-	return runSuite(prog, analyzers, false)
+	diags, _, err := runSuite(prog, analyzers, false)
+	return diags, err
 }
 
 // RunSuiteUnused is RunSuite plus stale-suppression reporting: every
@@ -112,10 +114,19 @@ func RunSuite(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 // under a subset, allows for the analyzers that did not run are skipped, not
 // reported.
 func RunSuiteUnused(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
-	return runSuite(prog, analyzers, true)
+	diags, _, err := runSuite(prog, analyzers, true)
+	return diags, err
 }
 
-func runSuite(prog *Program, analyzers []*Analyzer, reportUnused bool) ([]Diagnostic, error) {
+// RunSuiteTimed is RunSuite (or RunSuiteUnused when reportUnused is set)
+// plus one wall-clock timing row per analyzer, in suite order, for the
+// versioned report. Suppressed findings do not count toward a row's
+// finding total.
+func RunSuiteTimed(prog *Program, analyzers []*Analyzer, reportUnused bool) ([]Diagnostic, []AnalyzerTiming, error) {
+	return runSuite(prog, analyzers, reportUnused)
+}
+
+func runSuite(prog *Program, analyzers []*Analyzer, reportUnused bool) ([]Diagnostic, []AnalyzerTiming, error) {
 	var all []*ast.File
 	for _, pkg := range prog.Pkgs {
 		all = append(all, pkg.Files...)
@@ -123,13 +134,15 @@ func runSuite(prog *Program, analyzers []*Analyzer, reportUnused bool) ([]Diagno
 	}
 	sup, bad := buildSuppressions(prog.Fset, all)
 	diags := bad
+	timings := make([]AnalyzerTiming, 0, len(analyzers))
 
 	for _, a := range analyzers {
+		start := time.Now() //lint:allow determinism(wall-clock timing rows measure the analyzers, not the simulation)
 		var out []Diagnostic
 		if a.RunProgram != nil {
 			pass := &ProgramPass{Analyzer: a, Prog: prog, Graph: prog.Graph(), diags: &out}
 			if err := a.RunProgram(pass); err != nil {
-				return nil, fmt.Errorf("%s: %v", a.Name, err)
+				return nil, nil, fmt.Errorf("%s: %v", a.Name, err)
 			}
 		} else {
 			for _, pkg := range prog.Pkgs {
@@ -142,15 +155,22 @@ func runSuite(prog *Program, analyzers []*Analyzer, reportUnused bool) ([]Diagno
 					diags:     &out,
 				}
 				if err := a.Run(pass); err != nil {
-					return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+					return nil, nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
 				}
 			}
 		}
+		kept := 0
 		for _, d := range out {
 			if !sup.suppressed(d) {
 				diags = append(diags, d)
+				kept++
 			}
 		}
+		timings = append(timings, AnalyzerTiming{
+			Analyzer: a.Name,
+			Millis:   time.Since(start).Milliseconds(), //lint:allow determinism(wall-clock timing rows measure the analyzers, not the simulation)
+			Findings: kept,
+		})
 	}
 	if reportUnused {
 		ran := make(map[string]bool, len(analyzers))
@@ -160,7 +180,7 @@ func runSuite(prog *Program, analyzers []*Analyzer, reportUnused bool) ([]Diagno
 		diags = append(diags, sup.unused(ran)...)
 	}
 	sortDiagnostics(diags)
-	return diags, nil
+	return diags, timings, nil
 }
 
 func sortDiagnostics(diags []Diagnostic) {

@@ -70,9 +70,12 @@ func (p Params) WithDefaults() Params {
 // A cluster is either single-env (New: one Env shared by every host and VM,
 // the classic serial regime) or sharded (NewSharded: one Env, metrics
 // registry, and shard.LP per host, advanced in parallel under conservative
-// lookahead). In the sharded regime Env, Reg, and Network are nil — all
-// state is per host — and the VM stack is unavailable: sharded scenarios
-// run host-level daemons whose only cross-host channel is the fabric.
+// lookahead). In the sharded regime Env and Reg are nil — all state is per
+// host. The VM stack rides the shards: every VM's devices and guest kernel
+// live on its host's Env, frames between hosts cross LPs through the
+// fabric's interconnect (LP.Send), and guest window credit crosses through
+// the network's SetCrossEnv channel. VM live-migration is single-env only —
+// a cross-LP migration would span a lookahead boundary.
 type Cluster struct {
 	Env     *sim.Env
 	Reg     *metrics.Registry
@@ -166,6 +169,7 @@ func NewSharded(seed int64, params Params, shards int) *Cluster {
 	params = params.WithDefaults()
 	c := &Cluster{
 		Fabric:  netsim.NewFabric(nil, params.Net),
+		Network: guest.NewNetwork(nil),
 		Params:  params,
 		Coord:   shard.New(shard.Config{Shards: shards, Lookahead: params.Net.Lookahead()}),
 		seed:    seed,
@@ -173,6 +177,11 @@ func NewSharded(seed int64, params Params, shards int) *Cluster {
 	}
 	c.Fabric.SetInterconnect(func(src, dst string, delay time.Duration, deliver func()) {
 		c.hosts[src].LP.Send(c.hosts[dst].LP, delay, deliver)
+	})
+	// Guest window credit between kernels on different hosts rides the same
+	// mailboxes, after the same lookahead.
+	c.Network.SetCrossEnv(func(src, dst *guest.Kernel, deliver func()) {
+		c.vms[src.Name()].Host.LP.Send(c.vms[dst.Name()].Host.LP, params.Net.Lookahead(), deliver)
 	})
 	return c
 }
@@ -348,13 +357,6 @@ func (c *Cluster) AllVMs() map[string]*VM { return c.vms }
 // metrics.TagDatanodeApp).
 func (h *Host) AddVM(name, appTag string) *VM {
 	c := h.Cluster
-	if c.sharded {
-		// The VM stack (guest kernel, virtio, guest.Network) schedules on
-		// the cluster Env and routes VM traffic through shared registries;
-		// none of it is LP-partitioned yet. Sharded clusters run host-level
-		// daemons only.
-		panic(fmt.Sprintf("cluster: AddVM(%q) on a sharded cluster; the VM stack is single-env only", name))
-	}
 	if c.vms == nil {
 		c.vms = make(map[string]*VM)
 	}
@@ -372,9 +374,12 @@ func (h *Host) AddVM(name, appTag string) *VM {
 		Cache:   storage.NewPageCache(name+":guestcache", c.Params.GuestCacheBytes, c.Params.CacheChunkBytes),
 		FS:      fsim.New(name + ":image"),
 	}
-	vm.NetDev = virtio.NewNetDev(c.Env, c.Params.Virtio, name, h.Name, vm.VCPU, vm.Vhost, h.NIC, c.Fabric)
-	vm.BlkDev = virtio.NewBlkDev(c.Env, c.Params.Virtio, name, vm.VCPU, vm.IOTh, h.Disk)
-	vm.Kernel = guest.NewKernel(c.Env, c.Params.Guest, guest.KernelParams{
+	// Everything the VM schedules — devices, kernel, vhost — lives on its
+	// host's Env: the cluster Env in the single-env regime, the host's own
+	// LP when sharded.
+	vm.NetDev = virtio.NewNetDev(h.Env, c.Params.Virtio, name, h.Name, vm.VCPU, vm.Vhost, h.NIC, c.Fabric)
+	vm.BlkDev = virtio.NewBlkDev(h.Env, c.Params.Virtio, name, vm.VCPU, vm.IOTh, h.Disk)
+	vm.Kernel = guest.NewKernel(h.Env, c.Params.Guest, guest.KernelParams{
 		Name:    name,
 		AppTag:  appTag,
 		VCPU:    vm.VCPU,
@@ -401,8 +406,13 @@ func (vm *VM) HostCacheObject(ino fsim.Ino) int64 {
 // vCPU/vhost/iothread threads on the destination CPU, fresh virtio devices,
 // and a fabric re-registration. The disk image travels logically (the
 // paper's centralized NFS/iSCSI storage); the guest page cache moves with
-// the VM's memory. The VM must be quiesced (no in-flight I/O).
+// the VM's memory. The VM must be quiesced (no in-flight I/O). Single-env
+// only: a cross-LP migration would move the kernel's Env mid-epoch, which
+// the lookahead contract forbids.
 func (c *Cluster) MigrateVM(vmName string, dst *Host) {
+	if c.sharded {
+		panic(fmt.Sprintf("cluster: MigrateVM(%q) on a sharded cluster; live migration is single-env only", vmName))
+	}
 	vm := c.vms[vmName]
 	if vm == nil {
 		panic(fmt.Sprintf("cluster: unknown VM %q", vmName))
@@ -419,8 +429,8 @@ func (c *Cluster) MigrateVM(vmName string, dst *Host) {
 	vm.VCPU = dst.CPU.NewThread(vmName+":vcpu", vmName)
 	vm.Vhost = dst.CPU.NewThread(vmName+":vhost", vmName)
 	vm.IOTh = dst.CPU.NewThread(vmName+":iothread", vmName)
-	vm.NetDev = virtio.NewNetDev(c.Env, c.Params.Virtio, vmName, dst.Name, vm.VCPU, vm.Vhost, dst.NIC, c.Fabric)
-	vm.BlkDev = virtio.NewBlkDev(c.Env, c.Params.Virtio, vmName, vm.VCPU, vm.IOTh, dst.Disk)
+	vm.NetDev = virtio.NewNetDev(dst.Env, c.Params.Virtio, vmName, dst.Name, vm.VCPU, vm.Vhost, dst.NIC, c.Fabric)
+	vm.BlkDev = virtio.NewBlkDev(dst.Env, c.Params.Virtio, vmName, vm.VCPU, vm.IOTh, dst.Disk)
 	vm.Kernel.Migrate(vm.VCPU, vm.NetDev, vm.BlkDev)
 	vm.NetDev.Start()
 	vm.BlkDev.Start()

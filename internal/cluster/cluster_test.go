@@ -1,6 +1,7 @@
 package cluster_test
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"vread/internal/cluster"
 	"vread/internal/core"
 	"vread/internal/data"
+	"vread/internal/faults"
 	"vread/internal/hdfs"
 
 	"vread/internal/metrics"
@@ -135,7 +137,8 @@ func TestMigrateVM(t *testing.T) {
 
 // TestShardedClusterTopology checks the sharded regime's construction
 // invariants: per-host Envs and registries, LP registration, rack-contiguous
-// shard assignment, and the VM-stack guard.
+// shard assignment, VM placement on the host's own Env, and the migration
+// guard.
 func TestShardedClusterTopology(t *testing.T) {
 	c := cluster.NewSharded(7, cluster.Params{}, 3)
 	defer c.Close()
@@ -171,12 +174,19 @@ func TestShardedClusterTopology(t *testing.T) {
 		}
 	}
 
+	// The VM stack rides the shards: everything a VM schedules must land on
+	// its host's Env, not some global one.
+	vm := hosts[0].AddVM("vm", metrics.TagClientApp)
+	if vm.Kernel.Env() != hosts[0].Env {
+		t.Fatal("sharded VM kernel does not run on its host's Env")
+	}
+
 	defer func() {
 		if recover() == nil {
-			t.Fatal("AddVM on a sharded cluster did not panic")
+			t.Fatal("MigrateVM on a sharded cluster did not panic")
 		}
 	}()
-	hosts[0].AddVM("vm", metrics.TagClientApp)
+	c.MigrateVM("vm", hosts[1])
 }
 
 // TestShardedClusterCrossHostFrames runs a tiny sharded scenario end to end:
@@ -217,5 +227,120 @@ func TestShardedClusterCrossHostFrames(t *testing.T) {
 	}
 	if got := run(4); got != serial {
 		t.Fatalf("K=4 diverges from K=1:\n--- K=1 ---\n%s--- K=4 ---\n%s", serial, got)
+	}
+}
+
+// TestShardedGuestVMByteIdentity runs a full guest-VM workload on sharded
+// clusters and checks the client completion log is byte-identical at every
+// shard count, quiet and under a fault plan. The workload is shaped so the
+// cross-LP paths the lpowner analyzer guards actually fire: client kernels
+// dial servers on other hosts (guest frames ride the fabric interconnect,
+// i.e. LP.Send), each stream pushes twice the 1 MiB send window so window
+// credit has to travel back through Network.SetCrossEnv (LP.Send again),
+// one dial stays co-located (the vhost fast path), and the servers re-read
+// their blob through virtio-blk so disk faults perturb timing.
+func TestShardedGuestVMByteIdentity(t *testing.T) {
+	const port = 9000
+	run := func(k int, withFaults bool) string {
+		c := cluster.NewSharded(11, cluster.Params{}, k)
+		defer c.Close()
+		hosts := c.BuildTopology(cluster.TopologySpec{Domains: 1, RacksPerDomain: 2, HostsPerRack: 2})
+		c.AssignRackShards()
+		if withFaults {
+			for _, h := range hosts {
+				plan := faults.NewPlan(h.Env)
+				plan.Set(faults.Rule{Point: faults.DiskReadSlow, Prob: 0.3, Delay: 200 * time.Microsecond})
+				plan.Set(faults.Rule{Point: faults.NetFrameDelay, Prob: 0.2, Delay: 50 * time.Microsecond})
+				h.Disk.InjectFaults(plan)
+				c.Fabric.InjectHostFaults(h.Name, plan)
+			}
+		}
+		// One server VM per host. The client lives on host 0, so its dial
+		// to srv0 is co-located and the other three cross LPs.
+		servers := make([]*cluster.VM, len(hosts))
+		for i, h := range hosts {
+			servers[i] = h.AddVM(fmt.Sprintf("srv%d", i), metrics.TagDatanodeApp)
+		}
+		for i, vm := range servers {
+			i, vm := i, vm
+			if err := vm.FS.MkdirAll("/srv"); err != nil {
+				t.Fatal(err)
+			}
+			vm.Host.Go(fmt.Sprintf("srv%d:serve", i), func(p *sim.Proc) {
+				k := vm.Kernel
+				// Bind the port before the (slow) blob write so dials at t=0 are
+				// not refused; accepted streams only start draining once the
+				// accept loop below runs, i.e. after the blob is on disk.
+				ln := k.Listen(port)
+				if err := k.CreateFile(p, "/srv/blob"); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := k.AppendFile(p, "/srv/blob", data.Pattern{Seed: uint64(i), Size: 2 << 20}); err != nil {
+					t.Error(err)
+					return
+				}
+				k.DropCaches() // make the per-chunk reads below hit virtio-blk
+				for {
+					conn, ok := ln.Accept(p)
+					if !ok {
+						return
+					}
+					vm.Host.Go(fmt.Sprintf("srv%d:conn", i), func(p *sim.Proc) {
+						var total int64
+						for {
+							s, ok := conn.Recv(p, 256<<10)
+							if !ok {
+								return
+							}
+							total += s.Len()
+							if _, err := k.ReadFileAt(p, "/srv/blob", total%(1<<20), 64<<10); err != nil {
+								t.Error(err)
+								return
+							}
+						}
+					})
+				}
+			})
+		}
+		client := hosts[0].AddVM("client", metrics.TagClientApp)
+		var log strings.Builder
+		done := 0
+		for i := range servers {
+			i := i
+			hosts[0].Go(fmt.Sprintf("client:%d", i), func(p *sim.Proc) {
+				conn, err := client.Kernel.Dial(p, fmt.Sprintf("srv%d", i), port)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// 2 MiB through a 1 MiB send window: the sender stalls
+				// mid-stream until the receiver's credit makes it back.
+				for j := 0; j < 8; j++ {
+					if err := conn.Send(p, data.NewSlice(data.Zero(256<<10))); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				conn.Close(p)
+				fmt.Fprintf(&log, "srv%d drained @%v\n", i, hosts[0].Env.Now())
+				done++
+			})
+		}
+		if err := c.RunUntil(60 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if done != len(servers) {
+			t.Fatalf("shards=%d faults=%v: only %d/%d streams finished", k, withFaults, done, len(servers))
+		}
+		return log.String()
+	}
+	for _, withFaults := range []bool{false, true} {
+		serial := run(1, withFaults)
+		for _, k := range []int{2, 4} {
+			if got := run(k, withFaults); got != serial {
+				t.Fatalf("faults=%v: K=%d diverges from K=1:\n--- K=1 ---\n%s--- K=%d ---\n%s", withFaults, k, serial, k, got)
+			}
+		}
 	}
 }

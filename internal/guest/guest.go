@@ -86,9 +86,17 @@ func (c Config) copyCycles(n int64) int64 { return n * c.CopyCyclesPerKB / 1024 
 // Network is the cluster-wide registry that lets kernels resolve peers for
 // connection bookkeeping (the data path still rides virtio/netsim).
 type Network struct {
-	env      *sim.Env
-	kernels  map[string]*Kernel
-	nextConn int64
+	env *sim.Env
+	// kernels spans every host: in the sharded regime a looked-up kernel may
+	// live on another LP's Env.
+	//
+	//lint:source lpowner(a registered kernel may live on another host's Env)
+	kernels map[string]*Kernel
+	//lint:owner(coordinator: kernel IDs are assigned at registration, before the clock starts)
+	nextKid int64
+	// crossEnv schedules a closure on the destination kernel's Env when the
+	// two kernels live on different LPs — LP.Send in the sharded regime.
+	crossEnv func(src, dst *Kernel, deliver func())
 }
 
 // NewNetwork creates an empty registry.
@@ -96,7 +104,16 @@ func NewNetwork(env *sim.Env) *Network {
 	return &Network{env: env, kernels: make(map[string]*Kernel)}
 }
 
-// Kernel returns a registered kernel by VM name, or nil.
+// SetCrossEnv installs the cross-Env scheduling channel used when two
+// connected kernels live on different Envs: deliver must run on dst's Env
+// no earlier than the fabric lookahead. Single-env clusters never need it;
+// sharded clusters wire it to LP.Send.
+func (n *Network) SetCrossEnv(fn func(src, dst *Kernel, deliver func())) { n.crossEnv = fn }
+
+// Kernel returns a registered kernel by VM name, or nil — a possibly-remote
+// handle in the sharded regime.
+//
+//lint:source lpowner(the kernel may live on another host's Env)
 func (n *Network) Kernel(vm string) *Kernel { return n.kernels[vm] }
 
 // Kernel is one VM's guest OS.
@@ -104,6 +121,7 @@ type Kernel struct {
 	env    *sim.Env
 	cfg    Config
 	name   string
+	id     int64 // dense registration index; the high half of conn IDs
 	appTag string
 	vcpu   *cpusched.Thread
 	net    *virtio.NetDev
@@ -112,11 +130,15 @@ type Kernel struct {
 	fs     *fsim.FS
 	netw   *Network
 
+	//lint:owner(lp: accept queues live on the kernel's own Env)
 	listeners map[int]*sim.Queue[*Conn]
-	conns     map[int64]*connEnd
-	raSeq     map[fsim.Ino]int64 // next sequential offset per file
-	raIssued  map[fsim.Ino]int64 // readahead issued up to (exclusive)
-	raFlight  map[fsim.Ino][]*raWindow
+	//lint:owner(lp: connection state is touched only by this kernel's callbacks)
+	conns map[int64]*connEnd
+	//lint:owner(lp: per-kernel conn sequence — the LP-local half of conn IDs)
+	connSeq  int64
+	raSeq    map[fsim.Ino]int64 // next sequential offset per file
+	raIssued map[fsim.Ino]int64 // readahead issued up to (exclusive)
+	raFlight map[fsim.Ino][]*raWindow
 }
 
 // raWindow tracks one in-flight readahead I/O so overlapping reads wait on
@@ -165,6 +187,8 @@ func NewKernel(env *sim.Env, cfg Config, params KernelParams) *Kernel {
 	if k.net != nil {
 		k.net.SetDeliver(k.handleFrame)
 	}
+	k.id = params.Network.nextKid
+	params.Network.nextKid++
 	params.Network.kernels[k.name] = k
 	return k
 }
@@ -220,8 +244,7 @@ type connEnd struct {
 	kernel       *Kernel
 	peerVM       string
 	tr           *trace.Trace // request currently attributed to this end
-	peer         *connEnd
-	key          int64 // id<<1 | role; role 0 = dialer, 1 = acceptor
+	key          int64        // id<<1 | role; role 0 = dialer, 1 = acceptor
 	recvQ        []data.Slice
 	recvBytes    int64
 	recvSig      *sim.Signal
@@ -291,8 +314,10 @@ func (k *Kernel) DialT(p *sim.Proc, tr *trace.Trace, dstVM string, port int) (*C
 	if k.netw.Kernel(dstVM) == nil {
 		return nil, fmt.Errorf("%w: unknown VM %s", ErrRefused, dstVM)
 	}
-	k.netw.nextConn++
-	id := k.netw.nextConn
+	// Conn IDs are (kernel id, per-kernel sequence): no cross-LP counter,
+	// and the numbering is identical at every shard count.
+	k.connSeq++
+	id := k.id<<32 | k.connSeq
 	end := &connEnd{
 		kernel: k, peerVM: dstVM, tr: tr, key: id << 1,
 		recvSig:   sim.NewSignal(k.env),
@@ -377,13 +402,45 @@ func (c *Conn) Recv(p *sim.Proc, max int64) (data.Slice, bool) {
 		got += take
 	}
 	end.recvBytes -= got
-	// Window credit back to the sender (free, as piggybacked acks).
-	if end.peer != nil {
-		end.peer.inflight -= got
-		end.peer.windowSig.Broadcast()
-	}
+	// Window credit back to the sender (free, as piggybacked acks). The
+	// sending end lives on the peer kernel's Env; creditPeer routes it there.
+	k.creditPeer(end.peerVM, end.key^1, got)
 	k.vcpu.RunT(p, k.cfg.SyscallCycles+k.cfg.copyCycles(got), k.appTag, end.tr)
 	return data.Slice{C: parts, N: got}, true
+}
+
+// creditPeer returns window credit for consumed bytes to the sending end of
+// a connection, on the Env that owns it: directly when the peer kernel
+// shares this kernel's Env, through the network's cross-Env channel (with
+// its lookahead delay) otherwise. This is the one place the socket layer
+// touches another kernel's state, which is why it is the boundary.
+//
+//lint:owner(boundary: credit applies on the Env owning the sending end — same-Env directly, else via SetCrossEnv)
+func (k *Kernel) creditPeer(peerVM string, connKey int64, bytes int64) {
+	peerK := k.netw.Kernel(peerVM)
+	if peerK == nil {
+		return // peer torn down; nothing left to credit
+	}
+	if peerK.env == k.env {
+		peerK.applyCredit(connKey, bytes)
+		return
+	}
+	if k.netw.crossEnv == nil {
+		panic(fmt.Sprintf("guest: kernels %s and %s live on different Envs and no cross-Env channel is set", k.name, peerVM))
+	}
+	k.netw.crossEnv(k, peerK, func() {
+		peerK.applyCredit(connKey, bytes)
+	})
+}
+
+// applyCredit releases window credit on the sending end. Runs on the Env
+// that owns this kernel; a missing end (closed connection) is fine — the
+// credit is moot.
+func (k *Kernel) applyCredit(connKey int64, bytes int64) {
+	if end, ok := k.conns[connKey]; ok {
+		end.inflight -= bytes
+		end.windowSig.Broadcast()
+	}
 }
 
 // sliceContent adapts a Slice window into a Content (for reassembly).
@@ -440,12 +497,7 @@ func (k *Kernel) processSegment(fr netsim.Frame, meta segMeta) {
 		if end == nil {
 			return
 		}
-		if meta.kind == segSYNACK {
-			// Bind the two ends now that both exist.
-			peerK := k.netw.Kernel(end.peerVM)
-			end.peer = peerK.conns[meta.connID^1]
-			end.synOK = true
-		}
+		end.synOK = meta.kind == segSYNACK
 		end.synDone = true
 		end.synSig.Broadcast()
 	case segData:
@@ -486,9 +538,6 @@ func (k *Kernel) acceptSYN(fr netsim.Frame, meta segMeta) {
 		windowSig: sim.NewSignal(k.env),
 		synSig:    sim.NewSignal(k.env),
 	}
-	// Bind to the dialing end (it exists before the SYN was sent).
-	peerK := k.netw.Kernel(meta.srcVM)
-	end.peer = peerK.conns[meta.connID^1]
 	k.conns[end.key] = end
 	k.env.Go(fmt.Sprintf("%s:synack", k.name), func(p *sim.Proc) {
 		k.sendSegment(p, fr.Trace, meta.srcVM, data.NewSlice(data.Zero(64)), segMeta{kind: segSYNACK, connID: meta.connID ^ 1})

@@ -117,13 +117,21 @@ const DefaultPartitionWindow = 10 * time.Millisecond
 // does (softirq charge, handler, endpoint delivery) runs inside the
 // delivered closure on the destination Env.
 type Fabric struct {
-	env        *sim.Env
-	cfg        Config
-	nics       map[string]*NIC
-	vms        map[string]vmReg
-	ports      map[hostPort]HostHandler
-	locs       map[string]hostLoc
-	down       map[string]bool
+	env *sim.Env
+	cfg Config
+	//lint:shared(host NIC registry; topology is frozen before the clock starts)
+	nics map[string]*NIC
+	// vms binds VM names to hosts that may live on other Envs; anything read
+	// out of it is a possibly-remote handle.
+	//
+	//lint:source lpowner(a VM registration may point at another host's Env)
+	vms map[string]vmReg
+	//lint:owner(coordinator: port bindings change only while no LP is executing)
+	ports map[hostPort]HostHandler
+	locs  map[string]hostLoc
+	//lint:owner(coordinator: dark-host set, mutated by fault actions on the fabric's own Env)
+	down map[string]bool
+	//lint:owner(coordinator: severed-until windows; domain partitions are a single-env feature)
 	partitions map[domPair]time.Duration // severed-until instant per domain pair
 	faults     *faults.Plan
 	hostFaults map[string]*faults.Plan
@@ -211,7 +219,10 @@ func (f *Fabric) SetInterconnect(fn func(src, dst string, delay time.Duration, d
 	f.xconnect = fn
 }
 
-// envFor returns the Env frames terminating at host run on.
+// envFor returns the Env frames terminating at host run on — possibly
+// another LP's engine; only boundary code may schedule on it.
+//
+//lint:source lpowner(the returned Env may belong to another LP)
 func (f *Fabric) envFor(host string) *sim.Env {
 	if nic, ok := f.nics[host]; ok {
 		return nic.env
@@ -221,6 +232,8 @@ func (f *Fabric) envFor(host string) *sim.Env {
 
 // deliverOn schedules fn after delay on dst's Env: directly when dst shares
 // src's Env, through the interconnect otherwise.
+//
+//lint:owner(boundary: cross-Env delivery rides the interconnect — LP.Send in the sharded regime)
 func (f *Fabric) deliverOn(srcEnv *sim.Env, src, dst string, delay time.Duration, fn func()) {
 	dstEnv := f.envFor(dst)
 	if dstEnv == srcEnv {
@@ -251,7 +264,10 @@ func (f *Fabric) AddHostOn(name string, softirq *cpusched.Thread, env *sim.Env) 
 	return nic
 }
 
-// NIC returns the registered NIC for host, or nil.
+// NIC returns the registered NIC for host, or nil. Callers name their own
+// host, so the result runs on the caller's Env — the same-Env escape hatch.
+//
+//lint:sanitizer lpowner(callers pass their own host name; the NIC lives on that host's Env)
 func (f *Fabric) NIC(host string) *NIC { return f.nics[host] }
 
 // SetHostLocation records a host's rack and fault domain. Hosts with no
@@ -277,9 +293,9 @@ func (f *Fabric) DomainOf(host string) (string, bool) {
 // the would-have-arrived instant, so tracing invariants hold.
 func (f *Fabric) SetHostDown(host string, down bool) {
 	if down {
-		f.down[host] = true
+		f.down[host] = true //lint:allow lpowner(rack-kill actions run on the fabric's own Env; sharded runs drive host-down between epochs)
 	} else {
-		delete(f.down, host)
+		delete(f.down, host) //lint:allow lpowner(rack-kill actions run on the fabric's own Env; sharded runs drive host-down between epochs)
 	}
 }
 
@@ -317,7 +333,7 @@ func (f *Fabric) domainBlocked(fr *Frame, src, dst string) bool {
 		if window <= 0 {
 			window = DefaultPartitionWindow
 		}
-		f.partitions[pair] = now + window
+		f.partitions[pair] = now + window //lint:allow lpowner(single-env feature per the comment above; sharded runs leave fault domains unset)
 		fr.Trace.Event(trace.LayerNet, "fault:domain-partition-drop", 0)
 		return true
 	}
@@ -335,13 +351,21 @@ func (f *Fabric) RegisterVM(vm, host string, ep Endpoint) {
 // UnregisterVM removes a VM binding (live migration support).
 func (f *Fabric) UnregisterVM(vm string) { delete(f.vms, vm) }
 
-// HostOf returns the host a VM currently runs on.
+// HostOf returns the host a VM currently runs on. A host name is data, not
+// a schedulable handle — anything that turns it into a NIC or Env goes back
+// through the fabric's own accessors.
+//
+//lint:sanitizer lpowner(a host name is not a handle; resolving it re-routes through the fabric)
 func (f *Fabric) HostOf(vm string) (string, bool) {
 	r, ok := f.vms[vm]
 	return r.host, ok
 }
 
-// EndpointOf returns the endpoint of a VM.
+// EndpointOf returns the endpoint of a VM — a possibly-remote handle: the
+// VM may live on another host's Env, and its endpoint must only be touched
+// from code already running there.
+//
+//lint:source lpowner(the endpoint may live on another host's Env)
 func (f *Fabric) EndpointOf(vm string) (Endpoint, bool) {
 	r, ok := f.vms[vm]
 	return r.ep, ok
@@ -354,18 +378,23 @@ func (f *Fabric) BindHostPort(host string, port int, h HostHandler) {
 	if _, ok := f.ports[key]; ok {
 		panic(fmt.Sprintf("netsim: port %d already bound on %s", port, host))
 	}
-	f.ports[key] = h
+	f.ports[key] = h //lint:allow lpowner(lazy daemon-port binding during mount migration; cross-LP migration quiesces at an epoch boundary)
 }
 
 // NIC is one host's 10 Gbps port with FIFO egress pacing.
 type NIC struct {
-	fabric    *Fabric
-	host      string
-	env       *sim.Env
-	softirq   *cpusched.Thread
+	fabric *Fabric
+	host   string
+	//lint:owner(lp: the host's engine — only code already on it schedules here)
+	env *sim.Env
+	//lint:owner(lp: receive processing runs on the host's own Env)
+	softirq *cpusched.Thread
+	//lint:owner(lp: egress pacing state, mutated only on the NIC's own Env)
 	busyUntil time.Duration
-	txBytes   int64
-	txFrames  int64
+	//lint:owner(lp: egress counters, mutated only on the NIC's own Env)
+	txBytes int64
+	//lint:owner(lp: egress counters, mutated only on the NIC's own Env)
+	txFrames int64
 }
 
 // Host returns the owning host name.
